@@ -1,0 +1,90 @@
+//! The E1–E18 experiments (see `DESIGN.md` §5 and `EXPERIMENTS.md`).
+//!
+//! The paper has no empirical evaluation section — Figures 1 and 2 are
+//! schematic diagrams — so the experiment suite validates the paper's
+//! *claims*: one experiment per theorem/lemma, plus the headline
+//! who-wins sweep and engine-scaling measurements. Each experiment is a
+//! function from a scale preset to a rendered [`Table`], deterministic
+//! per seed; sweeps fan out across (seed × parameter) cells with rayon.
+
+pub mod ablation;
+pub mod competitive;
+pub mod conversion;
+pub mod lemmas;
+pub mod openq;
+pub mod origins;
+pub mod weighted;
+
+use crate::table::Table;
+
+/// How big to run the sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Independent seeds per cell.
+    pub seeds: u64,
+    /// Jobs per generated instance (large instances).
+    pub n_jobs: usize,
+    /// Jobs per instance in LP-bound experiments (kept small: the
+    /// from-scratch simplex is the bottleneck).
+    pub n_jobs_lp: usize,
+    /// Time steps for the LP grid.
+    pub lp_steps: usize,
+}
+
+impl Scale {
+    /// Fast preset for tests and `cargo bench` smoke runs.
+    pub fn quick() -> Scale {
+        Scale {
+            seeds: 3,
+            n_jobs: 60,
+            n_jobs_lp: 4,
+            lp_steps: 24,
+        }
+    }
+
+    /// The preset used to produce `EXPERIMENTS.md`.
+    pub fn full() -> Scale {
+        Scale {
+            seeds: 10,
+            n_jobs: 400,
+            n_jobs_lp: 5,
+            lp_steps: 30,
+        }
+    }
+}
+
+/// Run every experiment and return the tables in order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    vec![
+        competitive::e1_identical_competitive(scale),
+        competitive::e2_unrelated_speed_sweep(scale),
+        lemmas::e3_lemma1_interior_wait(scale),
+        lemmas::e4_lemma2_available_volume(scale),
+        lemmas::e5_lemma3_potential(scale),
+        competitive::e6_broomstick_opt_gap(scale),
+        lemmas::e7_lemma8_mirroring(scale),
+        lemmas::e8_dual_fitting(scale),
+        conversion::e9_fractional_vs_integral(scale),
+        competitive::e10_policy_sweep(scale),
+        conversion::e11_engine_scaling(scale),
+        conversion::e12_packetized(scale),
+        ablation::e13_distance_term(scale),
+        ablation::e14_class_rounding(scale),
+        ablation::e15_router_policy(scale),
+        openq::e16_objective_tradeoffs(scale),
+        origins::e17_arbitrary_origins(scale),
+        weighted::e18_weighted_flow(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(q.seeds <= f.seeds && q.n_jobs <= f.n_jobs);
+    }
+}

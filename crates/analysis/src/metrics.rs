@@ -1,0 +1,219 @@
+//! Per-run flow-time metrics and the layer decomposition.
+
+use bct_core::{Instance, JobId, Time};
+use bct_sim::SimOutcome;
+use serde::Serialize;
+
+/// Aggregate flow-time statistics for a completed run.
+#[derive(Clone, Debug, Serialize)]
+pub struct FlowStats {
+    /// Number of jobs.
+    pub n: usize,
+    /// `Σ_j (C_j − r_j)`.
+    pub total_flow: Time,
+    /// Mean flow time.
+    pub mean_flow: Time,
+    /// Max flow time.
+    pub max_flow: Time,
+    /// `ℓ_2` norm of flow times.
+    pub l2_flow: Time,
+    /// The fractional flow time (§2 variant).
+    pub fractional_flow: Time,
+    /// Mean stretch: flow time divided by the job's cheapest path work
+    /// `min_v η_{j,v}` (≥ 1 at unit speeds).
+    pub mean_stretch: f64,
+    /// Makespan of the run.
+    pub makespan: Time,
+}
+
+impl FlowStats {
+    /// Compute stats from an outcome (all jobs must have completed).
+    pub fn from_outcome(inst: &Instance, out: &SimOutcome) -> FlowStats {
+        assert_eq!(out.unfinished, 0, "metrics need a drained run");
+        let releases: Vec<Time> = inst.jobs().iter().map(|j| j.release).collect();
+        let flows: Vec<Time> = out
+            .completions
+            .iter()
+            .zip(&releases)
+            .map(|(c, r)| c.expect("finished") - r)
+            .collect();
+        let n = flows.len();
+        let total: Time = flows.iter().sum();
+        let stretch: f64 = flows
+            .iter()
+            .enumerate()
+            .map(|(j, f)| f / inst.min_eta(JobId(j as u32)))
+            .sum::<f64>()
+            / n.max(1) as f64;
+        FlowStats {
+            n,
+            total_flow: total,
+            mean_flow: total / n.max(1) as f64,
+            max_flow: flows.iter().copied().fold(0.0, f64::max),
+            l2_flow: flows.iter().map(|f| f * f).sum::<f64>().sqrt(),
+            fractional_flow: out.fractional_flow,
+            mean_stretch: stretch,
+            makespan: out.makespan,
+        }
+    }
+}
+
+/// Where each job's flow time was spent, averaged over jobs:
+/// waiting-plus-processing at the entry node, on the interior routers,
+/// and at the leaf.
+#[derive(Clone, Debug, Serialize)]
+pub struct LayerBreakdown {
+    /// Mean time from release to finishing the root-adjacent node.
+    pub entry: Time,
+    /// Mean time from the entry node's finish to the second-to-last
+    /// hop's finish (0 for depth-2 paths).
+    pub interior: Time,
+    /// Mean time on the final (leaf) hop.
+    pub leaf: Time,
+}
+
+impl LayerBreakdown {
+    /// Decompose an outcome.
+    pub fn from_outcome(inst: &Instance, out: &SimOutcome) -> LayerBreakdown {
+        assert_eq!(out.unfinished, 0);
+        let n = inst.n().max(1) as f64;
+        let mut entry = 0.0;
+        let mut interior = 0.0;
+        let mut leaf = 0.0;
+        for (j, hops) in out.hop_finishes.iter().enumerate() {
+            let r = inst.job(JobId(j as u32)).release;
+            let k = hops.len();
+            debug_assert!(k >= 2, "paths have at least entry + leaf");
+            entry += hops[0] - r;
+            interior += hops[k - 2] - hops[0];
+            leaf += hops[k - 1] - hops[k - 2];
+        }
+        LayerBreakdown {
+            entry: entry / n,
+            interior: interior / n,
+            leaf: leaf / n,
+        }
+    }
+}
+
+/// Per-node utilization: busy time divided by makespan, indexed by node
+/// id (the root is always 0). The layer aggregates show where the
+/// bottleneck sits — in the paper's model the root-adjacent layer is
+/// the structural choke point every job must cross.
+#[derive(Clone, Debug, Serialize)]
+pub struct Utilization {
+    /// `busy_v / makespan` per node.
+    pub per_node: Vec<f64>,
+    /// Mean utilization of the root-adjacent layer.
+    pub entry_layer: f64,
+    /// Mean utilization of deeper routers.
+    pub interior_layer: f64,
+    /// Mean utilization of the machines.
+    pub leaf_layer: f64,
+}
+
+impl Utilization {
+    /// Compute from an outcome.
+    pub fn from_outcome(inst: &Instance, out: &SimOutcome) -> Utilization {
+        let span = out.makespan.max(1e-12);
+        let per_node: Vec<f64> = out.node_busy.iter().map(|b| b / span).collect();
+        let tree = inst.tree();
+        let layer_mean = |pred: &dyn Fn(bct_core::NodeId) -> bool| -> f64 {
+            let vals: Vec<f64> = tree
+                .non_root_nodes()
+                .filter(|&v| pred(v))
+                .map(|v| per_node[v.as_usize()])
+                .collect();
+            if vals.is_empty() {
+                0.0
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        };
+        Utilization {
+            entry_layer: layer_mean(&|v| tree.depth(v) == 1),
+            interior_layer: layer_mean(&|v| tree.depth(v) > 1 && !tree.is_leaf(v)),
+            leaf_layer: layer_mean(&|v| tree.is_leaf(v)),
+            per_node,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bct_core::tree::TreeBuilder;
+    use bct_core::{Job, NodeId, SpeedProfile};
+    use bct_policies::{FixedAssignment, Sjf};
+    use bct_sim::policy::NoProbe;
+    use bct_sim::{SimConfig, Simulation};
+
+    fn run() -> (Instance, SimOutcome) {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let m = b.add_child(r);
+        let leaf = b.add_child(m);
+        let t = b.build().unwrap();
+        let inst = Instance::new(
+            t,
+            vec![
+                Job::identical(0u32, 0.0, 2.0),
+                Job::identical(1u32, 1.0, 2.0),
+            ],
+        )
+        .unwrap();
+        let out = Simulation::run(
+            &inst,
+            &Sjf::new(),
+            &mut FixedAssignment(vec![leaf, leaf]),
+            &mut NoProbe,
+            &SimConfig::with_speeds(SpeedProfile::unit()),
+        )
+        .unwrap();
+        (inst, out)
+    }
+
+    #[test]
+    fn flow_stats_basics() {
+        let (inst, out) = run();
+        let s = FlowStats::from_outcome(&inst, &out);
+        // J0: hops at 2,4,6 -> flow 6. J1: entry 2..4, m 6..8? No:
+        // J1 arrives at 1, entry busy until 2, runs 2..4; m: J0 done at 4,
+        // J1 runs 4..6; leaf: J0 4..6, J1 6..8 -> C1=8, flow 7.
+        assert_eq!(s.n, 2);
+        assert!((s.total_flow - 13.0).abs() < 1e-9, "{s:?}");
+        assert!((s.mean_flow - 6.5).abs() < 1e-9);
+        assert!((s.max_flow - 7.0).abs() < 1e-9);
+        assert!((s.l2_flow - (36.0f64 + 49.0).sqrt()).abs() < 1e-9);
+        // stretch: η = 6 each -> (1 + 7/6)/2
+        assert!((s.mean_stretch - (1.0 + 7.0 / 6.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_layers_are_sane() {
+        let (inst, out) = run();
+        let u = Utilization::from_outcome(&inst, &out);
+        assert_eq!(u.per_node.len(), inst.tree().len());
+        assert_eq!(u.per_node[0], 0.0, "the root never works");
+        for &x in &u.per_node {
+            assert!((0.0..=1.0 + 1e-9).contains(&x));
+        }
+        // Chain: each node does 4 units of work over makespan 8.
+        assert!((u.entry_layer - 0.5).abs() < 1e-9, "{u:?}");
+        assert!((u.interior_layer - 0.5).abs() < 1e-9);
+        assert!((u.leaf_layer - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_breakdown_sums_to_flow() {
+        let (inst, out) = run();
+        let s = FlowStats::from_outcome(&inst, &out);
+        let l = LayerBreakdown::from_outcome(&inst, &out);
+        assert!(
+            (l.entry + l.interior + l.leaf - s.mean_flow).abs() < 1e-9,
+            "{l:?} vs mean {:?}",
+            s.mean_flow
+        );
+        assert!(l.entry > 0.0 && l.interior > 0.0 && l.leaf > 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Small numeric helpers over `f64` samples.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Maximum (0 for empty input).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+}
+
+/// Minimum (0 for empty input).
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The `q`-th percentile (nearest-rank, `q ∈ [0, 100]`).
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&q));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank]
+}
+
+/// Geometric mean of positive samples.
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let xs = [3.0, -1.0, 7.0];
+        assert_eq!(max(&xs), 7.0);
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert!((percentile(&xs, 50.0) - 50.0).abs() <= 1.0);
+        assert!((percentile(&xs, 99.0) - 99.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geo_mean(&[8.0]) - 8.0).abs() < 1e-12);
+    }
+}

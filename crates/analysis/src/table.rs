@@ -1,0 +1,152 @@
+//! Markdown table rendering for experiment output.
+
+use serde::Serialize;
+use std::fmt;
+
+/// A titled table: headers plus string rows.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct Table {
+    /// Table title (rendered as a heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each must match the header count).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form note rendered under the table.
+    pub note: String,
+}
+
+impl Table {
+    /// New table with headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity doesn't match the headers.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Attach a note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Table {
+        self.note = note.into();
+        self
+    }
+
+    /// Serialize as JSON (title, headers, rows, note) for downstream
+    /// tooling.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables always serialize")
+    }
+
+    /// Render as column-aligned GitHub markdown.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for i in 0..ncols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!(" {cell:>w$} |", w = widths[i]));
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        if !self.note.is_empty() {
+            out.push_str(&format!("\n{}\n", self.note));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float to a fixed number of significant-looking decimals.
+pub fn num(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["a", "long-header"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        t.push_row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.starts_with("### Demo"));
+        assert!(s.contains("| long-header |"), "{s}");
+        assert_eq!(s.lines().filter(|l| l.starts_with('|')).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn note_is_rendered() {
+        let t = Table::new("x", &["a"]).with_note("hello note");
+        assert!(t.render().contains("hello note"));
+    }
+
+    #[test]
+    fn json_export_contains_everything() {
+        let mut t = Table::new("T", &["a", "b"]).with_note("n");
+        t.push_row(vec!["1".into(), "2".into()]);
+        let j = t.to_json();
+        for needle in ["\"T\"", "\"a\"", "\"b\"", "\"1\"", "\"n\""] {
+            assert!(j.contains(needle), "{j}");
+        }
+    }
+
+    #[test]
+    fn num_formatting() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(3.14159), "3.142");
+        assert_eq!(num(42.42), "42.4");
+        assert_eq!(num(12345.6), "12346");
+    }
+}

@@ -1,0 +1,112 @@
+//! Engine microbenchmarks: raw event throughput, the packetized
+//! engine, the broomstick reduction, and the from-scratch LP solver.
+
+use bct_analysis::runner::{AssignKind, NodePolicyKind, PolicyCombo};
+use bct_bench::{deep_instance, standard_instance};
+use bct_core::{Broomstick, SpeedProfile};
+use bct_lp::model::{lp_lower_bound, LpGrid};
+use bct_sim::packet::run_packetized;
+use bct_workloads::jobs::{ArrivalProcess, SizeDist, WorkloadSpec};
+use bct_workloads::topo;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_event_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/events");
+    for n in [200usize, 1000, 5000] {
+        let inst = standard_instance(n, 42);
+        let combo = PolicyCombo {
+            node: NodePolicyKind::Sjf,
+            assign: AssignKind::LeastVolume,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| {
+                let out = combo.run(black_box(inst), &SpeedProfile::Uniform(1.5)).unwrap();
+                black_box(out.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy_assignment(c: &mut Criterion) {
+    // The paper's rule scans every leaf per arrival; measure its cost
+    // against the cheaper baselines on the same instance.
+    let mut g = c.benchmark_group("engine/assignment-rules");
+    let inst = standard_instance(1000, 7);
+    for (label, assign) in [
+        ("greedy", AssignKind::GreedyIdentical(0.5)),
+        ("closest", AssignKind::Closest),
+        ("least-volume", AssignKind::LeastVolume),
+        ("round-robin", AssignKind::RoundRobin),
+    ] {
+        let combo = PolicyCombo { node: NodePolicyKind::Sjf, assign };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(combo.run(black_box(&inst), &SpeedProfile::Uniform(1.5)).unwrap().events)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_packetized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/packetized");
+    let inst = deep_instance(200, 4, 3);
+    let combo = PolicyCombo {
+        node: NodePolicyKind::Sjf,
+        assign: AssignKind::GreedyIdentical(0.5),
+    };
+    let speeds = SpeedProfile::Uniform(1.5);
+    let out = combo.run(&inst, &speeds).unwrap();
+    let assignments: Vec<_> = out.assignments.iter().map(|a| a.unwrap()).collect();
+    for ps in [4.0f64, 1.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(ps), &ps, |b, &ps| {
+            b.iter(|| black_box(run_packetized(&inst, &assignments, &speeds, ps).total_flow))
+        });
+    }
+    g.finish();
+}
+
+fn bench_broomstick_reduction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/broomstick-reduce");
+    for pods in [4usize, 16] {
+        let tree = topo::fat_tree(pods, 4, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(tree.len()), &tree, |b, tree| {
+            b.iter(|| black_box(Broomstick::reduce(black_box(tree)).tree().len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_lp_solver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/lp-lower-bound");
+    g.sample_size(10);
+    let tree = topo::star(2, 2);
+    let inst = WorkloadSpec {
+        n: 4,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        sizes: SizeDist::Uniform { lo: 1.0, hi: 3.0 },
+        unrelated: None,
+    }
+    .instance(&tree, 5)
+    .unwrap();
+    g.bench_function("star2-n4-24steps", |b| {
+        b.iter(|| {
+            black_box(
+                lp_lower_bound(&inst, &SpeedProfile::unit(), LpGrid::auto(&inst, 24)).unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_greedy_assignment,
+    bench_packetized,
+    bench_broomstick_reduction,
+    bench_lp_solver
+);
+criterion_main!(benches);

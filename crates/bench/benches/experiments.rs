@@ -1,0 +1,70 @@
+//! One bench target per experiment table (E1–E18).
+//!
+//! Each bench regenerates the corresponding `EXPERIMENTS.md` table at
+//! quick scale — `cargo bench -p bct-bench --bench experiments` is the
+//! "rebuild every table and figure" entry point the reproduction brief
+//! asks for (run `examples/run_experiments.rs --full` for the full-scale
+//! tables with output).
+
+use bct_analysis::experiments::{competitive, conversion, lemmas, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn scale() -> Scale {
+    // Even quicker than Scale::quick(): criterion runs each bench many
+    // times.
+    Scale {
+        seeds: 1,
+        n_jobs: 40,
+        n_jobs_lp: 3,
+        lp_steps: 18,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(5));
+    let s = scale();
+    g.bench_function("e1_identical_competitive", |b| {
+        b.iter(|| black_box(competitive::e1_identical_competitive(s).rows.len()))
+    });
+    g.bench_function("e2_unrelated_speed_sweep", |b| {
+        b.iter(|| black_box(competitive::e2_unrelated_speed_sweep(s).rows.len()))
+    });
+    g.bench_function("e3_lemma1_interior_wait", |b| {
+        b.iter(|| black_box(lemmas::e3_lemma1_interior_wait(s).rows.len()))
+    });
+    g.bench_function("e4_lemma2_available_volume", |b| {
+        b.iter(|| black_box(lemmas::e4_lemma2_available_volume(s).rows.len()))
+    });
+    g.bench_function("e5_lemma3_potential", |b| {
+        b.iter(|| black_box(lemmas::e5_lemma3_potential(s).rows.len()))
+    });
+    g.bench_function("e6_broomstick_opt_gap", |b| {
+        b.iter(|| black_box(competitive::e6_broomstick_opt_gap(s).rows.len()))
+    });
+    g.bench_function("e7_lemma8_mirroring", |b| {
+        b.iter(|| black_box(lemmas::e7_lemma8_mirroring(s).rows.len()))
+    });
+    g.bench_function("e8_dual_fitting", |b| {
+        b.iter(|| black_box(lemmas::e8_dual_fitting(s).rows.len()))
+    });
+    g.bench_function("e9_fractional_vs_integral", |b| {
+        b.iter(|| black_box(conversion::e9_fractional_vs_integral(s).rows.len()))
+    });
+    g.bench_function("e10_policy_sweep", |b| {
+        b.iter(|| black_box(competitive::e10_policy_sweep(s).rows.len()))
+    });
+    g.bench_function("e11_engine_scaling", |b| {
+        b.iter(|| black_box(conversion::e11_engine_scaling(s).rows.len()))
+    });
+    g.bench_function("e12_packetized", |b| {
+        b.iter(|| black_box(conversion::e12_packetized(s).rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

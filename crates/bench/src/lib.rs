@@ -1,0 +1,45 @@
+//! # bct-bench
+//!
+//! Criterion benchmark harness. Three suites:
+//!
+//! * `benches/engine.rs` — engine microbenchmarks: event throughput,
+//!   the packetized engine, the broomstick reduction, the LP solver.
+//! * `benches/experiments.rs` — one group per experiment table
+//!   (E1–E18): regenerates each `EXPERIMENTS.md` table at quick scale
+//!   and times it, so every reported table has a runnable bench target.
+//! * `benches/policies.rs` — per-policy end-to-end run times on a fixed
+//!   workload (the cost of the assignment rules themselves).
+//!
+//! Shared fixtures live here in the library so benches stay terse.
+
+use bct_core::Instance;
+use bct_workloads::jobs::{SizeDist, WorkloadSpec};
+use bct_workloads::topo;
+
+/// The standard benchmark instance: fat-tree, Poisson load 0.8,
+/// power-of-two sizes, `n` jobs.
+pub fn standard_instance(n: usize, seed: u64) -> Instance {
+    let tree = topo::fat_tree(3, 2, 2);
+    WorkloadSpec::poisson_identical(n, 0.8, SizeDist::PowerOfBase { base: 2.0, max_k: 4 }, &tree)
+        .instance(&tree, seed)
+        .expect("valid instance")
+}
+
+/// A deep star instance for pipelining-sensitive benches.
+pub fn deep_instance(n: usize, depth: usize, seed: u64) -> Instance {
+    let tree = topo::star(4, depth);
+    WorkloadSpec::poisson_identical(n, 0.7, SizeDist::PowerOfBase { base: 2.0, max_k: 3 }, &tree)
+        .instance(&tree, seed)
+        .expect("valid instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert_eq!(standard_instance(50, 1).n(), 50);
+        assert_eq!(deep_instance(50, 5, 1).tree().max_leaf_depth(), 6);
+    }
+}

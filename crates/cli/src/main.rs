@@ -1,0 +1,400 @@
+//! `bct` — the bandwidth-constrained tree scheduling command line.
+//!
+//! ```text
+//! bct render      --topo fat-tree:4,2,3 [--dot]
+//! bct reduce      --topo random:6,6 [--seed 1]
+//! bct run         --topo star:3,3 --jobs 200 --load 0.8 [--sizes pow:2,4]
+//!                 [--policy sjf+greedy:0.5] [--speeds uniform:1.5] [--seed 1]
+//!                 [--unrelated uniform-factor:0.5,2]
+//! bct sweep       --topo fat-tree:3,2,2 --speeds-list 1,1.5,2
+//!                 [--policies sjf+greedy:0.5,sjf+closest,fifo+greedy:0.5]
+//! bct bound       --topo star:2,2 --jobs 4 [--lp-steps 24]
+//! bct verify-dual --eps 0.25 [--jobs 40] [--unrelated] [--seed 1]
+//! bct experiments [--full] [--write PATH]
+//! ```
+
+mod opts;
+mod spec;
+
+use bct_analysis::experiments::{run_all, Scale};
+use bct_analysis::metrics::{FlowStats, LayerBreakdown};
+use bct_analysis::table::{num, Table};
+use bct_core::{render, Instance, SpeedProfile};
+use bct_lp::bounds::{bound_report, combined_bound};
+use bct_lp::model::{lp_lower_bound, LpGrid};
+use bct_workloads::jobs::{SizeDist, UnrelatedModel, WorkloadSpec};
+use opts::Opts;
+
+fn main() {
+    let opts = match Opts::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    let result = match opts.command.as_str() {
+        "render" => cmd_render(&opts),
+        "reduce" => cmd_reduce(&opts),
+        "run" => cmd_run(&opts),
+        "sweep" => cmd_sweep(&opts),
+        "bound" => cmd_bound(&opts),
+        "verify-dual" => cmd_verify_dual(&opts),
+        "experiments" => cmd_experiments(&opts),
+        "lemmas" => cmd_lemmas(&opts),
+        "packetize" => cmd_packetize(&opts),
+        "gen" => cmd_gen(&opts),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `bct help`)")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    println!(
+        "bct — scheduling in bandwidth-constrained tree networks (Im & Moseley, SPAA'15)\n\n\
+         commands:\n  \
+         render       print a topology (ASCII, or DOT with --dot)\n  \
+         reduce       apply the §3.3 broomstick reduction and show the mapping\n  \
+         run          simulate one policy on one workload; print flow statistics\n  \
+         sweep        policies × speeds table on a common workload\n  \
+         bound        OPT lower bounds (LP-certified + combinatorial)\n  \
+         verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
+         gen          generate an instance file (bct run --instance FILE replays it)\n  \
+         lemmas       check Lemmas 1-2 live on a chosen workload\n  \
+         packetize    store-and-forward vs packetized routing (§2 extension)\n  \
+         experiments  regenerate the E1-E18 tables (EXPERIMENTS.md)\n\n\
+         run `bct <command>` with no flags to see its defaults in action; see the\n\
+         crate docs for the full spec grammar (topologies, sizes, speeds, policies)."
+    );
+}
+
+fn build_instance(opts: &Opts) -> Result<Instance, String> {
+    // A saved instance file takes precedence over generator flags.
+    match opts.get("instance", "").as_str() {
+        "" => {}
+        path => {
+            return bct_workloads::trace_io::load(std::path::Path::new(path))
+                .map_err(|e| format!("loading {path}: {e}"));
+        }
+    }
+    let seed = opts.get_usize("seed", 1)? as u64;
+    let tree = spec::parse_topology(&opts.get("topo", "fat-tree:2,2,2"), seed)?;
+    let n = opts.get_usize("jobs", 100)?;
+    let sizes = spec::parse_sizes(&opts.get("sizes", "pow:2,4"))?;
+    let load = opts.get_f64("load", 0.8)?;
+    let unrelated = match opts.get("unrelated", "").as_str() {
+        "" => None,
+        s => Some(parse_unrelated(s)?),
+    };
+    let mut w = WorkloadSpec::poisson_identical(n, load, sizes, &tree);
+    w.unrelated = unrelated;
+    let inst = w.instance(&tree, seed).map_err(|e| e.to_string())?;
+    // The §4 future-work extension: a fraction of jobs originates at
+    // random leaves instead of the root.
+    let origins = opts.get_f64("origins", 0.0)?;
+    if origins > 0.0 {
+        Ok(bct_workloads::jobs::with_random_leaf_origins(
+            &inst, origins, seed,
+        ))
+    } else {
+        Ok(inst)
+    }
+}
+
+fn parse_unrelated(s: &str) -> Result<UnrelatedModel, String> {
+    let (name, rest) = s.split_once(':').unwrap_or((s, ""));
+    let nums: Vec<f64> = rest
+        .split(',')
+        .filter(|x| !x.is_empty())
+        .map(|x| x.parse().unwrap_or(f64::NAN))
+        .collect();
+    let g = |i: usize| -> Result<f64, String> {
+        nums.get(i)
+            .copied()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| format!("missing argument {i} for --unrelated {name}"))
+    };
+    match name {
+        "uniform-factor" => Ok(UnrelatedModel::UniformFactor { lo: g(0)?, hi: g(1)? }),
+        "related" => Ok(UnrelatedModel::RelatedSpeeds { lo: g(0)?, hi: g(1)? }),
+        "affinity" => Ok(UnrelatedModel::Affinity {
+            p_fast: g(0)?,
+            slow_factor: g(1)?,
+        }),
+        other => Err(format!("unknown unrelated model '{other}'")),
+    }
+}
+
+fn cmd_render(opts: &Opts) -> Result<(), String> {
+    let seed = opts.get_usize("seed", 1)? as u64;
+    let tree = spec::parse_topology(&opts.get("topo", "fat-tree:2,2,2"), seed)?;
+    if opts.get_bool("dot") {
+        print!("{}", render::dot(&tree, "tree"));
+    } else {
+        print!("{}", render::ascii(&tree));
+        println!(
+            "\n{} nodes, {} routers, {} machines, max depth {}",
+            tree.len(),
+            tree.len() - 1 - tree.num_leaves(),
+            tree.num_leaves(),
+            tree.max_leaf_depth()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_reduce(opts: &Opts) -> Result<(), String> {
+    let seed = opts.get_usize("seed", 1)? as u64;
+    let tree = spec::parse_topology(&opts.get("topo", "random:6,6"), seed)?;
+    let bs = bct_core::Broomstick::reduce(&tree);
+    println!("== T ==\n{}", render::ascii(&tree));
+    println!("== T' (broomstick) ==\n{}", render::ascii(bs.tree()));
+    println!("leaf correspondence (T -> T', depth -> depth):");
+    for &leaf in tree.leaves() {
+        let p = bs.prime_leaf_of(&tree, leaf);
+        println!(
+            "  {leaf} -> {p}   ({} -> {})",
+            tree.depth(leaf),
+            bs.tree().depth(p)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    let combo = spec::parse_policy(&opts.get("policy", "sjf+greedy:0.5"))?;
+    let speeds = spec::parse_speeds(&opts.get("speeds", "uniform:1.5"))?;
+    let out = combo.run(&inst, &speeds).map_err(|e| e.to_string())?;
+    if out.unfinished > 0 {
+        return Err(format!("{} jobs unfinished", out.unfinished));
+    }
+    let stats = FlowStats::from_outcome(&inst, &out);
+    let layers = LayerBreakdown::from_outcome(&inst, &out);
+    println!("policy          : {}", combo.label());
+    println!("jobs            : {}", stats.n);
+    println!("events          : {}", out.events);
+    println!("total flow      : {:.2}", stats.total_flow);
+    println!("mean flow       : {:.3}", stats.mean_flow);
+    println!("max flow        : {:.3}", stats.max_flow);
+    println!("l2 flow         : {:.3}", stats.l2_flow);
+    println!("fractional flow : {:.2}", stats.fractional_flow);
+    println!("mean stretch    : {:.3}", stats.mean_stretch);
+    println!("makespan        : {:.2}", stats.makespan);
+    println!(
+        "layers (mean)   : entry {:.3} | interior {:.3} | leaf {:.3}",
+        layers.entry, layers.interior, layers.leaf
+    );
+    let util = bct_analysis::metrics::Utilization::from_outcome(&inst, &out);
+    println!(
+        "utilization     : entry {:.1}% | interior {:.1}% | leaf {:.1}%",
+        100.0 * util.entry_layer,
+        100.0 * util.interior_layer,
+        100.0 * util.leaf_layer
+    );
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    let speeds: Vec<f64> = opts
+        .get_list("speeds-list", "1,1.25,1.5,2")
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("bad speed '{s}'")))
+        .collect::<Result<_, _>>()?;
+    let policies = opts.get_list(
+        "policies",
+        "sjf+greedy:0.5,sjf+closest,sjf+least-volume,fifo+greedy:0.5",
+    );
+    let mut headers = vec!["policy".to_string()];
+    headers.extend(speeds.iter().map(|s| format!("s={s}")));
+    let hrefs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new("mean flow time", &hrefs);
+    for pspec in &policies {
+        let combo = spec::parse_policy(pspec)?;
+        let mut row = vec![combo.label()];
+        for &s in &speeds {
+            let flow = combo.total_flow(&inst, &SpeedProfile::Uniform(s));
+            row.push(num(flow / inst.n() as f64));
+        }
+        table.push_row(row);
+    }
+    println!("{table}");
+    Ok(())
+}
+
+fn cmd_bound(opts: &Opts) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    let (eta, pooled, best) = bound_report(&inst, 1.0);
+    println!("jobs                  : {}", inst.n());
+    println!("η path-work bound     : {eta:.3}");
+    println!("pooled-SRPT bound     : {pooled:.3}");
+    println!("combined bound        : {best:.3}");
+    if inst.n() <= 8 {
+        let steps = opts.get_usize("lp-steps", 24)?;
+        match lp_lower_bound(&inst, &SpeedProfile::unit(), LpGrid::auto(&inst, steps)) {
+            Some(lp) => println!("LP-certified bound    : {lp:.3}  ({steps} steps)"),
+            None => println!("LP-certified bound    : infeasible grid (raise --lp-steps)"),
+        }
+    } else {
+        println!("LP-certified bound    : skipped (needs --jobs ≤ 8; simplex is dense)");
+    }
+    println!(
+        "any schedule's total flow is ≥ the combined bound; e.g. greedy at s=1: {:.3}",
+        spec::parse_policy("sjf+greedy:0.5")?.total_flow(&inst, &SpeedProfile::unit())
+    );
+    let _ = combined_bound(&inst, 1.0);
+    Ok(())
+}
+
+fn cmd_verify_dual(opts: &Opts) -> Result<(), String> {
+    let eps = opts.get_f64("eps", 0.25)?;
+    let seed = opts.get_usize("seed", 1)? as u64;
+    let n = opts.get_usize("jobs", 40)?;
+    let tree = spec::parse_topology(&opts.get("topo", "broomstick:2,3,1"), seed)?;
+    if !tree.is_broomstick() {
+        return Err("dual fitting needs a broomstick topology".into());
+    }
+    let unrelated = opts.get_bool("unrelated");
+    let mut w = WorkloadSpec {
+        n,
+        arrivals: bct_workloads::jobs::ArrivalProcess::Poisson { rate: 0.8 },
+        sizes: SizeDist::PowerOfBase { base: 2.0, max_k: 2 },
+        unrelated: None,
+    };
+    if unrelated {
+        w.unrelated = Some(UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 });
+    }
+    let inst = w.instance(&tree, seed).map_err(|e| e.to_string())?;
+    let rep = bct_lp::dualfit::verify(&inst, eps).map_err(|e| e.to_string())?;
+    println!("setting          : {:?}", rep.setting);
+    println!("constraint checks: {}", rep.samples);
+    println!("violations       : {}", rep.violations.len());
+    for v in rep.violations.iter().take(10) {
+        println!("  {v}");
+    }
+    println!("ALG fractional   : {:.3}", rep.alg_fractional_cost);
+    println!("Σβ               : {:.3}", rep.beta_sum);
+    println!("∫Σα              : {:.3}", rep.alpha_integral);
+    println!("dual objective   : {:.4}", rep.dual_objective);
+    println!("dual / ALG       : {:.4}", rep.ratio);
+    if rep.feasible() {
+        println!("Lemmas 5-7 hold on this run ✓");
+        Ok(())
+    } else {
+        Err("dual constraints violated".into())
+    }
+}
+
+/// Generate an instance and write it to a JSON file, for exactly
+/// reproducible runs across machines (`bct run --instance FILE`).
+fn cmd_gen(opts: &Opts) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    let path = opts.get("out", "instance.json");
+    bct_workloads::trace_io::save(&inst, std::path::Path::new(&path))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {path}: {} jobs on {} nodes ({:?} endpoints{})",
+        inst.n(),
+        inst.tree().len(),
+        inst.setting(),
+        if inst.has_origins() { ", with origins" } else { "" }
+    );
+    Ok(())
+}
+
+/// Check Lemmas 1 and 2 live on a user-specified workload.
+fn cmd_lemmas(opts: &Opts) -> Result<(), String> {
+    let eps = opts.get_f64("eps", 0.5)?;
+    let inst = build_instance(opts)?;
+    if inst.has_origins() {
+        return Err("lemma checks assume root-origin jobs".into());
+    }
+    let speeds = SpeedProfile::Layered {
+        root_adjacent: 1.0,
+        deeper: 1.0 + eps,
+    };
+    let combo = spec::parse_policy(&opts.get("policy", &format!("sjf+greedy:{eps}")))?;
+    let out = combo.run(&inst, &speeds).map_err(|e| e.to_string())?;
+    let pairs = bct_sched::bounds::lemma1_pairs(&inst, eps, &out.assignments, &out.hop_finishes);
+    let (mut worst, mut sum) = (0.0f64, 0.0f64);
+    for &(m, b) in &pairs {
+        worst = worst.max(m / b);
+        sum += m / b;
+    }
+    println!("Lemma 1 (interior wait ≤ 6/ε²·d_v·p_j) at ε = {eps}:");
+    println!("  jobs with interior stretch : {}", pairs.len());
+    println!("  mean measured/bound        : {:.4}", sum / pairs.len().max(1) as f64);
+    println!("  max measured/bound         : {worst:.4}");
+    if worst <= 1.0 + 1e-6 {
+        println!("  bound holds on every job ✓");
+        Ok(())
+    } else {
+        Err("Lemma 1 bound exceeded — this should be impossible".into())
+    }
+}
+
+/// Compare store-and-forward vs packetized routing on one workload.
+fn cmd_packetize(opts: &Opts) -> Result<(), String> {
+    let inst = build_instance(opts)?;
+    let speeds = spec::parse_speeds(&opts.get("speeds", "uniform:1.5"))?;
+    let combo = spec::parse_policy(&opts.get("policy", "sjf+greedy:0.5"))?;
+    let out = combo.run(&inst, &speeds).map_err(|e| e.to_string())?;
+    let releases: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+    let saf = out.total_flow(&releases);
+    let assignments: Vec<_> = out.assignments.iter().map(|a| a.unwrap()).collect();
+    println!("store-and-forward total flow: {saf:.2}");
+    for ps_str in opts.get_list("packet-sizes", "4,1,0.25") {
+        let ps: f64 = ps_str.parse().map_err(|_| format!("bad packet size '{ps_str}'"))?;
+        let pkt =
+            bct_sim::packet::run_packetized(&inst, &assignments, &speeds, ps);
+        println!(
+            "packet size {ps:>7}: total flow {:>10.2}  (ratio {:.3})",
+            pkt.total_flow,
+            pkt.total_flow / saf
+        );
+    }
+    Ok(())
+}
+
+fn cmd_experiments(opts: &Opts) -> Result<(), String> {
+    let scale = if opts.get_bool("full") {
+        Scale::full()
+    } else {
+        Scale::quick()
+    };
+    let tables = run_all(scale);
+    let json = opts.get_bool("json");
+    let mut out = String::new();
+    if json {
+        out.push('[');
+        for (i, t) in tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push_str("]\n");
+    } else {
+        for t in &tables {
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+    }
+    match opts.get("write", "").as_str() {
+        "" => println!("{out}"),
+        path => {
+            std::fs::write(path, &out).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: one subcommand plus `--key value` flags.
+#[derive(Clone, Debug, Default)]
+pub struct Opts {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parse from an iterator of arguments (excluding argv\[0\]).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().unwrap_or_else(|| "help".to_string());
+        let mut flags = HashMap::new();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => "true".to_string(), // bare boolean flag
+            };
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("flag --{key} given twice"));
+            }
+        }
+        Ok(Opts { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Numeric flag with a default.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+
+    /// Integer flag with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        }
+    }
+
+    /// Boolean flag (present = true).
+    pub fn get_bool(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// Comma-separated list flag.
+    pub fn get_list(&self, key: &str, default: &str) -> Vec<String> {
+        self.get(key, default)
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Opts, String> {
+        Opts::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let o = parse("run --topo star:2,2 --jobs 50 --full").unwrap();
+        assert_eq!(o.command, "run");
+        assert_eq!(o.get("topo", ""), "star:2,2");
+        assert_eq!(o.get_usize("jobs", 0).unwrap(), 50);
+        assert!(o.get_bool("full"));
+        assert!(!o.get_bool("absent"));
+        assert_eq!(o.get("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse("run stray").is_err());
+        assert!(parse("run --x 1 --x 2").is_err());
+        let o = parse("run --jobs abc").unwrap();
+        assert!(o.get_usize("jobs", 0).is_err());
+    }
+
+    #[test]
+    fn lists_split_on_commas() {
+        let o = parse("sweep --speeds 1,1.5,2").unwrap();
+        assert_eq!(o.get_list("speeds", ""), vec!["1", "1.5", "2"]);
+        assert!(o.get_list("absent", "").is_empty());
+    }
+
+    #[test]
+    fn empty_defaults_to_help() {
+        let o = Opts::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(o.command, "help");
+    }
+}

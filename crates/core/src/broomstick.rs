@@ -1,0 +1,307 @@
+//! The §3.3 tree → broomstick reduction.
+//!
+//! A **broomstick** has, below each root-adjacent node, a single path of
+//! routers (the *handle*) with leaves hanging directly off handle
+//! nodes. The reduction turns an arbitrary tree `T` into a broomstick
+//! `T'`:
+//!
+//! * every root-adjacent node `v₀` of `T` gets a counterpart in `T'`;
+//! * below it a handle `v₀ = h₀, h₁, …, h_{ℓ+1}` is created, where `ℓ`
+//!   is the length of the longest `v₀`→leaf path in `T`;
+//! * a leaf of `T` at distance `ℓ'` from `v₀` becomes a leaf of `T'`
+//!   attached to `h_{ℓ'+1}` — its distance to `v₀` grows by exactly 2.
+//!
+//! In the identical setting new leaves are identical nodes; in the
+//! unrelated setting each new leaf inherits the per-job processing time
+//! of the original leaf it mirrors. Theorem 4 shows `OPT_{T'} ≤
+//! O(1/ε³)·OPT_T` under per-layer augmentation, and Lemma 8 shows a
+//! schedule mirrored back from `T'` to `T` only improves — together the
+//! license for analyzing (and here: running) the algorithm on `T'`.
+
+use crate::error::CoreError;
+use crate::ids::NodeId;
+use crate::instance::Instance;
+use crate::job::{Job, LeafSizes};
+use crate::tree::{Tree, TreeBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The broomstick `T'` of a tree `T`, with the leaf correspondence
+/// needed to mirror assignments back (§3.7).
+///
+/// ```
+/// use bct_core::tree::TreeBuilder;
+/// use bct_core::{Broomstick, NodeId};
+///
+/// let mut b = TreeBuilder::new();
+/// let r = b.add_child(NodeId::ROOT);
+/// let a = b.add_child(r);
+/// let leaf = b.add_child(a);
+/// b.add_child(r); // a second, shallower machine
+/// let t = b.build().unwrap();
+///
+/// let bs = Broomstick::reduce(&t);
+/// assert!(bs.tree().is_broomstick());
+/// // Every leaf's depth grows by exactly 2 (§3.3).
+/// let prime = bs.prime_leaf_of(&t, leaf);
+/// assert_eq!(bs.tree().depth(prime), t.depth(leaf) + 2);
+/// assert_eq!(bs.orig_leaf_of(prime), leaf);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Broomstick {
+    tree: Tree,
+    /// `to_prime[i]` = the `T'` leaf mirroring the `T` leaf with dense
+    /// index `i`.
+    to_prime: Vec<NodeId>,
+    /// `to_orig[i]` = the `T` leaf mirrored by the `T'` leaf with dense
+    /// index `i`.
+    to_orig: Vec<NodeId>,
+    /// Handle nodes (including the root-adjacent node) per root-adjacent
+    /// subtree, in top-down order.
+    handles: Vec<Vec<NodeId>>,
+}
+
+impl Broomstick {
+    /// Apply the §3.3 reduction to `t`.
+    pub fn reduce(t: &Tree) -> Broomstick {
+        let mut b = TreeBuilder::new();
+        // (T leaf dense idx) -> T' leaf id, filled as we go.
+        let mut to_prime: Vec<Option<NodeId>> = vec![None; t.num_leaves()];
+        // T' leaf id -> T leaf id, in creation order (creation order is
+        // id order, which is dense-index order in the built tree).
+        let mut created_leaves: Vec<(NodeId, NodeId)> = Vec::new();
+        let mut handles = Vec::new();
+
+        for &v0 in t.root_adjacent() {
+            let ell = t.height_below(v0);
+            let h0 = b.add_child(NodeId::ROOT);
+            let mut handle = vec![h0];
+            handle.extend(b.add_chain(h0, ell as usize + 1));
+            // Attach each leaf of v0's subtree at h_{ℓ'+1}.
+            let mut subtree_leaves = t.leaves_under(v0);
+            subtree_leaves.sort_unstable();
+            for leaf in subtree_leaves {
+                let dist = t.depth(leaf) - t.depth(v0);
+                let attach = handle[dist as usize + 1];
+                let new_leaf = b.add_child(attach);
+                created_leaves.push((new_leaf, leaf));
+                to_prime[t.leaf_index(leaf).expect("leaf")] = Some(new_leaf);
+            }
+            handles.push(handle);
+        }
+
+        let tree = b.build().expect("reduction of a valid tree is valid");
+        // Dense T'-leaf-index -> original T leaf.
+        let mut to_orig = vec![NodeId::ROOT; tree.num_leaves()];
+        for (prime_leaf, orig_leaf) in &created_leaves {
+            to_orig[tree.leaf_index(*prime_leaf).expect("leaf")] = *orig_leaf;
+        }
+        Broomstick {
+            tree,
+            to_prime: to_prime.into_iter().map(|o| o.expect("every leaf mapped")).collect(),
+            to_orig,
+            handles,
+        }
+    }
+
+    /// The broomstick tree `T'`.
+    #[inline]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// The `T'` leaf mirroring a given `T` leaf.
+    pub fn prime_leaf_of(&self, t: &Tree, orig_leaf: NodeId) -> NodeId {
+        self.to_prime[t.leaf_index(orig_leaf).expect("orig leaf")]
+    }
+
+    /// The `T` leaf mirrored by a given `T'` leaf.
+    pub fn orig_leaf_of(&self, prime_leaf: NodeId) -> NodeId {
+        self.to_orig[self.tree.leaf_index(prime_leaf).expect("prime leaf")]
+    }
+
+    /// Handle node lists (top-down, starting at the root-adjacent node)
+    /// per root-adjacent subtree.
+    pub fn handles(&self) -> &[Vec<NodeId>] {
+        &self.handles
+    }
+
+    /// Translate an instance on `T` to the corresponding instance on
+    /// `T'` (identical jobs unchanged; unrelated leaf-size tables
+    /// permuted through the leaf correspondence).
+    ///
+    /// # Panics
+    /// Panics if any job uses the arbitrary-origin extension: the §3.3
+    /// reduction is defined for root-origin jobs only.
+    pub fn map_instance(&self, inst: &Instance) -> Result<Instance, CoreError> {
+        assert!(
+            !inst.has_origins(),
+            "the broomstick reduction requires root-origin jobs"
+        );
+        let t = inst.tree();
+        let jobs = inst
+            .jobs()
+            .iter()
+            .map(|j| {
+                let leaf_sizes = match &j.leaf_sizes {
+                    LeafSizes::Identical => LeafSizes::Identical,
+                    LeafSizes::Unrelated(sizes) => {
+                        let mapped: Vec<f64> = (0..self.tree.num_leaves())
+                            .map(|prime_idx| {
+                                let orig_leaf = self.to_orig[prime_idx];
+                                sizes[t.leaf_index(orig_leaf).expect("orig leaf")]
+                            })
+                            .collect();
+                        LeafSizes::Unrelated(mapped)
+                    }
+                };
+                Job {
+                    id: j.id,
+                    release: j.release,
+                    size: j.size,
+                    leaf_sizes,
+                    origin: None,
+                    weight: j.weight,
+                }
+            })
+            .collect();
+        Instance::new(self.tree.clone(), jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::JobId;
+
+    /// Figure-2-style input:
+    /// root -> r1 -> {a -> {L6, L7}, b -> L8}, root -> r2 -> c -> L9.
+    fn figure_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_child(NodeId::ROOT);
+        let r2 = b.add_child(NodeId::ROOT);
+        let a = b.add_child(r1);
+        let bb = b.add_child(r1);
+        let c = b.add_child(r2);
+        b.add_child(a);
+        b.add_child(a);
+        b.add_child(bb);
+        b.add_child(c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reduction_is_a_broomstick() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        assert!(bs.tree().is_broomstick());
+    }
+
+    #[test]
+    fn leaf_count_is_preserved() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        assert_eq!(bs.tree().num_leaves(), t.num_leaves());
+    }
+
+    #[test]
+    fn handle_lengths_match_subtree_heights() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        // Both r1 and r2 have height 2 below them -> handle of 2+2 = ℓ+2 nodes.
+        assert_eq!(bs.handles().len(), 2);
+        assert_eq!(bs.handles()[0].len(), 4);
+        assert_eq!(bs.handles()[1].len(), 4);
+    }
+
+    #[test]
+    fn leaf_depth_grows_by_exactly_two() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        for &leaf in t.leaves() {
+            let prime = bs.prime_leaf_of(&t, leaf);
+            assert_eq!(
+                bs.tree().depth(prime),
+                t.depth(leaf) + 2,
+                "leaf {leaf} depth must increase by 2"
+            );
+            assert_eq!(bs.orig_leaf_of(prime), leaf, "round trip");
+        }
+    }
+
+    #[test]
+    fn r_subtree_membership_is_preserved() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        // Leaves of r1's subtree must map under the first T' handle, etc.
+        let r_of_prime = |prime: NodeId| bs.tree().r_node(prime);
+        let first_handle_root = bs.handles()[0][0];
+        let second_handle_root = bs.handles()[1][0];
+        for &leaf in &t.leaves_under(NodeId(1)) {
+            assert_eq!(r_of_prime(bs.prime_leaf_of(&t, leaf)), first_handle_root);
+        }
+        for &leaf in &t.leaves_under(NodeId(2)) {
+            assert_eq!(r_of_prime(bs.prime_leaf_of(&t, leaf)), second_handle_root);
+        }
+    }
+
+    #[test]
+    fn broomstick_of_broomstick_keeps_structure() {
+        let t = figure_tree();
+        let bs = Broomstick::reduce(&t);
+        let bs2 = Broomstick::reduce(bs.tree());
+        assert!(bs2.tree().is_broomstick());
+        assert_eq!(bs2.tree().num_leaves(), t.num_leaves());
+    }
+
+    #[test]
+    fn map_instance_identical_passthrough() {
+        let t = figure_tree();
+        let inst = Instance::new(
+            t.clone(),
+            vec![Job::identical(0u32, 0.0, 2.0)],
+        )
+        .unwrap();
+        let bs = Broomstick::reduce(&t);
+        let mapped = bs.map_instance(&inst).unwrap();
+        assert_eq!(mapped.n(), 1);
+        assert_eq!(mapped.job(JobId(0)).size, 2.0);
+        assert_eq!(mapped.setting(), crate::instance::Setting::Identical);
+    }
+
+    #[test]
+    fn map_instance_permutes_unrelated_tables() {
+        let t = figure_tree();
+        // Leaves of T in dense order: v6, v7, v8, v9 with sizes 1,2,3,4.
+        let inst = Instance::new(
+            t.clone(),
+            vec![Job::unrelated(0u32, 0.0, 1.0, vec![1.0, 2.0, 3.0, 4.0])],
+        )
+        .unwrap();
+        let bs = Broomstick::reduce(&t);
+        let mapped = bs.map_instance(&inst).unwrap();
+        // The size at each T' leaf must equal the size at its original T leaf.
+        for &orig in t.leaves() {
+            let prime = bs.prime_leaf_of(&t, orig);
+            assert_eq!(
+                mapped.p(JobId(0), prime),
+                inst.p(JobId(0), orig),
+                "leaf {orig} -> {prime}"
+            );
+        }
+    }
+
+    #[test]
+    fn eta_on_prime_exceeds_eta_on_orig_by_two_hops() {
+        // Identical setting: η grows by exactly 2·p_j per job per leaf.
+        let t = figure_tree();
+        let inst = Instance::new(t.clone(), vec![Job::identical(0u32, 0.0, 3.0)]).unwrap();
+        let bs = Broomstick::reduce(&t);
+        let mapped = bs.map_instance(&inst).unwrap();
+        for &orig in t.leaves() {
+            let prime = bs.prime_leaf_of(&t, orig);
+            assert!(
+                (mapped.eta(JobId(0), prime) - inst.eta(JobId(0), orig) - 6.0).abs() < 1e-12
+            );
+        }
+    }
+}

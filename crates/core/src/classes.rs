@@ -1,0 +1,136 @@
+//! The `(1+ε)^k` size-class rounding of §2.
+//!
+//! The paper assumes every processing time is a power of `(1+ε)^k`,
+//! which costs only a `(1+ε)` factor of extra speed. SJF breaks ties
+//! within a class by age, so the class index is the primary sort key of
+//! the paper's node policy.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Rounds sizes to powers of `(1+ε)` and maps sizes to class indices.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClassRounding {
+    epsilon: f64,
+    ln_base: f64,
+}
+
+impl ClassRounding {
+    /// Create a rounding scheme for a given `ε > 0`.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` is not strictly positive and finite.
+    pub fn new(epsilon: f64) -> ClassRounding {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        ClassRounding {
+            epsilon,
+            ln_base: (1.0 + epsilon).ln(),
+        }
+    }
+
+    /// The `ε` this scheme was built with.
+    #[inline]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Class index `k` of a size: the smallest integer `k` with
+    /// `(1+ε)^k ≥ p` (so sizes already on the grid map to their exact
+    /// exponent, up to floating-point slack).
+    #[inline]
+    pub fn class_of(&self, p: Time) -> i32 {
+        assert!(p > 0.0, "size must be positive, got {p}");
+        // ceil with a tolerance so exact powers don't round up a class.
+        let k = p.ln() / self.ln_base;
+        let rounded = k.round();
+        if (k - rounded).abs() < 1e-9 {
+            rounded as i32
+        } else {
+            k.ceil() as i32
+        }
+    }
+
+    /// The representative size `(1+ε)^k` of class `k`.
+    #[inline]
+    pub fn class_size(&self, k: i32) -> Time {
+        (1.0 + self.epsilon).powi(k)
+    }
+
+    /// Round a size up to the grid: `(1+ε)^{class_of(p)}`.
+    #[inline]
+    pub fn round_up(&self, p: Time) -> Time {
+        self.class_size(self.class_of(p))
+    }
+
+    /// True if `p` lies on the `(1+ε)^k` grid (up to fp slack).
+    pub fn on_grid(&self, p: Time) -> bool {
+        let k = p.ln() / self.ln_base;
+        (k - k.round()).abs() < 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_powers_map_to_their_exponent() {
+        let c = ClassRounding::new(0.5);
+        for k in -10..=20 {
+            let p = 1.5f64.powi(k);
+            assert_eq!(c.class_of(p), k, "power {k}");
+            assert!(c.on_grid(p));
+        }
+    }
+
+    #[test]
+    fn rounding_is_an_upper_bound_within_factor() {
+        let c = ClassRounding::new(0.25);
+        for &p in &[0.1, 0.37, 1.0, 2.0, 3.14159, 100.0, 12345.678] {
+            let r = c.round_up(p);
+            assert!(r >= p * (1.0 - 1e-9), "rounded below: {p} -> {r}");
+            assert!(r <= p * 1.25 * (1.0 + 1e-9), "rounded too far: {p} -> {r}");
+        }
+    }
+
+    #[test]
+    fn class_is_monotone_in_size() {
+        let c = ClassRounding::new(0.3);
+        let sizes = [0.01, 0.5, 0.9, 1.0, 1.5, 2.0, 7.0, 40.0];
+        let classes: Vec<i32> = sizes.iter().map(|&p| c.class_of(p)).collect();
+        let mut sorted = classes.clone();
+        sorted.sort_unstable();
+        assert_eq!(classes, sorted);
+    }
+
+    #[test]
+    fn off_grid_detection() {
+        let c = ClassRounding::new(0.5);
+        assert!(!c.on_grid(1.4));
+        assert!(c.on_grid(1.0));
+        assert!(c.on_grid(2.25));
+    }
+
+    #[test]
+    fn class_size_inverts_class_of() {
+        let c = ClassRounding::new(0.1);
+        for k in [-5, 0, 3, 17] {
+            assert_eq!(c.class_of(c.class_size(k)), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_epsilon() {
+        ClassRounding::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn rejects_nonpositive_size() {
+        ClassRounding::new(0.5).class_of(0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error types for instance construction and validation.
+
+use crate::ids::{JobId, NodeId};
+use std::fmt;
+
+/// Errors raised while building or validating trees and instances.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CoreError {
+    /// The tree has no nodes besides the root, or the root has no children.
+    EmptyTree,
+    /// A leaf is adjacent to the root, which the model forbids
+    /// ("no leaf is adjacent to the root", §2).
+    LeafAdjacentToRoot(NodeId),
+    /// A parent pointer references a node id that does not exist.
+    DanglingParent {
+        /// The node with the bad pointer.
+        node: NodeId,
+        /// The nonexistent parent id.
+        parent: NodeId,
+    },
+    /// The parent array contains a cycle or a forward reference.
+    NotTopologicallyOrdered(NodeId),
+    /// A job has a non-positive size.
+    NonPositiveSize(JobId),
+    /// A job has a negative release time.
+    NegativeRelease(JobId),
+    /// An unrelated-setting job's leaf-size table length does not match
+    /// the number of leaves in the tree.
+    LeafSizeArity {
+        /// The offending job.
+        job: JobId,
+        /// Entries provided.
+        got: usize,
+        /// Leaves in the tree.
+        want: usize,
+    },
+    /// A speed profile's explicit table length does not match the tree.
+    SpeedArity {
+        /// Entries provided.
+        got: usize,
+        /// Nodes in the tree.
+        want: usize,
+    },
+    /// A speed is not strictly positive.
+    NonPositiveSpeed(NodeId),
+    /// Job ids are not dense/ordered as required.
+    BadJobIds,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyTree => write!(f, "tree must have a root with at least one child"),
+            CoreError::LeafAdjacentToRoot(v) => {
+                write!(f, "leaf {v} is adjacent to the root, which the model forbids")
+            }
+            CoreError::DanglingParent { node, parent } => {
+                write!(f, "node {node} references nonexistent parent {parent}")
+            }
+            CoreError::NotTopologicallyOrdered(v) => {
+                write!(f, "node {v} appears before its parent (ids must be topological)")
+            }
+            CoreError::NonPositiveSize(j) => write!(f, "job {j} has non-positive size"),
+            CoreError::NegativeRelease(j) => write!(f, "job {j} has negative release time"),
+            CoreError::LeafSizeArity { job, got, want } => write!(
+                f,
+                "job {job} provides {got} leaf sizes but the tree has {want} leaves"
+            ),
+            CoreError::SpeedArity { got, want } => {
+                write!(f, "speed table has {got} entries for a tree of {want} nodes")
+            }
+            CoreError::NonPositiveSpeed(v) => write!(f, "node {v} has non-positive speed"),
+            CoreError::BadJobIds => write!(f, "job ids must be dense 0..n in vector order"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_ids() {
+        let e = CoreError::LeafAdjacentToRoot(NodeId(4));
+        assert!(e.to_string().contains("v4"));
+        let e = CoreError::NonPositiveSize(JobId(2));
+        assert!(e.to_string().contains("J2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CoreError::EmptyTree);
+    }
+}

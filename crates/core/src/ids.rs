@@ -1,0 +1,119 @@
+//! Strongly-typed identifiers for nodes and jobs.
+//!
+//! Both are thin `u32` newtypes so they can index `Vec`-backed tables
+//! without hashing (the performance guide's "use indices, not maps"
+//! idiom); `as_usize` is the only escape hatch and is used for exactly
+//! that.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node in a [`crate::Tree`].
+///
+/// Node `0` is always the root. Ids are dense: a tree on `m` nodes uses
+/// ids `0..m`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a job in an [`crate::Instance`].
+///
+/// Ids are dense: an instance with `n` jobs uses ids `0..n`, ordered by
+/// release time (ties broken arbitrarily but consistently).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl NodeId {
+    /// The root node of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Index into node-indexed tables.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl JobId {
+    /// Index into job-indexed tables.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<u32> for JobId {
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_root_is_zero() {
+        assert_eq!(NodeId::ROOT, NodeId(0));
+        assert_eq!(NodeId::ROOT.as_usize(), 0);
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(JobId(0) < JobId(7));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "v3");
+        assert_eq!(JobId(11).to_string(), "J11");
+        assert_eq!(format!("{:?}", NodeId(3)), "v3");
+        assert_eq!(format!("{:?}", JobId(11)), "J11");
+    }
+
+    #[test]
+    fn from_u32_roundtrip() {
+        let v: NodeId = 9u32.into();
+        assert_eq!(v.as_usize(), 9);
+        let j: JobId = 4u32.into();
+        assert_eq!(j.as_usize(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = NodeId(42);
+        let s = serde_json::to_string(&v).unwrap();
+        let back: NodeId = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

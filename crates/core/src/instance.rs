@@ -1,0 +1,384 @@
+//! A complete problem instance: tree + online job sequence.
+
+use crate::error::CoreError;
+use crate::ids::{JobId, NodeId};
+use crate::job::{Job, LeafSizes};
+use crate::time::Time;
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's two settings an instance belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Setting {
+    /// §2 "identical node" setting: `p_{j,v} = p_j` everywhere.
+    Identical,
+    /// §2 "unrelated endpoint" setting: routers identical, leaves
+    /// unrelated.
+    Unrelated,
+}
+
+/// A validated scheduling instance.
+///
+/// Jobs are stored in release order; `jobs[i].id == JobId(i)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    tree: Tree,
+    jobs: Vec<Job>,
+    setting: Setting,
+}
+
+impl Instance {
+    /// Validate and build an instance.
+    ///
+    /// Requirements: dense ids in vector order, non-decreasing release
+    /// times, positive sizes, and (in the unrelated setting) leaf-size
+    /// tables matching the tree's leaf count with positive entries.
+    /// Identical and unrelated jobs may not be mixed; the instance
+    /// setting is unrelated iff any job is.
+    pub fn new(tree: Tree, jobs: Vec<Job>) -> Result<Instance, CoreError> {
+        let num_leaves = tree.num_leaves();
+        let mut setting = Setting::Identical;
+        let mut last_release = f64::NEG_INFINITY;
+        for (i, j) in jobs.iter().enumerate() {
+            if j.id.as_usize() != i {
+                return Err(CoreError::BadJobIds);
+            }
+            if !(j.size > 0.0 && j.size.is_finite()) {
+                return Err(CoreError::NonPositiveSize(j.id));
+            }
+            if !(j.release >= 0.0 && j.release.is_finite()) {
+                return Err(CoreError::NegativeRelease(j.id));
+            }
+            if j.release < last_release {
+                return Err(CoreError::BadJobIds);
+            }
+            last_release = j.release;
+            if !(j.weight > 0.0 && j.weight.is_finite()) {
+                return Err(CoreError::NonPositiveSize(j.id));
+            }
+            if let Some(origin) = j.origin {
+                if origin.as_usize() >= tree.len() || origin == NodeId::ROOT {
+                    return Err(CoreError::BadJobIds);
+                }
+            }
+            match &j.leaf_sizes {
+                LeafSizes::Identical => {}
+                LeafSizes::Unrelated(sizes) => {
+                    if sizes.len() != num_leaves {
+                        return Err(CoreError::LeafSizeArity {
+                            job: j.id,
+                            got: sizes.len(),
+                            want: num_leaves,
+                        });
+                    }
+                    for &p in sizes {
+                        if !(p > 0.0 && p.is_finite()) {
+                            return Err(CoreError::NonPositiveSize(j.id));
+                        }
+                    }
+                    setting = Setting::Unrelated;
+                }
+            }
+        }
+        if setting == Setting::Unrelated && jobs.iter().any(|j| !j.is_unrelated()) {
+            return Err(CoreError::BadJobIds);
+        }
+        Ok(Instance { tree, jobs, setting })
+    }
+
+    /// The tree topology.
+    #[inline]
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// All jobs in release order.
+    #[inline]
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Look up a job by id.
+    #[inline]
+    pub fn job(&self, j: JobId) -> &Job {
+        &self.jobs[j.as_usize()]
+    }
+
+    /// The instance's setting (identical vs unrelated endpoints).
+    #[inline]
+    pub fn setting(&self) -> Setting {
+        self.setting
+    }
+
+    /// `p_{j,v}`: processing requirement of job `j` at node `v`.
+    ///
+    /// Routers always take the data size `p_j`; leaves take the
+    /// setting-dependent leaf size. The root processes nothing.
+    #[inline]
+    pub fn p(&self, j: JobId, v: NodeId) -> Time {
+        debug_assert!(v != NodeId::ROOT, "the root does not process jobs");
+        let job = &self.jobs[j.as_usize()];
+        match self.tree.leaf_index(v) {
+            Some(idx) => job.leaf_size(idx),
+            None => job.size,
+        }
+    }
+
+    /// `η_{j,v}` = `P_{v,j}`: total processing job `j` requires on all
+    /// nodes on the path **from the root** to `v` (inclusive). For a
+    /// leaf `v` this is a lower bound on `j`'s flow time if assigned
+    /// there (at unit speeds) in the paper's root-origin model; see
+    /// [`Instance::eta_via`] for the origin-aware generalization.
+    pub fn eta(&self, j: JobId, v: NodeId) -> Time {
+        let job = &self.jobs[j.as_usize()];
+        let d = self.tree.d_v(v) as Time;
+        match self.tree.leaf_index(v) {
+            Some(idx) => (d - 1.0) * job.size + job.leaf_size(idx),
+            None => d * job.size,
+        }
+    }
+
+    /// The processing path of job `j` if assigned to `leaf`: from its
+    /// origin (the root unless the job sets one) through the LCA down
+    /// to the leaf, excluding origin and root.
+    pub fn path_of(&self, j: JobId, leaf: NodeId) -> Vec<NodeId> {
+        let origin = self.jobs[j.as_usize()].origin.unwrap_or(NodeId::ROOT);
+        self.tree.path_between(origin, leaf)
+    }
+
+    /// First node job `j` would be processed on if assigned to `leaf`
+    /// (the root-adjacent node `R(leaf)` in the root-origin model).
+    pub fn entry_node(&self, j: JobId, leaf: NodeId) -> NodeId {
+        let origin = self.jobs[j.as_usize()].origin.unwrap_or(NodeId::ROOT);
+        if origin == NodeId::ROOT {
+            self.tree.r_node(leaf)
+        } else {
+            self.path_of(j, leaf)[0]
+        }
+    }
+
+    /// Origin-aware `η`: total processing along `j`'s actual path to
+    /// `leaf`. Equals [`Instance::eta`] for root-origin jobs.
+    pub fn eta_via(&self, j: JobId, leaf: NodeId) -> Time {
+        self.path_of(j, leaf)
+            .iter()
+            .map(|&v| self.p(j, v))
+            .sum()
+    }
+
+    /// True if any job uses the arbitrary-origin extension.
+    pub fn has_origins(&self) -> bool {
+        self.jobs.iter().any(|j| j.origin.is_some())
+    }
+
+    /// The smallest possible flow time of job `j` at unit speeds:
+    /// `min_{v ∈ L} η` along its actual path.
+    pub fn min_eta(&self, j: JobId) -> Time {
+        self.tree
+            .leaves()
+            .iter()
+            .map(|&v| self.eta_via(j, v))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Sum over jobs of [`Instance::min_eta`] — a crude but valid lower
+    /// bound on the optimal total flow time at unit speeds.
+    pub fn trivial_flow_lower_bound(&self) -> Time {
+        (0..self.n() as u32)
+            .map(|j| self.min_eta(JobId(j)))
+            .sum()
+    }
+
+    /// Total work volume released (router copies not counted): `Σ_j p_j`.
+    pub fn total_size(&self) -> Time {
+        self.jobs.iter().map(|j| j.size).sum()
+    }
+
+    /// Largest release time.
+    pub fn last_release(&self) -> Time {
+        self.jobs.last().map(|j| j.release).unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn tree() -> Tree {
+        // root -> r(1) -> {m(2) -> leaf(4), leaf(3)}  (leaf 3 at depth 2, leaf 4 at depth 3)
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let m = b.add_child(r);
+        b.add_child(r);
+        b.add_child(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_identical_instance() {
+        let inst = Instance::new(
+            tree(),
+            vec![Job::identical(0u32, 0.0, 1.0), Job::identical(1u32, 0.5, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.setting(), Setting::Identical);
+    }
+
+    #[test]
+    fn p_routers_vs_leaves() {
+        let inst = Instance::new(
+            tree(),
+            vec![Job::unrelated(0u32, 0.0, 2.0, vec![7.0, 3.0])],
+        )
+        .unwrap();
+        // leaves are v3 (index 0) and v4 (index 1)
+        assert_eq!(inst.p(JobId(0), NodeId(1)), 2.0); // router
+        assert_eq!(inst.p(JobId(0), NodeId(2)), 2.0); // router
+        assert_eq!(inst.p(JobId(0), NodeId(3)), 7.0); // leaf idx 0
+        assert_eq!(inst.p(JobId(0), NodeId(4)), 3.0); // leaf idx 1
+        assert_eq!(inst.setting(), Setting::Unrelated);
+    }
+
+    #[test]
+    fn eta_sums_the_path() {
+        let inst = Instance::new(
+            tree(),
+            vec![Job::unrelated(0u32, 0.0, 2.0, vec![7.0, 3.0])],
+        )
+        .unwrap();
+        // v3: path r(1), v3 -> 2 + 7 = 9
+        assert_eq!(inst.eta(JobId(0), NodeId(3)), 9.0);
+        // v4: path r(1), m(2), v4 -> 2 + 2 + 3 = 7
+        assert_eq!(inst.eta(JobId(0), NodeId(4)), 7.0);
+        assert_eq!(inst.min_eta(JobId(0)), 7.0);
+    }
+
+    #[test]
+    fn eta_identical_is_d_v_times_p() {
+        let inst = Instance::new(tree(), vec![Job::identical(0u32, 0.0, 3.0)]).unwrap();
+        assert_eq!(inst.eta(JobId(0), NodeId(3)), 6.0); // d=2
+        assert_eq!(inst.eta(JobId(0), NodeId(4)), 9.0); // d=3
+        assert_eq!(inst.eta(JobId(0), NodeId(2)), 6.0); // router at depth 2
+    }
+
+    #[test]
+    fn rejects_bad_ids_and_ordering() {
+        let r = Instance::new(tree(), vec![Job::identical(1u32, 0.0, 1.0)]);
+        assert_eq!(r.unwrap_err(), CoreError::BadJobIds);
+        let r = Instance::new(
+            tree(),
+            vec![Job::identical(0u32, 1.0, 1.0), Job::identical(1u32, 0.5, 1.0)],
+        );
+        assert_eq!(r.unwrap_err(), CoreError::BadJobIds);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        let r = Instance::new(tree(), vec![Job::identical(0u32, 0.0, 0.0)]);
+        assert_eq!(r.unwrap_err(), CoreError::NonPositiveSize(JobId(0)));
+        let r = Instance::new(tree(), vec![Job::identical(0u32, -1.0, 1.0)]);
+        assert_eq!(r.unwrap_err(), CoreError::NegativeRelease(JobId(0)));
+        let r = Instance::new(
+            tree(),
+            vec![Job::unrelated(0u32, 0.0, 1.0, vec![1.0, -2.0])],
+        );
+        assert_eq!(r.unwrap_err(), CoreError::NonPositiveSize(JobId(0)));
+    }
+
+    #[test]
+    fn rejects_wrong_leaf_arity() {
+        let r = Instance::new(tree(), vec![Job::unrelated(0u32, 0.0, 1.0, vec![1.0])]);
+        assert!(matches!(r.unwrap_err(), CoreError::LeafSizeArity { .. }));
+    }
+
+    #[test]
+    fn rejects_mixed_settings() {
+        let r = Instance::new(
+            tree(),
+            vec![
+                Job::unrelated(0u32, 0.0, 1.0, vec![1.0, 1.0]),
+                Job::identical(1u32, 1.0, 1.0),
+            ],
+        );
+        assert_eq!(r.unwrap_err(), CoreError::BadJobIds);
+    }
+
+    #[test]
+    fn origin_paths_and_eta() {
+        // tree(): root -> r(1) -> {m(2) -> leaf(4), leaf(3)}
+        let inst = Instance::new(
+            tree(),
+            vec![
+                Job::identical(0u32, 0.0, 2.0).with_origin(NodeId(3)),
+                Job::identical(1u32, 1.0, 2.0),
+            ],
+        )
+        .unwrap();
+        assert!(inst.has_origins());
+        // From leaf v3 to leaf v4: up to r(1), down m(2), v4.
+        assert_eq!(
+            inst.path_of(JobId(0), NodeId(4)),
+            vec![NodeId(1), NodeId(2), NodeId(4)]
+        );
+        assert_eq!(inst.entry_node(JobId(0), NodeId(4)), NodeId(1));
+        assert_eq!(inst.eta_via(JobId(0), NodeId(4)), 6.0);
+        // Origin == destination: only the leaf processing remains.
+        assert_eq!(inst.path_of(JobId(0), NodeId(3)), vec![NodeId(3)]);
+        assert_eq!(inst.eta_via(JobId(0), NodeId(3)), 2.0);
+        assert_eq!(inst.min_eta(JobId(0)), 2.0);
+        // Root-origin job matches the classic accessors.
+        assert_eq!(inst.path_of(JobId(1), NodeId(4)), inst.tree().path_from_root(NodeId(4)));
+        assert_eq!(inst.eta_via(JobId(1), NodeId(4)), inst.eta(JobId(1), NodeId(4)));
+        assert_eq!(inst.entry_node(JobId(1), NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    fn rejects_bad_origins() {
+        let r = Instance::new(
+            tree(),
+            vec![Job::identical(0u32, 0.0, 1.0).with_origin(NodeId::ROOT)],
+        );
+        assert_eq!(r.unwrap_err(), CoreError::BadJobIds);
+        let r = Instance::new(
+            tree(),
+            vec![Job::identical(0u32, 0.0, 1.0).with_origin(NodeId(99))],
+        );
+        assert_eq!(r.unwrap_err(), CoreError::BadJobIds);
+    }
+
+    #[test]
+    fn origin_serde_is_backward_compatible() {
+        // Old JSON without the origin field must still parse.
+        let j: Job = serde_json::from_str(
+            r#"{"id":0,"release":0.0,"size":1.0,"leaf_sizes":"Identical"}"#,
+        )
+        .unwrap();
+        assert_eq!(j.origin, None);
+        // And origin jobs round-trip.
+        let j = Job::identical(0u32, 0.0, 1.0).with_origin(NodeId(2));
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.origin, Some(NodeId(2)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let inst = Instance::new(
+            tree(),
+            vec![Job::identical(0u32, 0.0, 1.0), Job::identical(1u32, 2.0, 2.0)],
+        )
+        .unwrap();
+        assert_eq!(inst.total_size(), 3.0);
+        assert_eq!(inst.last_release(), 2.0);
+        // min_eta: both leaves give d=2 -> 2p or d=3 -> 3p; min is 2p.
+        assert_eq!(inst.trivial_flow_lower_bound(), 2.0 + 4.0);
+    }
+}

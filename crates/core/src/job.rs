@@ -1,0 +1,136 @@
+//! Jobs: release times, router sizes, and per-leaf processing times.
+
+use crate::ids::{JobId, NodeId};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Processing requirements of a job at the *leaves* of the tree.
+///
+/// On every router a job `J_j` always requires its data size `p_j`
+/// (routers are identical in both of the paper's settings); the two
+/// settings differ only at the leaves.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LeafSizes {
+    /// Identical endpoints: the job requires `p_j` at any leaf too.
+    Identical,
+    /// Unrelated endpoints: `p_{j,v}` may be arbitrarily different per
+    /// leaf. Indexed by [`crate::Tree::leaf_index`].
+    Unrelated(Vec<Time>),
+}
+
+/// A single job of the online instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Dense id, ordered by release time.
+    pub id: JobId,
+    /// Release (arrival) time `r_j` at the root.
+    pub release: Time,
+    /// Data size `p_j` — the processing requirement on every router.
+    pub size: Time,
+    /// Leaf processing requirements.
+    pub leaf_sizes: LeafSizes,
+    /// Where the job's data originates. `None` = the root (the paper's
+    /// base model); `Some(v)` = the arbitrary-origin extension the
+    /// paper's conclusion poses as an open direction — the data then
+    /// routes origin → LCA → leaf.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub origin: Option<NodeId>,
+    /// Importance weight for the *weighted* flow-time objective
+    /// `Σ_j w_j(C_j − r_j)` studied by the paper's machine-scheduling
+    /// references \[3,13\]. The paper itself is unweighted (`w_j = 1`,
+    /// the default); weights only enter metrics and the HDF baseline.
+    #[serde(default = "default_weight")]
+    pub weight: f64,
+}
+
+fn default_weight() -> f64 {
+    1.0
+}
+
+impl Job {
+    /// An identical-endpoints job (originating at the root).
+    pub fn identical(id: impl Into<JobId>, release: Time, size: Time) -> Job {
+        Job {
+            id: id.into(),
+            release,
+            size,
+            leaf_sizes: LeafSizes::Identical,
+            origin: None,
+            weight: 1.0,
+        }
+    }
+
+    /// An unrelated-endpoints job with explicit per-leaf sizes
+    /// (originating at the root).
+    pub fn unrelated(
+        id: impl Into<JobId>,
+        release: Time,
+        size: Time,
+        leaf_sizes: Vec<Time>,
+    ) -> Job {
+        Job {
+            id: id.into(),
+            release,
+            size,
+            leaf_sizes: LeafSizes::Unrelated(leaf_sizes),
+            origin: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Set a non-root origin (the arbitrary-origin extension).
+    pub fn with_origin(mut self, origin: NodeId) -> Job {
+        self.origin = Some(origin);
+        self
+    }
+
+    /// Set an importance weight (> 0) for the weighted flow objective.
+    pub fn with_weight(mut self, weight: f64) -> Job {
+        self.weight = weight;
+        self
+    }
+
+    /// Processing requirement at the leaf with dense index `leaf_idx`.
+    #[inline]
+    pub fn leaf_size(&self, leaf_idx: usize) -> Time {
+        match &self.leaf_sizes {
+            LeafSizes::Identical => self.size,
+            LeafSizes::Unrelated(v) => v[leaf_idx],
+        }
+    }
+
+    /// True in the unrelated-endpoints setting.
+    pub fn is_unrelated(&self) -> bool {
+        matches!(self.leaf_sizes, LeafSizes::Unrelated(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_job_leaf_size_is_router_size() {
+        let j = Job::identical(0u32, 1.0, 4.0);
+        assert_eq!(j.leaf_size(0), 4.0);
+        assert_eq!(j.leaf_size(17), 4.0);
+        assert!(!j.is_unrelated());
+    }
+
+    #[test]
+    fn unrelated_job_indexes_table() {
+        let j = Job::unrelated(1u32, 0.0, 2.0, vec![5.0, 1.0, 9.0]);
+        assert_eq!(j.leaf_size(0), 5.0);
+        assert_eq!(j.leaf_size(1), 1.0);
+        assert_eq!(j.leaf_size(2), 9.0);
+        assert!(j.is_unrelated());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let j = Job::unrelated(1u32, 0.5, 2.0, vec![5.0, 1.0]);
+        let s = serde_json::to_string(&j).unwrap();
+        let back: Job = serde_json::from_str(&s).unwrap();
+        assert_eq!(j, back);
+    }
+}

@@ -1,0 +1,52 @@
+//! # bct-core
+//!
+//! Core data model for **bandwidth-constrained tree network scheduling**,
+//! reproducing the model of Im & Moseley, *"Scheduling in Bandwidth
+//! Constrained Tree Networks"*, SPAA 2015.
+//!
+//! The model: a rooted tree `T` whose root is the job distribution
+//! center, whose interior nodes are routers, and whose leaves are
+//! machines. Jobs arrive online at the root and must be forwarded
+//! store-and-forward down a root→leaf path (one job per node at a time;
+//! a node cannot forward a job until it has received all of its data),
+//! then processed at the leaf. The objective is total flow time.
+//!
+//! This crate contains everything that is *static* about an instance:
+//!
+//! * [`tree`] — the rooted tree topology with the accessors the paper
+//!   uses throughout (`R(v)`, `L(v)`, `d_v`, root-adjacent set `R`,
+//!   leaf set `L`).
+//! * [`job`] / [`instance`] — jobs with release times and sizes, the
+//!   identical vs. unrelated endpoint settings, and the derived
+//!   quantities `p_{j,v}`, `η_{j,v}`, `P_{v,j}`.
+//! * [`classes`] — the `(1+ε)^k` size-class rounding of §2.
+//! * [`broomstick`] — the §3.3 tree→broomstick reduction with the leaf
+//!   correspondence needed by the §3.7 general-tree algorithm.
+//! * [`speed`] — per-node speed (resource augmentation) profiles.
+//!
+//! Everything dynamic (queues, schedules, flow-time accounting) lives in
+//! `bct-sim`; the paper's algorithms live in `bct-sched`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod broomstick;
+pub mod classes;
+pub mod error;
+pub mod ids;
+pub mod instance;
+pub mod job;
+pub mod render;
+pub mod speed;
+pub mod time;
+pub mod tree;
+
+pub use broomstick::Broomstick;
+pub use classes::ClassRounding;
+pub use error::CoreError;
+pub use ids::{JobId, NodeId};
+pub use instance::{Instance, Setting};
+pub use job::{Job, LeafSizes};
+pub use speed::SpeedProfile;
+pub use time::Time;
+pub use tree::Tree;

@@ -1,0 +1,100 @@
+//! Human-readable tree rendering: ASCII art and Graphviz DOT.
+//!
+//! Used by the examples to regenerate the content of the paper's two
+//! figures (the tree-network schematic and the broomstick reduction).
+
+use crate::ids::NodeId;
+use crate::tree::Tree;
+use std::fmt::Write as _;
+
+/// Render a tree as indented ASCII art, one node per line.
+///
+/// Leaves are marked `[machine]`, routers `[router]`, the root `[root]`.
+pub fn ascii(t: &Tree) -> String {
+    let mut out = String::new();
+    fn rec(t: &Tree, v: NodeId, prefix: &str, is_last: bool, out: &mut String) {
+        let tag = if v == NodeId::ROOT {
+            "[root]"
+        } else if t.is_leaf(v) {
+            "[machine]"
+        } else {
+            "[router]"
+        };
+        if v == NodeId::ROOT {
+            let _ = writeln!(out, "{v} {tag}");
+        } else {
+            let branch = if is_last { "`-- " } else { "|-- " };
+            let _ = writeln!(out, "{prefix}{branch}{v} {tag}");
+        }
+        let child_prefix = if v == NodeId::ROOT {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "    " } else { "|   " })
+        };
+        let kids = t.children(v);
+        for (i, &c) in kids.iter().enumerate() {
+            rec(t, c, &child_prefix, i + 1 == kids.len(), out);
+        }
+    }
+    rec(t, NodeId::ROOT, "", true, &mut out);
+    out
+}
+
+/// Render a tree in Graphviz DOT syntax.
+pub fn dot(t: &Tree, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  v0 [shape=doublecircle,label=\"root\"];");
+    for v in t.non_root_nodes() {
+        let shape = if t.is_leaf(v) { "box" } else { "circle" };
+        let _ = writeln!(out, "  v{} [shape={shape},label=\"{v}\"];", v.0);
+    }
+    for v in t.non_root_nodes() {
+        let p = t.parent(v).expect("non-root");
+        let _ = writeln!(out, "  v{} -> v{};", p.0, v.0);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let m = b.add_child(r);
+        b.add_child(m);
+        b.add_child(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ascii_mentions_every_node_once() {
+        let t = tree();
+        let s = ascii(&t);
+        for v in t.nodes() {
+            assert_eq!(
+                s.matches(&format!("{v} [")).count(),
+                1,
+                "node {v} rendered once:\n{s}"
+            );
+        }
+        assert!(s.contains("[root]"));
+        assert!(s.contains("[router]"));
+        assert!(s.contains("[machine]"));
+    }
+
+    #[test]
+    fn dot_has_all_edges() {
+        let t = tree();
+        let s = dot(&t, "g");
+        assert!(s.starts_with("digraph g {"));
+        assert_eq!(s.matches("->").count(), t.len() - 1);
+        assert!(s.contains("v0 -> v1;"));
+        assert!(s.contains("shape=box"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Per-node speed profiles (resource augmentation).
+//!
+//! The paper's analysis augments speeds non-uniformly: nodes adjacent to
+//! the root get one factor and all deeper nodes another (Theorems 4–6).
+//! [`SpeedProfile`] captures the three shapes used throughout the
+//! reproduction: uniform, layered (root-adjacent vs. the rest), and a
+//! fully explicit per-node table.
+
+use crate::error::CoreError;
+use crate::ids::NodeId;
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+
+/// How fast each node runs relative to the adversary's unit speed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// Every node runs at speed `s`.
+    Uniform(f64),
+    /// Root-adjacent nodes run at `root_adjacent`, everything deeper at
+    /// `deeper`. (The root itself never processes jobs.)
+    Layered {
+        /// Speed of nodes in `R` (children of the root).
+        root_adjacent: f64,
+        /// Speed of all other non-root nodes.
+        deeper: f64,
+    },
+    /// Explicit per-node speeds, indexed by node id (entry 0, the root,
+    /// is ignored but must be present and positive).
+    Explicit(Vec<f64>),
+}
+
+impl SpeedProfile {
+    /// The adversary's profile: unit speed everywhere.
+    pub fn unit() -> SpeedProfile {
+        SpeedProfile::Uniform(1.0)
+    }
+
+    /// The Theorem-5 profile for identical endpoints on broomsticks:
+    /// `(1+ε)` on root-adjacent nodes, `(1+ε)²` deeper.
+    pub fn paper_identical(epsilon: f64) -> SpeedProfile {
+        SpeedProfile::Layered {
+            root_adjacent: 1.0 + epsilon,
+            deeper: (1.0 + epsilon) * (1.0 + epsilon),
+        }
+    }
+
+    /// The Theorem-6 profile for unrelated endpoints on broomsticks:
+    /// `2(1+ε)` on root-adjacent nodes, `2(1+ε)²` deeper.
+    pub fn paper_unrelated(epsilon: f64) -> SpeedProfile {
+        SpeedProfile::Layered {
+            root_adjacent: 2.0 * (1.0 + epsilon),
+            deeper: 2.0 * (1.0 + epsilon) * (1.0 + epsilon),
+        }
+    }
+
+    /// Speed of node `v` in tree `t`.
+    pub fn speed_of(&self, t: &Tree, v: NodeId) -> f64 {
+        match self {
+            SpeedProfile::Uniform(s) => *s,
+            SpeedProfile::Layered {
+                root_adjacent,
+                deeper,
+            } => {
+                if t.depth(v) <= 1 {
+                    *root_adjacent
+                } else {
+                    *deeper
+                }
+            }
+            SpeedProfile::Explicit(v_speeds) => v_speeds[v.as_usize()],
+        }
+    }
+
+    /// Expand to a dense per-node table, validating positivity/arity.
+    pub fn materialize(&self, t: &Tree) -> Result<Vec<f64>, CoreError> {
+        match self {
+            SpeedProfile::Explicit(v) if v.len() != t.len() => Err(CoreError::SpeedArity {
+                got: v.len(),
+                want: t.len(),
+            }),
+            _ => {
+                let table: Vec<f64> = t.nodes().map(|v| self.speed_of(t, v)).collect();
+                for v in t.nodes() {
+                    let s = table[v.as_usize()];
+                    if !(s > 0.0 && s.is_finite()) {
+                        return Err(CoreError::NonPositiveSpeed(v));
+                    }
+                }
+                Ok(table)
+            }
+        }
+    }
+
+    /// Scale every speed by a constant factor (used when composing the
+    /// broomstick reduction's augmentation with the algorithm's own).
+    pub fn scaled(&self, factor: f64) -> SpeedProfile {
+        match self {
+            SpeedProfile::Uniform(s) => SpeedProfile::Uniform(s * factor),
+            SpeedProfile::Layered {
+                root_adjacent,
+                deeper,
+            } => SpeedProfile::Layered {
+                root_adjacent: root_adjacent * factor,
+                deeper: deeper * factor,
+            },
+            SpeedProfile::Explicit(v) => {
+                SpeedProfile::Explicit(v.iter().map(|s| s * factor).collect())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::TreeBuilder;
+
+    fn small_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let m = b.add_child(r);
+        b.add_child(m);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_applies_everywhere() {
+        let t = small_tree();
+        let p = SpeedProfile::Uniform(2.5);
+        for v in t.nodes() {
+            assert_eq!(p.speed_of(&t, v), 2.5);
+        }
+    }
+
+    #[test]
+    fn layered_splits_at_depth_one() {
+        let t = small_tree();
+        let p = SpeedProfile::Layered {
+            root_adjacent: 1.5,
+            deeper: 3.0,
+        };
+        assert_eq!(p.speed_of(&t, NodeId(1)), 1.5);
+        assert_eq!(p.speed_of(&t, NodeId(2)), 3.0);
+        assert_eq!(p.speed_of(&t, NodeId(3)), 3.0);
+    }
+
+    #[test]
+    fn paper_profiles_match_theorem_statements() {
+        let eps = 0.5;
+        let t = small_tree();
+        let p = SpeedProfile::paper_identical(eps);
+        assert!((p.speed_of(&t, NodeId(1)) - 1.5).abs() < 1e-12);
+        assert!((p.speed_of(&t, NodeId(2)) - 2.25).abs() < 1e-12);
+        let p = SpeedProfile::paper_unrelated(eps);
+        assert!((p.speed_of(&t, NodeId(1)) - 3.0).abs() < 1e-12);
+        assert!((p.speed_of(&t, NodeId(2)) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialize_validates_arity() {
+        let t = small_tree();
+        let p = SpeedProfile::Explicit(vec![1.0, 1.0]);
+        assert_eq!(
+            p.materialize(&t),
+            Err(CoreError::SpeedArity { got: 2, want: 4 })
+        );
+    }
+
+    #[test]
+    fn materialize_validates_positivity() {
+        let t = small_tree();
+        let p = SpeedProfile::Explicit(vec![1.0, 1.0, 0.0, 1.0]);
+        assert_eq!(p.materialize(&t), Err(CoreError::NonPositiveSpeed(NodeId(2))));
+        let p = SpeedProfile::Uniform(-1.0);
+        assert!(p.materialize(&t).is_err());
+    }
+
+    #[test]
+    fn scaled_multiplies_all_entries() {
+        let t = small_tree();
+        let p = SpeedProfile::paper_identical(1.0).scaled(2.0);
+        assert!((p.speed_of(&t, NodeId(1)) - 4.0).abs() < 1e-12);
+        assert!((p.speed_of(&t, NodeId(2)) - 8.0).abs() < 1e-12);
+        let e = SpeedProfile::Explicit(vec![1.0, 2.0, 3.0, 4.0]).scaled(0.5);
+        assert_eq!(e.materialize(&t).unwrap(), vec![0.5, 1.0, 1.5, 2.0]);
+    }
+}

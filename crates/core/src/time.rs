@@ -1,0 +1,148 @@
+//! Time representation and tolerant floating-point comparisons.
+//!
+//! The paper's model is continuous-time (preemptive schedules, speeds
+//! `1+ε`); the simulator is event-driven over `f64` timestamps. All
+//! comparisons that decide *semantics* (has a job finished? are two
+//! events simultaneous?) go through the tolerant helpers here so that
+//! accumulated rounding never flips a decision.
+
+/// Continuous simulation time, in abstract time units.
+pub type Time = f64;
+
+/// Absolute tolerance for time/volume comparisons.
+///
+/// Chosen so that instances with sizes in `[1e-3, 1e6]` and horizons up
+/// to `1e9` units stay far above the noise floor of double precision
+/// while still absorbing the error of a few million accumulated
+/// floating-point operations.
+pub const EPS: f64 = 1e-7;
+
+/// `a == b` up to [`EPS`] (absolute, plus relative for large values).
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= EPS || diff <= EPS * a.abs().max(b.abs())
+}
+
+/// `a <= b` up to [`EPS`].
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b || approx_eq(a, b)
+}
+
+/// `a >= b` up to [`EPS`].
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b || approx_eq(a, b)
+}
+
+/// `a < b` strictly beyond tolerance.
+#[inline]
+pub fn definitely_lt(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// `a > b` strictly beyond tolerance.
+#[inline]
+pub fn definitely_gt(a: f64, b: f64) -> bool {
+    a > b && !approx_eq(a, b)
+}
+
+/// Clamp tiny negative values (rounding debris) to exactly zero.
+///
+/// Panics in debug builds if the value is *meaningfully* negative, which
+/// always indicates an accounting bug rather than rounding noise.
+#[inline]
+pub fn snap_nonneg(x: f64) -> f64 {
+    debug_assert!(x > -1e-4, "meaningfully negative quantity: {x}");
+    if x < 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// Total order on `f64` timestamps for use in heaps.
+///
+/// NaN is a hard error: timestamps are produced by finite arithmetic on
+/// finite inputs, so a NaN means a bug upstream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedTime(pub Time);
+
+impl Eq for OrderedTime {}
+
+impl PartialOrd for OrderedTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN timestamp in event queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-9));
+        assert!(!approx_eq(1.0, 1.001));
+    }
+
+    #[test]
+    fn approx_eq_relative_for_large_values() {
+        let a = 1e12;
+        assert!(approx_eq(a, a * (1.0 + 1e-9)));
+        assert!(!approx_eq(a, a * 1.001));
+    }
+
+    #[test]
+    fn approx_le_ge() {
+        assert!(approx_le(1.0, 1.0));
+        assert!(approx_le(1.0 + 1e-9, 1.0));
+        assert!(approx_le(0.5, 1.0));
+        assert!(!approx_le(1.1, 1.0));
+        assert!(approx_ge(1.0, 1.0 + 1e-9));
+        assert!(!approx_ge(0.9, 1.0));
+    }
+
+    #[test]
+    fn definite_comparisons_exclude_tolerance_band() {
+        assert!(!definitely_lt(1.0, 1.0 + 1e-9));
+        assert!(definitely_lt(1.0, 1.1));
+        assert!(!definitely_gt(1.0 + 1e-9, 1.0));
+        assert!(definitely_gt(1.1, 1.0));
+    }
+
+    #[test]
+    fn snap_nonneg_clamps_debris() {
+        assert_eq!(snap_nonneg(-1e-12), 0.0);
+        assert_eq!(snap_nonneg(0.25), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningfully negative")]
+    #[cfg(debug_assertions)]
+    fn snap_nonneg_panics_on_real_negatives() {
+        snap_nonneg(-1.0);
+    }
+
+    #[test]
+    fn ordered_time_sorts() {
+        let mut v = vec![OrderedTime(3.0), OrderedTime(1.0), OrderedTime(2.0)];
+        v.sort();
+        assert_eq!(v, vec![OrderedTime(1.0), OrderedTime(2.0), OrderedTime(3.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN timestamp")]
+    fn ordered_time_rejects_nan() {
+        let _ = OrderedTime(f64::NAN).cmp(&OrderedTime(0.0));
+    }
+}

@@ -1,0 +1,698 @@
+//! Rooted tree topology with the paper's standard accessors.
+//!
+//! Conventions (following §2 of the paper):
+//!
+//! * Node `0` is the **root** — the job distribution center. The root
+//!   never processes jobs.
+//! * Interior (non-root, non-leaf) nodes are **routers**; leaves are
+//!   **machines**. No leaf may be adjacent to the root.
+//! * `R(v)` is the root-adjacent ancestor of a non-root node `v`; the
+//!   set of root-adjacent nodes is written `R` (here:
+//!   [`Tree::root_adjacent`]).
+//! * `L(v)` is the set of leaves in the subtree rooted at `v`
+//!   ([`Tree::leaves_under`]).
+//! * `d_v` is the number of nodes on the path from `v` up to `R(v)`,
+//!   inclusive of both — which equals `depth(v)` with the root at depth
+//!   0 ([`Tree::d_v`]).
+//!
+//! Node ids are required to be *topological*: every node's parent has a
+//! smaller id. All generators in `bct-workloads` respect this, and
+//! [`TreeBuilder`] enforces it by construction.
+
+use crate::error::CoreError;
+use crate::ids::NodeId;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An immutable rooted tree, validated against the paper's model.
+///
+/// Serialization round-trips through the *parent array only*; all
+/// derived structure (children lists, depths, `R(v)`, leaf indices) is
+/// rebuilt and re-validated on deserialize, so hand-edited or corrupted
+/// input cannot produce an inconsistent tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tree {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    r_node: Vec<NodeId>,
+    leaves: Vec<NodeId>,
+    leaf_index: Vec<Option<u32>>,
+}
+
+/// Incremental builder for [`Tree`]; ids are handed out in topological
+/// order so the resulting tree always satisfies the id invariant.
+///
+/// ```
+/// use bct_core::tree::TreeBuilder;
+/// use bct_core::NodeId;
+///
+/// // root -> router -> {machine, machine}
+/// let mut b = TreeBuilder::new();
+/// let r = b.add_child(NodeId::ROOT);
+/// b.add_child(r);
+/// b.add_child(r);
+/// let tree = b.build().unwrap();
+/// assert_eq!(tree.num_leaves(), 2);
+/// assert_eq!(tree.d_v(tree.leaves()[0]), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TreeBuilder {
+    parent: Vec<Option<NodeId>>,
+}
+
+impl TreeBuilder {
+    /// Start a new tree containing only the root (id 0).
+    pub fn new() -> Self {
+        TreeBuilder {
+            parent: vec![None],
+        }
+    }
+
+    /// Add a node whose parent is `parent`; returns the new node's id.
+    ///
+    /// # Panics
+    /// Panics if `parent` has not been added yet.
+    pub fn add_child(&mut self, parent: NodeId) -> NodeId {
+        assert!(
+            parent.as_usize() < self.parent.len(),
+            "parent {parent} does not exist yet"
+        );
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(Some(parent));
+        id
+    }
+
+    /// Add a chain of `len` nodes below `parent`; returns the ids in
+    /// order from shallowest to deepest.
+    pub fn add_chain(&mut self, parent: NodeId, len: usize) -> Vec<NodeId> {
+        let mut ids = Vec::with_capacity(len);
+        let mut cur = parent;
+        for _ in 0..len {
+            cur = self.add_child(cur);
+            ids.push(cur);
+        }
+        ids
+    }
+
+    /// Number of nodes added so far (including the root).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Validate and freeze into a [`Tree`].
+    pub fn build(self) -> Result<Tree, CoreError> {
+        Tree::from_parents(self.parent)
+    }
+}
+
+impl Tree {
+    /// Build a tree from a parent array (`parent[0]` must be `None`).
+    ///
+    /// Validates the model's structural requirements: at least one
+    /// router and one machine, topological ids, and no leaf adjacent to
+    /// the root.
+    pub fn from_parents(parent: Vec<Option<NodeId>>) -> Result<Tree, CoreError> {
+        let m = parent.len();
+        if m < 3 {
+            // Need at least root + router + machine.
+            return Err(CoreError::EmptyTree);
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); m];
+        for (i, p) in parent.iter().enumerate() {
+            let v = NodeId(i as u32);
+            match (i, p) {
+                (0, None) => {}
+                (0, Some(_)) | (_, None) => return Err(CoreError::NotTopologicallyOrdered(v)),
+                (_, Some(p)) => {
+                    if p.as_usize() >= m {
+                        return Err(CoreError::DanglingParent { node: v, parent: *p });
+                    }
+                    if p.as_usize() >= i {
+                        return Err(CoreError::NotTopologicallyOrdered(v));
+                    }
+                    children[p.as_usize()].push(v);
+                }
+            }
+        }
+        if children[0].is_empty() {
+            return Err(CoreError::EmptyTree);
+        }
+        // Depth and R(v) in one topological pass.
+        let mut depth = vec![0u32; m];
+        let mut r_node = vec![NodeId::ROOT; m];
+        for i in 1..m {
+            let p = parent[i].expect("validated above");
+            depth[i] = depth[p.as_usize()] + 1;
+            r_node[i] = if depth[i] == 1 {
+                NodeId(i as u32)
+            } else {
+                r_node[p.as_usize()]
+            };
+        }
+        let mut leaves = Vec::new();
+        let mut leaf_index = vec![None; m];
+        for i in 1..m {
+            if children[i].is_empty() {
+                let v = NodeId(i as u32);
+                if depth[i] < 2 {
+                    return Err(CoreError::LeafAdjacentToRoot(v));
+                }
+                leaf_index[i] = Some(leaves.len() as u32);
+                leaves.push(v);
+            }
+        }
+        Ok(Tree {
+            parent,
+            children,
+            depth,
+            r_node,
+            leaves,
+            leaf_index,
+        })
+    }
+
+    /// Total number of nodes `m`, including the root.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Never true: a valid tree has at least three nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node (always id 0).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.as_usize()]
+    }
+
+    /// Children `c(v)` of node `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.as_usize()]
+    }
+
+    /// Depth of `v` (root at depth 0).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.as_usize()]
+    }
+
+    /// `d_v`: the number of nodes on the path from `v` to `R(v)`,
+    /// inclusive of both endpoints. Equals `depth(v)`.
+    #[inline]
+    pub fn d_v(&self, v: NodeId) -> u32 {
+        self.depth[v.as_usize()]
+    }
+
+    /// `R(v)`: the root-adjacent ancestor of `v` (for `v` ≠ root).
+    /// Returns the root itself for the root, by convention.
+    #[inline]
+    pub fn r_node(&self, v: NodeId) -> NodeId {
+        self.r_node[v.as_usize()]
+    }
+
+    /// True if `v` is a leaf (machine).
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        v != NodeId::ROOT && self.children[v.as_usize()].is_empty()
+    }
+
+    /// True if `v` is a router (non-root interior node).
+    #[inline]
+    pub fn is_router(&self, v: NodeId) -> bool {
+        v != NodeId::ROOT && !self.children[v.as_usize()].is_empty()
+    }
+
+    /// The leaf set `L`, in id order.
+    #[inline]
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn num_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Dense index of a leaf in [`Tree::leaves`], used to index
+    /// leaf-size tables in the unrelated setting.
+    #[inline]
+    pub fn leaf_index(&self, v: NodeId) -> Option<usize> {
+        self.leaf_index[v.as_usize()].map(|i| i as usize)
+    }
+
+    /// The root-adjacent set `R` (children of the root).
+    #[inline]
+    pub fn root_adjacent(&self) -> &[NodeId] {
+        &self.children[0]
+    }
+
+    /// All node ids in increasing (topological) order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// All non-root node ids in topological order.
+    pub fn non_root_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (1..self.len() as u32).map(NodeId)
+    }
+
+    /// The path from `R(v)` down to `v`, inclusive — exactly the nodes a
+    /// job assigned past `v` is processed on up to `v`. Empty for the
+    /// root.
+    pub fn path_from_root(&self, v: NodeId) -> Vec<NodeId> {
+        if v == NodeId::ROOT {
+            return Vec::new();
+        }
+        let mut path = Vec::with_capacity(self.depth(v) as usize);
+        let mut cur = v;
+        loop {
+            path.push(cur);
+            match self.parent(cur) {
+                Some(p) if p != NodeId::ROOT => cur = p,
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Lowest common ancestor of `a` and `b`.
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut a, mut b) = (a, b);
+        while self.depth(a) > self.depth(b) {
+            a = self.parent(a).expect("deeper node has a parent");
+        }
+        while self.depth(b) > self.depth(a) {
+            b = self.parent(b).expect("deeper node has a parent");
+        }
+        while a != b {
+            a = self.parent(a).expect("non-root");
+            b = self.parent(b).expect("non-root");
+        }
+        a
+    }
+
+    /// The processing path of a job that *originates* at `origin` and is
+    /// assigned to `leaf`: every node on the tree walk origin → LCA →
+    /// leaf, **excluding the origin itself and the root** (neither
+    /// processes the job), in traversal order. When `origin == leaf`
+    /// the job still needs its leaf processing, so the path is `[leaf]`.
+    ///
+    /// With `origin = root` this coincides with [`Tree::path_from_root`]
+    /// — the paper's base model.
+    pub fn path_between(&self, origin: NodeId, leaf: NodeId) -> Vec<NodeId> {
+        if origin == leaf {
+            return vec![leaf];
+        }
+        let l = self.lca(origin, leaf);
+        let mut up = Vec::new();
+        let mut cur = origin;
+        while cur != l {
+            cur = self.parent(cur).expect("walking up to the LCA");
+            up.push(cur);
+        }
+        let mut down = Vec::new();
+        let mut cur = leaf;
+        while cur != l {
+            down.push(cur);
+            cur = self.parent(cur).expect("walking up from the leaf");
+        }
+        down.reverse();
+        up.extend(down);
+        up.retain(|&v| v != NodeId::ROOT);
+        up
+    }
+
+    /// True if `a` is an ancestor of `b` (or equal to it).
+    pub fn is_ancestor_or_self(&self, a: NodeId, b: NodeId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// `L(v)`: leaves in the subtree rooted at `v`, in id order.
+    pub fn leaves_under(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            if self.is_leaf(u) {
+                out.push(u);
+            } else {
+                stack.extend(self.children(u).iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// All nodes of the subtree rooted at `v` (preorder).
+    pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            stack.extend(self.children(u).iter().copied());
+        }
+        out
+    }
+
+    /// Length (in edges) of the longest downward path from `v` to a leaf
+    /// of its subtree.
+    pub fn height_below(&self, v: NodeId) -> u32 {
+        self.children(v)
+            .iter()
+            .map(|&c| 1 + self.height_below(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Maximum leaf depth in the whole tree.
+    pub fn max_leaf_depth(&self) -> u32 {
+        self.leaves.iter().map(|&v| self.depth(v)).max().unwrap_or(0)
+    }
+
+    /// True if this tree is a **broomstick**: below every root-adjacent
+    /// node there is a single path ("handle") of routers, and every
+    /// other node hangs off the handle as a leaf.
+    pub fn is_broomstick(&self) -> bool {
+        for &r in self.root_adjacent() {
+            let mut cur = r;
+            loop {
+                let router_children: Vec<NodeId> = self
+                    .children(cur)
+                    .iter()
+                    .copied()
+                    .filter(|&c| !self.is_leaf(c))
+                    .collect();
+                match router_children.len() {
+                    0 => break,
+                    1 => cur = router_children[0],
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// The unique non-leaf child of `v`, if exactly one exists — the
+    /// next handle node in a broomstick.
+    pub fn handle_child(&self, v: NodeId) -> Option<NodeId> {
+        let mut it = self.children(v).iter().copied().filter(|&c| !self.is_leaf(c));
+        let first = it.next()?;
+        if it.next().is_some() {
+            None
+        } else {
+            Some(first)
+        }
+    }
+}
+
+impl Serialize for Tree {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.parent.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Tree {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Tree, D::Error> {
+        let parents = Vec::<Option<NodeId>>::deserialize(deserializer)?;
+        Tree::from_parents(parents).map_err(|e| D::Error::custom(format!("invalid tree: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-1 style tree used across the test suite:
+    ///
+    /// ```text
+    ///            root(0)
+    ///           /       \
+    ///         r1(1)     r2(2)
+    ///        /    \        \
+    ///      a(3)   b(4)     c(5)
+    ///     /   \     |        \
+    ///   L(6) L(7) L(8)      L(9)
+    /// ```
+    pub(crate) fn figure1_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_child(NodeId::ROOT);
+        let r2 = b.add_child(NodeId::ROOT);
+        let a = b.add_child(r1);
+        let bb = b.add_child(r1);
+        let c = b.add_child(r2);
+        b.add_child(a);
+        b.add_child(a);
+        b.add_child(bb);
+        b.add_child(c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_topological_ids() {
+        let t = figure1_tree();
+        assert_eq!(t.len(), 10);
+        for v in t.non_root_nodes() {
+            let p = t.parent(v).unwrap();
+            assert!(p < v, "ids must be topological");
+        }
+    }
+
+    #[test]
+    fn rejects_trivial_trees() {
+        assert_eq!(Tree::from_parents(vec![None]), Err(CoreError::EmptyTree));
+        assert_eq!(
+            Tree::from_parents(vec![None, Some(NodeId(0))]),
+            Err(CoreError::EmptyTree)
+        );
+    }
+
+    #[test]
+    fn rejects_leaf_adjacent_to_root() {
+        // root -> r -> leaf is fine; root -> leaf is not.
+        let r = Tree::from_parents(vec![None, Some(NodeId(0)), Some(NodeId(0)), Some(NodeId(1))]);
+        assert_eq!(r, Err(CoreError::LeafAdjacentToRoot(NodeId(2))));
+    }
+
+    #[test]
+    fn rejects_forward_parent_references() {
+        let r = Tree::from_parents(vec![None, Some(NodeId(2)), Some(NodeId(0)), Some(NodeId(2))]);
+        assert_eq!(r, Err(CoreError::NotTopologicallyOrdered(NodeId(1))));
+    }
+
+    #[test]
+    fn rejects_dangling_parent() {
+        let r = Tree::from_parents(vec![None, Some(NodeId(9)), Some(NodeId(1))]);
+        assert!(matches!(r, Err(CoreError::DanglingParent { .. })));
+    }
+
+    #[test]
+    fn depth_and_d_v() {
+        let t = figure1_tree();
+        assert_eq!(t.depth(NodeId(0)), 0);
+        assert_eq!(t.depth(NodeId(1)), 1);
+        assert_eq!(t.depth(NodeId(3)), 2);
+        assert_eq!(t.depth(NodeId(6)), 3);
+        assert_eq!(t.d_v(NodeId(6)), 3); // v6, a(3), r1(1)
+    }
+
+    #[test]
+    fn r_node_is_root_adjacent_ancestor() {
+        let t = figure1_tree();
+        assert_eq!(t.r_node(NodeId(6)), NodeId(1));
+        assert_eq!(t.r_node(NodeId(8)), NodeId(1));
+        assert_eq!(t.r_node(NodeId(9)), NodeId(2));
+        assert_eq!(t.r_node(NodeId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn leaves_and_classification() {
+        let t = figure1_tree();
+        assert_eq!(t.leaves(), &[NodeId(6), NodeId(7), NodeId(8), NodeId(9)]);
+        assert!(t.is_leaf(NodeId(6)));
+        assert!(!t.is_leaf(NodeId(3)));
+        assert!(t.is_router(NodeId(3)));
+        assert!(!t.is_router(NodeId(0)));
+        assert!(!t.is_router(NodeId(9)));
+        assert_eq!(t.leaf_index(NodeId(8)), Some(2));
+        assert_eq!(t.leaf_index(NodeId(3)), None);
+    }
+
+    #[test]
+    fn root_adjacent_set() {
+        let t = figure1_tree();
+        assert_eq!(t.root_adjacent(), &[NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn path_from_root_excludes_root() {
+        let t = figure1_tree();
+        assert_eq!(
+            t.path_from_root(NodeId(6)),
+            vec![NodeId(1), NodeId(3), NodeId(6)]
+        );
+        assert_eq!(t.path_from_root(NodeId(1)), vec![NodeId(1)]);
+        assert!(t.path_from_root(NodeId::ROOT).is_empty());
+    }
+
+    #[test]
+    fn leaves_under_subtrees() {
+        let t = figure1_tree();
+        assert_eq!(
+            t.leaves_under(NodeId(1)),
+            vec![NodeId(6), NodeId(7), NodeId(8)]
+        );
+        assert_eq!(t.leaves_under(NodeId(2)), vec![NodeId(9)]);
+        assert_eq!(t.leaves_under(NodeId(6)), vec![NodeId(6)]);
+    }
+
+    #[test]
+    fn subtree_preorder_contains_all() {
+        let t = figure1_tree();
+        let mut s = t.subtree(NodeId(1));
+        s.sort_unstable();
+        assert_eq!(
+            s,
+            vec![NodeId(1), NodeId(3), NodeId(4), NodeId(6), NodeId(7), NodeId(8)]
+        );
+    }
+
+    #[test]
+    fn heights() {
+        let t = figure1_tree();
+        assert_eq!(t.height_below(NodeId(1)), 2);
+        assert_eq!(t.height_below(NodeId(2)), 2);
+        assert_eq!(t.height_below(NodeId(6)), 0);
+        assert_eq!(t.max_leaf_depth(), 3);
+    }
+
+    #[test]
+    fn lca_queries() {
+        let t = figure1_tree();
+        assert_eq!(t.lca(NodeId(6), NodeId(7)), NodeId(3));
+        assert_eq!(t.lca(NodeId(6), NodeId(8)), NodeId(1));
+        assert_eq!(t.lca(NodeId(6), NodeId(9)), NodeId(0));
+        assert_eq!(t.lca(NodeId(3), NodeId(6)), NodeId(3));
+        assert_eq!(t.lca(NodeId(5), NodeId(5)), NodeId(5));
+    }
+
+    #[test]
+    fn path_between_matches_root_path_for_root_origin() {
+        let t = figure1_tree();
+        for &leaf in t.leaves() {
+            assert_eq!(t.path_between(NodeId::ROOT, leaf), t.path_from_root(leaf));
+        }
+    }
+
+    #[test]
+    fn path_between_walks_through_the_lca() {
+        let t = figure1_tree();
+        // v6 (under a(3)) to v8 (under b(4)): up to a then r1, down b, v8.
+        assert_eq!(
+            t.path_between(NodeId(6), NodeId(8)),
+            vec![NodeId(3), NodeId(1), NodeId(4), NodeId(8)]
+        );
+        // v6 to v9 crosses the root, which is excluded from processing.
+        assert_eq!(
+            t.path_between(NodeId(6), NodeId(9)),
+            vec![NodeId(3), NodeId(1), NodeId(2), NodeId(5), NodeId(9)]
+        );
+        // Sibling leaves share their parent.
+        assert_eq!(t.path_between(NodeId(6), NodeId(7)), vec![NodeId(3), NodeId(7)]);
+    }
+
+    #[test]
+    fn path_between_origin_is_destination() {
+        let t = figure1_tree();
+        assert_eq!(t.path_between(NodeId(6), NodeId(6)), vec![NodeId(6)]);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let t = figure1_tree();
+        assert!(t.is_ancestor_or_self(NodeId(1), NodeId(6)));
+        assert!(t.is_ancestor_or_self(NodeId(6), NodeId(6)));
+        assert!(!t.is_ancestor_or_self(NodeId(2), NodeId(6)));
+        assert!(t.is_ancestor_or_self(NodeId::ROOT, NodeId(9)));
+    }
+
+    #[test]
+    fn broomstick_detection() {
+        let t = figure1_tree();
+        assert!(!t.is_broomstick(), "figure-1 tree branches at r1");
+
+        // root -> r -> h1 -> h2, leaves off h1 and h2.
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let h1 = b.add_child(r);
+        let h2 = b.add_child(h1);
+        b.add_child(h1);
+        b.add_child(h2);
+        b.add_child(h2);
+        let t = b.build().unwrap();
+        assert!(t.is_broomstick());
+        assert_eq!(t.handle_child(r), Some(h1));
+        assert_eq!(t.handle_child(h1), Some(h2));
+        assert_eq!(t.handle_child(h2), None);
+    }
+
+    #[test]
+    fn add_chain_builds_a_path() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let chain = b.add_chain(r, 3);
+        b.add_child(*chain.last().unwrap());
+        let t = b.build().unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(t.depth(chain[2]), 4);
+        assert!(t.is_broomstick());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = figure1_tree();
+        let s = serde_json::to_string(&t).unwrap();
+        let back: Tree = serde_json::from_str(&s).unwrap();
+        assert_eq!(t, back);
+        // Format is just the parent array.
+        assert!(s.starts_with("[null,"), "compact parent-array format: {s}");
+    }
+
+    #[test]
+    fn deserialize_rejects_invalid_trees() {
+        // Leaf adjacent to the root.
+        let bad = "[null, 0, 0, 1]";
+        let r: Result<Tree, _> = serde_json::from_str(bad);
+        assert!(r.is_err());
+        assert!(r.unwrap_err().to_string().contains("invalid tree"));
+        // Forward reference.
+        let bad = "[null, 2, 0, 2]";
+        assert!(serde_json::from_str::<Tree>(bad).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for the core tree algebra: random parent arrays give
+//! valid trees whose derived structure obeys the model's laws.
+
+use bct_core::tree::{Tree, TreeBuilder};
+use bct_core::{Broomstick, ClassRounding, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a random valid tree described by its builder moves.
+/// `shape[i] ∈ [0, i]` attaches node `i+1` under node `shape[i] % made`,
+/// then every childless root-adjacent node gets a machine.
+fn tree_strategy(max_nodes: usize) -> impl Strategy<Value = Tree> {
+    prop::collection::vec(any::<u32>(), 2..max_nodes).prop_map(|shape| {
+        let mut b = TreeBuilder::new();
+        let mut nodes = vec![NodeId::ROOT];
+        for pick in &shape {
+            let parent = nodes[(*pick as usize) % nodes.len()];
+            nodes.push(b.add_child(parent));
+        }
+        // Guarantee every root-adjacent node has a child so no leaf is
+        // adjacent to the root.
+        let mut child_count = vec![0usize; nodes.len() + 8];
+        let mut parents = vec![None::<NodeId>; nodes.len()];
+        {
+            // Recompute what we built: nodes[k] (k≥1) was attached to
+            // nodes[(shape[k-1]) % k].
+            for (k, pick) in shape.iter().enumerate() {
+                let parent = nodes[(*pick as usize) % (k + 1)];
+                parents[k + 1] = Some(parent);
+                child_count[parent.as_usize()] += 1;
+            }
+        }
+        for (i, p) in parents.iter().enumerate() {
+            if *p == Some(NodeId::ROOT) && child_count[i] == 0 {
+                b.add_child(nodes[i]);
+            }
+        }
+        b.build().expect("construction is always valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn structural_laws(t in tree_strategy(24)) {
+        // Every non-root node's R(v) is root-adjacent and an ancestor.
+        for v in t.non_root_nodes() {
+            let r = t.r_node(v);
+            prop_assert_eq!(t.depth(r), 1);
+            prop_assert!(t.is_ancestor_or_self(r, v));
+            prop_assert_eq!(t.d_v(v), t.depth(v));
+        }
+        // Leaves partition: every node is leaf xor router xor root.
+        for v in t.nodes() {
+            let classes = [v == t.root(), t.is_leaf(v), t.is_router(v)];
+            prop_assert_eq!(classes.iter().filter(|&&c| c).count(), 1);
+        }
+        // Leaf depth ≥ 2 (model constraint).
+        for &leaf in t.leaves() {
+            prop_assert!(t.depth(leaf) >= 2);
+        }
+        // leaves_under(root children) partitions the leaf set.
+        let mut collected: Vec<NodeId> = t
+            .root_adjacent()
+            .iter()
+            .flat_map(|&r| t.leaves_under(r))
+            .collect();
+        collected.sort_unstable();
+        prop_assert_eq!(collected, t.leaves().to_vec());
+    }
+
+    #[test]
+    fn path_laws(t in tree_strategy(24)) {
+        for &leaf in t.leaves() {
+            let path = t.path_from_root(leaf);
+            // Starts root-adjacent, ends at the leaf, consecutive
+            // entries are parent→child, no root inside.
+            prop_assert_eq!(t.depth(path[0]), 1);
+            prop_assert_eq!(*path.last().unwrap(), leaf);
+            for w in path.windows(2) {
+                prop_assert_eq!(t.parent(w[1]), Some(w[0]));
+            }
+            prop_assert!(!path.contains(&NodeId::ROOT));
+            prop_assert_eq!(path.len(), t.d_v(leaf) as usize);
+        }
+    }
+
+    #[test]
+    fn lca_laws(t in tree_strategy(20)) {
+        let nodes: Vec<NodeId> = t.nodes().collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let l = t.lca(a, b);
+                prop_assert!(t.is_ancestor_or_self(l, a));
+                prop_assert!(t.is_ancestor_or_self(l, b));
+                // Deepest common ancestor: its children are not common
+                // ancestors of both.
+                for &c in t.children(l) {
+                    prop_assert!(
+                        !(t.is_ancestor_or_self(c, a) && t.is_ancestor_or_self(c, b))
+                    );
+                }
+                prop_assert_eq!(l, t.lca(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn path_between_laws(t in tree_strategy(20)) {
+        let leaves = t.leaves().to_vec();
+        for &origin in &leaves {
+            for &dest in &leaves {
+                let path = t.path_between(origin, dest);
+                prop_assert!(!path.is_empty());
+                prop_assert_eq!(*path.last().unwrap(), dest);
+                prop_assert!(!path.contains(&NodeId::ROOT));
+                if origin != dest {
+                    prop_assert!(!path.contains(&origin));
+                    // Consecutive nodes adjacent in the tree.
+                    let full: Vec<NodeId> =
+                        std::iter::once(origin).chain(path.iter().copied()).collect();
+                    for w in full.windows(2) {
+                        let adjacent = t.parent(w[0]) == Some(w[1])
+                            || t.parent(w[1]) == Some(w[0])
+                            || (t.parent(w[0]) == Some(NodeId::ROOT)
+                                && t.parent(w[1]) == Some(NodeId::ROOT));
+                        prop_assert!(adjacent, "{:?} then {:?}", w[0], w[1]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broomstick_laws(t in tree_strategy(24)) {
+        let bs = Broomstick::reduce(&t);
+        prop_assert!(bs.tree().is_broomstick());
+        prop_assert_eq!(bs.tree().num_leaves(), t.num_leaves());
+        prop_assert_eq!(bs.handles().len(), t.root_adjacent().len());
+        for &leaf in t.leaves() {
+            let prime = bs.prime_leaf_of(&t, leaf);
+            prop_assert_eq!(bs.tree().depth(prime), t.depth(leaf) + 2);
+            prop_assert_eq!(bs.orig_leaf_of(prime), leaf);
+        }
+        // Serialization of the reduced tree roundtrips.
+        let json = serde_json::to_string(bs.tree()).unwrap();
+        let back: Tree = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, bs.tree());
+    }
+
+    #[test]
+    fn class_rounding_laws(p in 0.001f64..1e6, eps in 0.01f64..4.0) {
+        let c = ClassRounding::new(eps);
+        let r = c.round_up(p);
+        prop_assert!(r >= p * (1.0 - 1e-9));
+        prop_assert!(r <= p * (1.0 + eps) * (1.0 + 1e-9));
+        prop_assert!(c.on_grid(r));
+        prop_assert_eq!(c.class_of(r), c.class_of(p));
+    }
+}

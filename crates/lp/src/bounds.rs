@@ -1,0 +1,197 @@
+//! Cheap combinatorial lower bounds on the optimal total flow time,
+//! for instances too large for the LP of [`crate::model`].
+
+use bct_core::{Instance, Time};
+
+/// Path-work bound: every job's flow time is at least the total work on
+/// its cheapest root→leaf path, so `Σ_j min_v η_{j,v} / s_max ≤ OPT`.
+pub fn eta_bound(inst: &Instance, adversary_speed: f64) -> Time {
+    inst.trivial_flow_lower_bound() / adversary_speed
+}
+
+/// Pooled-machine SRPT bound.
+///
+/// Every job must be fully processed on its root-adjacent node at rate
+/// at most `s`. Pooling the whole root-adjacent layer into one
+/// *fractional* machine of speed `s·|R|` (which may split its speed
+/// arbitrarily, in particular run one job at full pooled speed) only
+/// enlarges the set of feasible schedules, and SRPT minimizes total
+/// flow time on such a machine. Hence the SRPT total flow time on the
+/// pooled machine lower-bounds the optimal total flow time on the tree.
+pub fn pooled_srpt_bound(inst: &Instance, adversary_speed: f64) -> Time {
+    if inst.has_origins() {
+        // Origin jobs need not cross the root-adjacent layer at all, so
+        // the pooled relaxation is not valid for them.
+        return 0.0;
+    }
+    let speed = adversary_speed * inst.tree().root_adjacent().len() as f64;
+    srpt_single_machine(
+        &inst.jobs().iter().map(|j| j.release).collect::<Vec<_>>(),
+        &inst.jobs().iter().map(|j| j.size).collect::<Vec<_>>(),
+        speed,
+    )
+}
+
+/// Total flow time of SRPT on one machine of the given speed.
+/// (Public for tests and for the single-node sanity experiments.)
+pub fn srpt_single_machine(releases: &[Time], sizes: &[Time], speed: f64) -> Time {
+    assert_eq!(releases.len(), sizes.len());
+    assert!(speed > 0.0);
+    let n = releases.len();
+    let mut rem: Vec<Time> = sizes.to_vec();
+    let mut done = vec![false; n];
+    let mut next_arrival = 0usize; // releases are sorted by construction
+    let mut now = 0.0;
+    let mut total_flow = 0.0;
+    let mut released = vec![false; n];
+    loop {
+        while next_arrival < n && releases[next_arrival] <= now + 1e-12 {
+            released[next_arrival] = true;
+            next_arrival += 1;
+        }
+        // Shortest remaining among released, unfinished.
+        let cur = (0..n)
+            .filter(|&j| released[j] && !done[j])
+            .min_by(|&a, &b| rem[a].partial_cmp(&rem[b]).unwrap());
+        match cur {
+            Some(j) => {
+                let finish = now + rem[j] / speed;
+                let horizon = if next_arrival < n {
+                    releases[next_arrival].min(finish)
+                } else {
+                    finish
+                };
+                rem[j] -= speed * (horizon - now);
+                now = horizon;
+                if rem[j] <= 1e-9 {
+                    done[j] = true;
+                    total_flow += now - releases[j];
+                }
+            }
+            None => {
+                if next_arrival >= n {
+                    break;
+                }
+                now = releases[next_arrival];
+            }
+        }
+    }
+    total_flow
+}
+
+/// The best available cheap lower bound.
+pub fn combined_bound(inst: &Instance, adversary_speed: f64) -> Time {
+    eta_bound(inst, adversary_speed).max(pooled_srpt_bound(inst, adversary_speed))
+}
+
+/// How many of the `n` jobs the pooled bound dominates on — a quick
+/// diagnostic of which bound is binding.
+pub fn bound_report(inst: &Instance, adversary_speed: f64) -> (Time, Time, Time) {
+    let e = eta_bound(inst, adversary_speed);
+    let p = pooled_srpt_bound(inst, adversary_speed);
+    (e, p, e.max(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bct_core::tree::TreeBuilder;
+    use bct_core::{Job, NodeId};
+
+    fn star2() -> bct_core::Tree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_child(NodeId::ROOT);
+        let r2 = b.add_child(NodeId::ROOT);
+        b.add_child(r1);
+        b.add_child(r2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn srpt_single_job() {
+        assert!((srpt_single_machine(&[0.0], &[4.0], 1.0) - 4.0).abs() < 1e-9);
+        assert!((srpt_single_machine(&[0.0], &[4.0], 2.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srpt_prefers_short_jobs() {
+        // sizes 4 then 1 at t=0,0: SRPT runs the 1 first: flows 1 and 5.
+        let f = srpt_single_machine(&[0.0, 0.0], &[4.0, 1.0], 1.0);
+        assert!((f - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srpt_preempts_on_arrival() {
+        // size 10 at t=0, size 1 at t=1: flows 1 (small) and 11 (big).
+        let f = srpt_single_machine(&[0.0, 1.0], &[10.0, 1.0], 1.0);
+        assert!((f - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn srpt_idles_between_arrivals() {
+        let f = srpt_single_machine(&[0.0, 100.0], &[1.0, 1.0], 1.0);
+        assert!((f - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eta_bound_counts_cheapest_paths() {
+        let inst = Instance::new(
+            star2(),
+            vec![Job::identical(0u32, 0.0, 3.0), Job::identical(1u32, 1.0, 1.0)],
+        )
+        .unwrap();
+        // Both leaves at d=2: η = 2p each.
+        assert!((eta_bound(&inst, 1.0) - 8.0).abs() < 1e-9);
+        assert!((eta_bound(&inst, 2.0) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounds_never_exceed_a_real_schedule() {
+        use bct_policies::{FixedAssignment, Sjf};
+        use bct_sim::policy::NoProbe;
+        use bct_sim::{SimConfig, Simulation};
+        let t = star2();
+        let inst = Instance::new(
+            t.clone(),
+            vec![
+                Job::identical(0u32, 0.0, 2.0),
+                Job::identical(1u32, 0.1, 1.0),
+                Job::identical(2u32, 0.2, 4.0),
+                Job::identical(3u32, 3.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let lb = combined_bound(&inst, 1.0);
+        // Exhaust all 16 assignments and take the best realized flow.
+        let leaves = t.leaves().to_vec();
+        let mut best = f64::INFINITY;
+        for mask in 0..16u32 {
+            let asg: Vec<NodeId> = (0..4).map(|i| leaves[((mask >> i) & 1) as usize]).collect();
+            let out = Simulation::run(
+                &inst,
+                &Sjf::new(),
+                &mut FixedAssignment(asg),
+                &mut NoProbe,
+                &SimConfig::unit(),
+            )
+            .unwrap();
+            let releases: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+            best = best.min(out.total_flow(&releases));
+        }
+        assert!(lb <= best + 1e-6, "bound {lb} exceeds best schedule {best}");
+        assert!(lb > 0.0);
+    }
+
+    #[test]
+    fn pooled_bound_beats_eta_under_congestion() {
+        // A burst of many equal jobs on a small tree: the pooled-machine
+        // queueing term dominates the per-job path work.
+        let jobs: Vec<Job> = (0..20)
+            .map(|i| Job::identical(i as u32, i as f64 * 1e-6, 4.0))
+            .collect();
+        let inst = Instance::new(star2(), jobs).unwrap();
+        let (e, p, c) = bound_report(&inst, 1.0);
+        assert!(p > e, "pooled {p} should beat eta {e} under a burst");
+        assert_eq!(c, p);
+    }
+}

@@ -1,0 +1,169 @@
+//! Brute-force optimum estimation for tiny instances.
+//!
+//! Enumerates **every** leaf-assignment vector (`|L|^n` of them) and,
+//! for each, runs the simulator under a small basket of node policies,
+//! keeping the best realized total flow time. The result is a valid
+//! *upper bound* on OPT (a true optimal schedule could preempt in
+//! patterns none of the basket policies produce, but SRPT/SJF are
+//! optimal or near-optimal per node in this model). Combined with the
+//! LP certificate of [`crate::model`], this sandwiches OPT tightly on
+//! small instances:
+//!
+//! ```text
+//! lp_lower_bound(inst) ≤ OPT ≤ exhaustive_upper_bound(inst)
+//! ```
+//!
+//! Cost is exponential in `n`; the entry point refuses instances where
+//! `|L|^n` exceeds a caller-provided budget.
+
+use bct_core::{Instance, NodeId, SpeedProfile, Time};
+use bct_policies::{FixedAssignment, Sjf, Srpt};
+use bct_sim::policy::NoProbe;
+use bct_sim::{NodePolicy, SimConfig, Simulation};
+
+/// Best total flow over all assignments × {SJF, SRPT}, or `None` if the
+/// search space `|L|^n` exceeds `budget` combinations.
+pub fn exhaustive_upper_bound(
+    inst: &Instance,
+    speeds: &SpeedProfile,
+    budget: u64,
+) -> Option<Time> {
+    let leaves = inst.tree().leaves();
+    let n = inst.n();
+    let combos = (leaves.len() as u64).checked_pow(n as u32)?;
+    if combos == 0 || combos > budget {
+        return None;
+    }
+    let releases: Vec<Time> = inst.jobs().iter().map(|j| j.release).collect();
+    let policies: [&dyn NodePolicy; 2] = [&Sjf::new(), &Srpt];
+    let mut best = f64::INFINITY;
+    let mut assignment = vec![0usize; n];
+    for _ in 0..combos {
+        let leaves_vec: Vec<NodeId> = assignment.iter().map(|&i| leaves[i]).collect();
+        for policy in policies {
+            let out = Simulation::run(
+                inst,
+                policy,
+                &mut FixedAssignment(leaves_vec.clone()),
+                &mut NoProbe,
+                &SimConfig::with_speeds(speeds.clone()),
+            )
+            .expect("tiny instance runs");
+            best = best.min(out.total_flow(&releases));
+        }
+        // Odometer increment over base-|L| digits.
+        for digit in assignment.iter_mut() {
+            *digit += 1;
+            if *digit < leaves.len() {
+                break;
+            }
+            *digit = 0;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{lp_lower_bound, LpGrid};
+    use bct_core::tree::TreeBuilder;
+    use bct_core::Job;
+    use bct_workloads::jobs::{ArrivalProcess, SizeDist, WorkloadSpec};
+    use bct_workloads::topo;
+
+    fn star2() -> bct_core::Tree {
+        let mut b = TreeBuilder::new();
+        let r1 = b.add_child(NodeId::ROOT);
+        let r2 = b.add_child(NodeId::ROOT);
+        b.add_child(r1);
+        b.add_child(r2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_job_is_exact() {
+        let inst = Instance::new(star2(), vec![Job::identical(0u32, 0.0, 3.0)]).unwrap();
+        let ub = exhaustive_upper_bound(&inst, &SpeedProfile::unit(), 1000).unwrap();
+        assert!((ub - 6.0).abs() < 1e-9, "lone job: η = 2p = 6, got {ub}");
+    }
+
+    #[test]
+    fn two_jobs_split_across_branches() {
+        let inst = Instance::new(
+            star2(),
+            vec![Job::identical(0u32, 0.0, 3.0), Job::identical(1u32, 0.0, 3.0)],
+        )
+        .unwrap();
+        let ub = exhaustive_upper_bound(&inst, &SpeedProfile::unit(), 1000).unwrap();
+        // Optimal: one per branch, both flow 6.
+        assert!((ub - 12.0).abs() < 1e-9, "{ub}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        let inst = Instance::new(
+            star2(),
+            (0..12).map(|i| Job::identical(i as u32, i as f64, 1.0)).collect(),
+        )
+        .unwrap();
+        // 2^12 = 4096 > 100.
+        assert_eq!(exhaustive_upper_bound(&inst, &SpeedProfile::unit(), 100), None);
+    }
+
+    #[test]
+    fn sandwiches_opt_with_the_lp() {
+        for seed in 0..3 {
+            let tree = topo::star(2, 2);
+            let inst = WorkloadSpec {
+                n: 4,
+                arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+                sizes: SizeDist::Uniform { lo: 1.0, hi: 3.0 },
+                unrelated: None,
+            }
+            .instance(&tree, seed)
+            .unwrap();
+            let lb = lp_lower_bound(&inst, &SpeedProfile::unit(), LpGrid::auto(&inst, 24))
+                .expect("feasible");
+            let ub = exhaustive_upper_bound(&inst, &SpeedProfile::unit(), 100_000).unwrap();
+            assert!(
+                lb <= ub + 1e-6,
+                "seed {seed}: LP bound {lb} above exhaustive {ub}"
+            );
+            // The sandwich should be reasonably tight on these instances.
+            assert!(
+                ub / lb < 4.0,
+                "seed {seed}: sandwich too loose: [{lb}, {ub}]"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_beats_or_matches_any_single_heuristic() {
+        let tree = topo::star(2, 2);
+        let inst = WorkloadSpec {
+            n: 5,
+            arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+            sizes: SizeDist::Uniform { lo: 1.0, hi: 4.0 },
+            unrelated: None,
+        }
+        .instance(&tree, 9)
+        .unwrap();
+        let ub = exhaustive_upper_bound(&inst, &SpeedProfile::unit(), 100_000).unwrap();
+        // Round-robin with SJF is one of the enumerated assignment
+        // vectors, so exhaustive can only be better or equal.
+        let releases: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+        let rr: Vec<NodeId> = (0..inst.n())
+            .map(|i| inst.tree().leaves()[i % 2])
+            .collect();
+        let out = Simulation::run(
+            &inst,
+            &Sjf::new(),
+            &mut FixedAssignment(rr),
+            &mut NoProbe,
+            &SimConfig::unit(),
+        )
+        .unwrap();
+        assert!(ub <= out.total_flow(&releases) + 1e-9);
+    }
+}

@@ -1,0 +1,29 @@
+//! # bct-lp
+//!
+//! The linear-programming side of the reproduction:
+//!
+//! * [`simplex`] — a from-scratch dense two-phase simplex solver with
+//!   Bland's rule (no LP crate is on the approved dependency list, and
+//!   the LPs here are small).
+//! * [`model`] — the paper's §2 LP relaxation on a discretized time
+//!   grid, and [`model::lp_lower_bound`], a certified lower bound on the
+//!   optimal total flow time (LP*/2, per the paper's factor-two
+//!   objective).
+//! * [`bounds`] — cheap combinatorial OPT lower bounds (path-work and
+//!   pooled-machine SRPT) for instances too large for the LP.
+//! * [`dualfit`] — the §§3.5–3.6 dual-fitting verifier: replays the
+//!   greedy algorithm, sets the dual variables exactly as the paper
+//!   prescribes, and checks constraints (4)–(6) plus the dual objective
+//!   against the algorithm's fractional cost (Lemmas 5–7, empirically).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bounds;
+pub mod dualfit;
+pub mod exhaustive;
+pub mod model;
+pub mod simplex;
+
+pub use model::{lp_lower_bound, LpGrid, TreeLp};
+pub use simplex::{LinearProgram, LpStatus, Relation};

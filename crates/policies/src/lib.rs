@@ -1,0 +1,22 @@
+//! # bct-policies
+//!
+//! Concrete scheduling policies for the tree-network simulator:
+//!
+//! * [`node`] — per-node preemptive priority rules: the paper's SJF
+//!   (optionally with `(1+ε)^k` class rounding), plus FIFO, SRPT and LJF
+//!   baselines/ablations.
+//! * [`assign`] — leaf-assignment baselines: fixed, closest-leaf,
+//!   random, round-robin, least-volume and min-η. The paper's greedy
+//!   bound-minimizing assignment lives in `bct-sched` (it *is* the
+//!   contribution).
+//! * [`prio`] — helpers for the paper's priority sets `S_{v,j}(t)`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod assign;
+pub mod node;
+pub mod prio;
+
+pub use assign::{ClosestLeaf, FixedAssignment, LeastVolume, MinEta, RandomLeaf, RoundRobin};
+pub use node::{Fifo, Hdf, Ljf, Sjf, Srpt};

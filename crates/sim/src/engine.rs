@@ -1,0 +1,313 @@
+//! The event-driven engine.
+
+use crate::outcome::SimOutcome;
+use crate::policy::{AssignmentPolicy, NodePolicy, Probe};
+use crate::state::SimState;
+use crate::trace::{Trace, TraceKind};
+use bct_core::time::OrderedTime;
+use bct_core::{CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Per-node speeds (resource augmentation over the adversary).
+    pub speeds: SpeedProfile,
+    /// Record a full [`Trace`] in the outcome.
+    pub record_trace: bool,
+    /// Stop at this time, leaving later work unfinished.
+    pub horizon: Option<Time>,
+    /// Hard cap on processed events (runaway guard).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// Unit speeds, no trace, no horizon.
+    pub fn unit() -> SimConfig {
+        SimConfig::with_speeds(SpeedProfile::unit())
+    }
+
+    /// Given speeds, no trace, no horizon.
+    pub fn with_speeds(speeds: SpeedProfile) -> SimConfig {
+        SimConfig {
+            speeds,
+            record_trace: false,
+            horizon: None,
+            max_events: 1 << 34,
+        }
+    }
+
+    /// Enable trace recording.
+    pub fn traced(mut self) -> SimConfig {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Errors the engine can report.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// Invalid speed profile for the instance's tree.
+    BadSpeeds(CoreError),
+    /// The assignment policy returned a non-leaf node.
+    AssignmentNotALeaf {
+        /// The offending job.
+        job: JobId,
+        /// What the policy returned.
+        node: NodeId,
+    },
+    /// `max_events` exceeded — almost certainly an engine or policy bug.
+    EventBudgetExceeded(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadSpeeds(e) => write!(f, "bad speed profile: {e}"),
+            SimError::AssignmentNotALeaf { job, node } => {
+                write!(f, "assignment policy sent {job} to non-leaf {node}")
+            }
+            SimError::EventBudgetExceeded(n) => write!(f, "exceeded event budget of {n}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Heap ordering: earlier time first; at equal times, hop completions
+/// before arrivals (dispatch decisions see settled queues); then FIFO by
+/// sequence for determinism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct EvKey {
+    t: OrderedTime,
+    kind_rank: u8,
+    seq: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Finish { node: NodeId, version: u64 },
+    Arrival { job: JobId },
+}
+
+struct EventQueue {
+    heap: BinaryHeap<Reverse<(EvKey, Ev)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    fn new() -> EventQueue {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    fn push(&mut self, t: Time, ev: Ev) {
+        let kind_rank = match ev {
+            Ev::Finish { .. } => 0,
+            Ev::Arrival { .. } => 1,
+        };
+        self.heap.push(Reverse((
+            EvKey {
+                t: OrderedTime(t),
+                kind_rank,
+                seq: self.seq,
+            },
+            ev,
+        )));
+        self.seq += 1;
+    }
+
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse((k, _))| k.t.0)
+    }
+
+    fn pop(&mut self) -> Option<(Time, Ev)> {
+        self.heap.pop().map(|Reverse((k, ev))| (k.t.0, ev))
+    }
+}
+
+/// The simulator. Stateless handle; [`Simulation::run`] owns a run.
+///
+/// ```
+/// use bct_core::tree::TreeBuilder;
+/// use bct_core::{Instance, Job, NodeId};
+/// use bct_sim::policy::{NoProbe, NodePolicy, AssignmentPolicy, KeyCtx, PolicyKey};
+/// use bct_sim::{SimConfig, SimView, Simulation};
+///
+/// // root -> router -> machine, one job of size 2.
+/// let mut b = TreeBuilder::new();
+/// let r = b.add_child(NodeId::ROOT);
+/// let leaf = b.add_child(r);
+/// let inst = Instance::new(b.build()?, vec![Job::identical(0u32, 0.0, 2.0)])?;
+///
+/// struct Sjf;
+/// impl NodePolicy for Sjf {
+///     fn name(&self) -> &'static str { "sjf" }
+///     fn key(&self, ctx: &KeyCtx<'_>) -> PolicyKey {
+///         PolicyKey::new(ctx.instance.p(ctx.job, ctx.node),
+///                        ctx.instance.job(ctx.job).release, ctx.job.0)
+///     }
+/// }
+/// struct ToLeaf(NodeId);
+/// impl AssignmentPolicy for ToLeaf {
+///     fn name(&self) -> &'static str { "fixed" }
+///     fn assign(&mut self, _: &SimView<'_>, _: bct_core::JobId) -> NodeId { self.0 }
+/// }
+///
+/// let out = Simulation::run(&inst, &Sjf, &mut ToLeaf(leaf), &mut NoProbe,
+///                           &SimConfig::unit())?;
+/// assert_eq!(out.completions[0], Some(4.0)); // 2 on the router + 2 at the leaf
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulation;
+
+impl Simulation {
+    /// Simulate `instance` under the given node policy and assignment
+    /// policy, observing with `probe`.
+    pub fn run(
+        instance: &Instance,
+        node_policy: &dyn NodePolicy,
+        assignment: &mut dyn AssignmentPolicy,
+        probe: &mut dyn Probe,
+        cfg: &SimConfig,
+    ) -> Result<SimOutcome, SimError> {
+        let speeds = cfg
+            .speeds
+            .materialize(instance.tree())
+            .map_err(SimError::BadSpeeds)?;
+        let mut st = SimState::new(instance, speeds);
+        let mut trace = cfg.record_trace.then(Trace::default);
+        let mut evq = EventQueue::new();
+
+        for job in instance.jobs() {
+            evq.push(job.release, Ev::Arrival { job: job.id });
+        }
+
+        let mut events: u64 = 0;
+        loop {
+            let Some(t) = evq.peek_time() else { break };
+            if cfg.horizon.is_some_and(|h| t > h) {
+                break;
+            }
+            let (t, ev) = evq.pop().expect("peeked");
+            events += 1;
+            if events > cfg.max_events {
+                return Err(SimError::EventBudgetExceeded(cfg.max_events));
+            }
+            st.advance(t);
+            match ev {
+                Ev::Arrival { job } => {
+                    let leaf = assignment.assign(&st.view(), job);
+                    if !instance.tree().is_leaf(leaf) {
+                        return Err(SimError::AssignmentNotALeaf { job, node: leaf });
+                    }
+                    st.admit(job, leaf);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(t, leaf, job, TraceKind::Arrive);
+                    }
+                    let first = st.view().path(job)[0];
+                    Self::offer(&mut st, first, job, node_policy, &mut trace, &mut evq);
+                    probe.on_arrival(&st.view(), job, leaf);
+                }
+                Ev::Finish { node, version } => {
+                    if st.node_version(node) != version {
+                        continue; // stale: the node's job changed since scheduling
+                    }
+                    let job = st.finish_current_hop(node);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.push(t, node, job, TraceKind::FinishHop);
+                        if st.view().completion(job).is_some() {
+                            tr.push(t, node, job, TraceKind::Complete);
+                        }
+                    }
+                    if st.view().completion(job).is_none() {
+                        let next = st.view().current_node_of(job).expect("in flight");
+                        Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq);
+                    }
+                    if st.pick_next(node) {
+                        Self::schedule_current(&mut st, node, &mut trace, &mut evq);
+                    }
+                    probe.on_hop_complete(&st.view(), job, node);
+                }
+            }
+            probe.on_event(&st.view());
+        }
+
+        // Account integrals up to the horizon even if the last event was
+        // earlier (or later events were cut off).
+        if let Some(h) = cfg.horizon {
+            if st.view().now() < h {
+                st.advance(h);
+            }
+        }
+
+        Ok(Self::collect(st, trace, events))
+    }
+
+    /// Offer `job` to `node`; if the node's current job changed,
+    /// trace the preemption/start and (re-)schedule the finish event.
+    fn offer(
+        st: &mut SimState<'_>,
+        node: NodeId,
+        job: JobId,
+        node_policy: &dyn NodePolicy,
+        trace: &mut Option<Trace>,
+        evq: &mut EventQueue,
+    ) {
+        let prev = st.view().current_job(node);
+        let changed = st.enqueue(node, job, node_policy);
+        if changed {
+            if let (Some(tr), Some(p)) = (trace.as_mut(), prev) {
+                tr.push(st.view().now(), node, p, TraceKind::Preempt);
+            }
+            Self::schedule_current(st, node, trace, evq);
+        }
+    }
+
+    /// Trace the start of `node`'s current job and push its finish event.
+    fn schedule_current(
+        st: &mut SimState<'_>,
+        node: NodeId,
+        trace: &mut Option<Trace>,
+        evq: &mut EventQueue,
+    ) {
+        let now = st.view().now();
+        let j = st.view().current_job(node).expect("node just started a job");
+        if let Some(tr) = trace.as_mut() {
+            tr.push(now, node, j, TraceKind::Start);
+        }
+        let t_fin = st.predicted_finish(node).expect("busy node");
+        let version = st.node_version(node);
+        evq.push(t_fin.max(now), Ev::Finish { node, version });
+    }
+
+    fn collect(st: SimState<'_>, trace: Option<Trace>, events: u64) -> SimOutcome {
+        let n = st.view().instance().n();
+        let mut completions = Vec::with_capacity(n);
+        let mut assignments = Vec::with_capacity(n);
+        let mut hop_finishes = Vec::with_capacity(n);
+        for j in 0..n as u32 {
+            let j = JobId(j);
+            completions.push(st.view().completion(j));
+            assignments.push(st.view().assigned_leaf(j));
+            hop_finishes.push(st.hop_finishes_of(j).to_vec());
+        }
+        let unfinished = completions.iter().filter(|c| c.is_none()).count();
+        SimOutcome {
+            completions,
+            assignments,
+            hop_finishes,
+            fractional_flow: st.frac_integral(),
+            count_integral: st.count_integral(),
+            node_busy: st.node_busy(),
+            events,
+            makespan: st.view().now(),
+            unfinished,
+            trace,
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Post-hoc invariant checking over an execution [`Trace`].
+//!
+//! Verifies, independently of the engine's internal bookkeeping, that a
+//! recorded schedule is *feasible* in the paper's model:
+//!
+//! 1. **Node mutual exclusion** — each node processes at most one job at
+//!    a time.
+//! 2. **Job mutual exclusion** — each job is processed by at most one
+//!    node at a time.
+//! 3. **Store-and-forward causality** — a job is only processed at a
+//!    node after fully finishing at its parent (and after its release).
+//! 4. **Work conservation** — between a hop's first start and its
+//!    finish, the processing intervals at that node sum to exactly
+//!    `p_{j,v}/s_v`.
+//! 5. **Path discipline** — hops are visited in root→leaf order of the
+//!    assigned leaf's path, and `Complete` coincides with the final
+//!    `FinishHop`.
+
+use crate::trace::{Trace, TraceKind};
+use bct_core::time::approx_eq;
+use bct_core::{Instance, JobId, NodeId, SpeedProfile};
+
+/// A single violated invariant, human-readable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation(pub String);
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Check every invariant; returns all violations found (empty = valid).
+pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let tree = instance.tree();
+    let speed = match speeds.materialize(tree) {
+        Ok(s) => s,
+        Err(e) => return vec![Violation(format!("bad speeds: {e}"))],
+    };
+
+    // Per-node: currently running job (mutual exclusion).
+    let mut node_running: Vec<Option<JobId>> = vec![None; tree.len()];
+    // Per-job: node currently processing it, start of that burst,
+    // accumulated work at current hop, hop list, assigned leaf.
+    #[derive(Default, Clone)]
+    struct J {
+        running_on: Option<(NodeId, f64)>,
+        acc: f64,
+        hops_done: Vec<(NodeId, f64)>,
+        leaf: Option<NodeId>,
+        arrived: Option<f64>,
+        completed: Option<f64>,
+    }
+    let mut js: Vec<J> = vec![J::default(); instance.n()];
+
+    for e in &trace.events {
+        let ji = e.job.as_usize();
+        match e.kind {
+            TraceKind::Arrive => {
+                if js[ji].arrived.is_some() {
+                    out.push(Violation(format!("{} arrived twice", e.job)));
+                }
+                if !tree.is_leaf(e.node) {
+                    out.push(Violation(format!("{} dispatched to non-leaf {}", e.job, e.node)));
+                }
+                let r = instance.job(e.job).release;
+                if !approx_eq(e.t, r) {
+                    out.push(Violation(format!(
+                        "{} arrived at {} but released at {r}",
+                        e.job, e.t
+                    )));
+                }
+                js[ji].arrived = Some(e.t);
+                js[ji].leaf = Some(e.node);
+            }
+            TraceKind::Start => {
+                if js[ji].arrived.is_none() {
+                    out.push(Violation(format!("{} started before arrival", e.job)));
+                }
+                if let Some(other) = node_running[e.node.as_usize()] {
+                    out.push(Violation(format!(
+                        "node {} started {} while running {}",
+                        e.node, e.job, other
+                    )));
+                }
+                if let Some((v, _)) = js[ji].running_on {
+                    out.push(Violation(format!(
+                        "{} started on {} while running on {}",
+                        e.job, e.node, v
+                    )));
+                }
+                // Store-and-forward: this node must be the next hop.
+                let expected = js[ji].leaf.and_then(|leaf| {
+                    instance
+                        .path_of(e.job, leaf)
+                        .get(js[ji].hops_done.len())
+                        .copied()
+                });
+                if expected != Some(e.node) {
+                    out.push(Violation(format!(
+                        "{} started on {} but its next hop is {:?}",
+                        e.job, e.node, expected
+                    )));
+                }
+                node_running[e.node.as_usize()] = Some(e.job);
+                js[ji].running_on = Some((e.node, e.t));
+            }
+            TraceKind::Preempt | TraceKind::FinishHop => {
+                match js[ji].running_on.take() {
+                    None => out.push(Violation(format!(
+                        "{} {:?} on {} while not running",
+                        e.job, e.kind, e.node
+                    ))),
+                    Some((v, t0)) => {
+                        if v != e.node {
+                            out.push(Violation(format!(
+                                "{} {:?} on {} but was running on {}",
+                                e.job, e.kind, e.node, v
+                            )));
+                        }
+                        js[ji].acc += (e.t - t0) * speed[e.node.as_usize()];
+                        node_running[e.node.as_usize()] = None;
+                    }
+                }
+                if e.kind == TraceKind::FinishHop {
+                    let want = instance.p(e.job, e.node);
+                    if !approx_eq(js[ji].acc, want) {
+                        out.push(Violation(format!(
+                            "{} finished {} with {:.6} work done, needs {want:.6}",
+                            e.job, e.node, js[ji].acc
+                        )));
+                    }
+                    js[ji].hops_done.push((e.node, e.t));
+                    js[ji].acc = 0.0;
+                }
+            }
+            TraceKind::Complete => {
+                js[ji].completed = Some(e.t);
+            }
+        }
+    }
+
+    // Per-job path discipline and completion checks.
+    for (ji, j) in js.iter().enumerate() {
+        let job = JobId(ji as u32);
+        let Some(leaf) = j.leaf else {
+            if j.arrived.is_some() {
+                out.push(Violation(format!("{job} arrived without a leaf")));
+            }
+            continue;
+        };
+        let path = instance.path_of(job, leaf);
+        let visited: Vec<NodeId> = j.hops_done.iter().map(|&(v, _)| v).collect();
+        if j.completed.is_some() && visited != path {
+            out.push(Violation(format!(
+                "{job} visited {visited:?}, path is {path:?}"
+            )));
+        }
+        if let Some(c) = j.completed {
+            let last = j.hops_done.last().map(|&(_, t)| t);
+            if last != Some(c) {
+                out.push(Violation(format!(
+                    "{job} Complete at {c} but last hop finished at {last:?}"
+                )));
+            }
+        }
+        // Hop finish times must be non-decreasing (causality).
+        for w in j.hops_done.windows(2) {
+            if w[1].1 < w[0].1 {
+                out.push(Violation(format!("{job} hop times go backwards")));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceKind;
+    use bct_core::tree::TreeBuilder;
+    use bct_core::{Job, NodeId};
+
+    /// root -> r(1) -> leaf(2).
+    fn fixture() -> (Instance, SpeedProfile) {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        b.add_child(r);
+        let t = b.build().unwrap();
+        let inst = Instance::new(t, vec![Job::identical(0u32, 0.0, 2.0)]).unwrap();
+        (inst, SpeedProfile::unit())
+    }
+
+    /// The canonical correct trace for the fixture: arrive, run the
+    /// router 0..2, run the leaf 2..4, complete.
+    fn good_trace() -> Trace {
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(2.0, NodeId(1), JobId(0), TraceKind::FinishHop);
+        tr.push(2.0, NodeId(2), JobId(0), TraceKind::Start);
+        tr.push(4.0, NodeId(2), JobId(0), TraceKind::FinishHop);
+        tr.push(4.0, NodeId(2), JobId(0), TraceKind::Complete);
+        tr
+    }
+
+    #[test]
+    fn accepts_a_correct_trace() {
+        let (inst, speeds) = fixture();
+        assert!(check(&inst, &speeds, &good_trace()).is_empty());
+    }
+
+    #[test]
+    fn rejects_wrong_work_amount() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(1.0, NodeId(1), JobId(0), TraceKind::FinishHop); // only 1 of 2 units
+        let v = check(&inst, &speeds, &tr);
+        assert!(v.iter().any(|v| v.0.contains("work done")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_skipping_the_router() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Start); // leaf before router!
+        let v = check(&inst, &speeds, &tr);
+        assert!(v.iter().any(|v| v.0.contains("next hop")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_double_booking_a_node() {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        b.add_child(r);
+        let t = b.build().unwrap();
+        let inst = Instance::new(
+            t,
+            vec![Job::identical(0u32, 0.0, 2.0), Job::identical(1u32, 0.0, 2.0)],
+        )
+        .unwrap();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(2), JobId(1), TraceKind::Arrive);
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(0.0, NodeId(1), JobId(1), TraceKind::Start); // node busy!
+        let v = check(&inst, &SpeedProfile::unit(), &tr);
+        assert!(v.iter().any(|v| v.0.contains("while running")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_arrival_time_mismatch() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(1.0, NodeId(2), JobId(0), TraceKind::Arrive); // released at 0
+        let v = check(&inst, &speeds, &tr);
+        assert!(v.iter().any(|v| v.0.contains("released at")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_dispatch_to_non_leaf() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Arrive); // router, not leaf
+        let v = check(&inst, &speeds, &tr);
+        assert!(v.iter().any(|v| v.0.contains("non-leaf")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_finish_without_start() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(2.0, NodeId(1), JobId(0), TraceKind::FinishHop);
+        let v = check(&inst, &speeds, &tr);
+        assert!(v.iter().any(|v| v.0.contains("not running")), "{v:?}");
+    }
+
+    #[test]
+    fn work_accounting_respects_speeds() {
+        // Same trace timing is wrong at speed 2 (node does 4 units of
+        // work in 2 time units, job only needs 2).
+        let (inst, _) = fixture();
+        let v = check(&inst, &SpeedProfile::Uniform(2.0), &good_trace());
+        assert!(v.iter().any(|v| v.0.contains("work done")), "{v:?}");
+        // And right at a trace scaled for speed 2.
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(1.0, NodeId(1), JobId(0), TraceKind::FinishHop);
+        tr.push(1.0, NodeId(2), JobId(0), TraceKind::Start);
+        tr.push(2.0, NodeId(2), JobId(0), TraceKind::FinishHop);
+        tr.push(2.0, NodeId(2), JobId(0), TraceKind::Complete);
+        assert!(check(&inst, &SpeedProfile::Uniform(2.0), &tr).is_empty());
+    }
+
+    #[test]
+    fn preemption_splits_work_correctly() {
+        let (inst, speeds) = fixture();
+        let mut tr = Trace::default();
+        tr.push(0.0, NodeId(2), JobId(0), TraceKind::Arrive);
+        tr.push(0.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(0.5, NodeId(1), JobId(0), TraceKind::Preempt);
+        tr.push(1.0, NodeId(1), JobId(0), TraceKind::Start);
+        tr.push(2.5, NodeId(1), JobId(0), TraceKind::FinishHop); // 0.5 + 1.5 = 2 ✓
+        tr.push(2.5, NodeId(2), JobId(0), TraceKind::Start);
+        tr.push(4.5, NodeId(2), JobId(0), TraceKind::FinishHop);
+        tr.push(4.5, NodeId(2), JobId(0), TraceKind::Complete);
+        assert!(check(&inst, &speeds, &tr).is_empty());
+    }
+}

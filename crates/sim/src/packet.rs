@@ -1,0 +1,334 @@
+//! Packetized ("small pieces") routing — the paper's claimed extension.
+//!
+//! §2 of the paper notes that all results extend to the setting where a
+//! job's data may be cut into small packets while being routed: packets
+//! of one job traverse routers independently, which removes the extra
+//! interior congestion that store-and-forward of whole jobs creates.
+//! The leaf still needs the job's *entire* data before processing
+//! starts, and leaf processing is unchanged.
+//!
+//! This module implements that semantics as its own (deliberately
+//! simple, rescan-per-event) engine:
+//!
+//! * job `j` becomes `K_j = ⌈p_j / packet_size⌉` equal packets of
+//!   router size `p_j/K_j`;
+//! * every router processes one packet at a time, preemptively, ordered
+//!   by the parent job's SJF priority (size, release, id) and then by
+//!   packet index — so packets of one job stay in order;
+//! * a packet becomes available at a node once fully forwarded by the
+//!   parent node (store-and-forward *per packet*);
+//! * the leaf starts the job's processing `p_{j,leaf}` only after the
+//!   last packet has arrived, and schedules jobs preemptively by SJF.
+//!
+//! Leaf assignments are an explicit input (replay the main algorithm's
+//! dispatch decisions), so experiment E12 compares pure routing
+//! semantics with everything else held fixed.
+
+use bct_core::time::EPS;
+use bct_core::{Instance, JobId, NodeId, SpeedProfile, Time};
+
+/// Result of a packetized run.
+#[derive(Clone, Debug)]
+pub struct PacketOutcome {
+    /// Completion time per job.
+    pub completions: Vec<Time>,
+    /// When the last packet of each job reached its leaf.
+    pub data_arrival: Vec<Time>,
+    /// Total flow time.
+    pub total_flow: Time,
+}
+
+#[derive(Clone, Debug)]
+struct Packet {
+    job: usize,
+    seq: usize,
+    hop: usize, // index into the job's router path (leaf excluded)
+    rem: Time,
+    arrived: bool, // released (the job has been released)
+    done: bool,    // delivered to the leaf
+}
+
+/// Run the packetized simulator.
+///
+/// # Panics
+/// Panics on invalid assignments/speeds or non-positive `packet_size`
+/// (this is an experiment engine, not a production path).
+pub fn run_packetized(
+    inst: &Instance,
+    assignments: &[NodeId],
+    speeds: &SpeedProfile,
+    packet_size: f64,
+) -> PacketOutcome {
+    assert!(packet_size > 0.0);
+    assert_eq!(assignments.len(), inst.n());
+    let tree = inst.tree();
+    let speed = speeds.materialize(tree).expect("valid speeds");
+    let n = inst.n();
+
+    // Router paths (leaf excluded) and per-job leaf work.
+    let paths: Vec<Vec<NodeId>> = assignments
+        .iter()
+        .enumerate()
+        .map(|(id, &leaf)| {
+            assert!(tree.is_leaf(leaf));
+            let mut p = inst.path_of(JobId(id as u32), leaf);
+            p.pop(); // the leaf hop is handled at job granularity
+            p
+        })
+        .collect();
+
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut packets_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        let p_j = inst.jobs()[j].size;
+        let k = (p_j / packet_size).ceil().max(1.0) as usize;
+        for seq in 0..k {
+            packets_of[j].push(packets.len());
+            packets.push(Packet {
+                job: j,
+                seq,
+                hop: 0,
+                rem: p_j / k as f64,
+                arrived: false,
+                done: false,
+            });
+        }
+    }
+
+    // Leaf-side job state.
+    let mut leaf_rem: Vec<Time> = (0..n)
+        .map(|j| inst.p(JobId(j as u32), assignments[j]))
+        .collect();
+    let mut data_arrival: Vec<Time> = vec![f64::INFINITY; n];
+    let mut completion: Vec<Time> = vec![f64::INFINITY; n];
+    let packet_count: Vec<usize> = packets_of.iter().map(Vec::len).collect();
+    let mut delivered: Vec<usize> = vec![0; n];
+    let mut next_arrival = 0usize;
+    let mut now: Time = 0.0;
+
+    // SJF priority of job j at router/leaf granularity.
+    let job_key = |j: usize, at_leaf: bool| -> (f64, f64, usize) {
+        let jid = JobId(j as u32);
+        let p = if at_leaf {
+            inst.p(jid, assignments[j])
+        } else {
+            inst.jobs()[j].size
+        };
+        (p, inst.jobs()[j].release, j)
+    };
+
+    loop {
+        // --- Select per router: best packet; per leaf: best ready job. ---
+        let mut router_pick: Vec<Option<usize>> = vec![None; tree.len()];
+        for (pi, p) in packets.iter().enumerate() {
+            if !p.arrived || p.done || paths[p.job].is_empty() {
+                continue;
+            }
+            let v = paths[p.job][p.hop].as_usize();
+            let key = (job_key(p.job, false), p.seq);
+            let better = match router_pick[v] {
+                None => true,
+                Some(other) => {
+                    let o = &packets[other];
+                    key < (job_key(o.job, false), o.seq)
+                }
+            };
+            if better {
+                router_pick[v] = Some(pi);
+            }
+        }
+        // Packets of jobs whose router path is empty (leaf at depth...)
+        // cannot exist: every leaf has depth ≥ 2 so paths have ≥ 1 router.
+        let mut leaf_pick: Vec<Option<usize>> = vec![None; tree.len()];
+        for j in 0..n {
+            if data_arrival[j].is_finite() && completion[j].is_infinite() {
+                let v = assignments[j].as_usize();
+                let better = match leaf_pick[v] {
+                    None => true,
+                    Some(other) => job_key(j, true) < job_key(other, true),
+                };
+                if better {
+                    leaf_pick[v] = Some(j);
+                }
+            }
+        }
+
+        // --- Next event time. ---
+        let mut t_next = f64::INFINITY;
+        for v in tree.nodes() {
+            if let Some(pi) = router_pick[v.as_usize()] {
+                t_next = t_next.min(now + packets[pi].rem / speed[v.as_usize()]);
+            }
+            if let Some(j) = leaf_pick[v.as_usize()] {
+                t_next = t_next.min(now + leaf_rem[j] / speed[v.as_usize()]);
+            }
+        }
+        if next_arrival < n {
+            t_next = t_next.min(inst.jobs()[next_arrival].release);
+        }
+        if !t_next.is_finite() {
+            break;
+        }
+        let dt = (t_next - now).max(0.0);
+
+        // --- Advance work. ---
+        for v in tree.nodes() {
+            if let Some(pi) = router_pick[v.as_usize()] {
+                packets[pi].rem = (packets[pi].rem - speed[v.as_usize()] * dt).max(0.0);
+            }
+            if let Some(j) = leaf_pick[v.as_usize()] {
+                leaf_rem[j] = (leaf_rem[j] - speed[v.as_usize()] * dt).max(0.0);
+            }
+        }
+        now = t_next;
+
+        // --- Packet hop completions (cascade within the instant). ---
+        loop {
+            let mut progressed = false;
+            for pi in 0..packets.len() {
+                let p = &mut packets[pi];
+                if p.arrived && !p.done && p.rem <= EPS {
+                    p.hop += 1;
+                    if p.hop == paths[p.job].len() {
+                        p.done = true;
+                        delivered[p.job] += 1;
+                        if delivered[p.job] == packet_count[p.job] {
+                            data_arrival[p.job] = now;
+                        }
+                    } else {
+                        let pj = inst.jobs()[p.job].size;
+                        p.rem = pj / packet_count[p.job] as f64;
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        // --- Leaf completions. ---
+        for j in 0..n {
+            if data_arrival[j].is_finite() && completion[j].is_infinite() && leaf_rem[j] <= EPS {
+                completion[j] = now;
+            }
+        }
+
+        // --- Arrivals. ---
+        while next_arrival < n && inst.jobs()[next_arrival].release <= now + EPS {
+            if paths[next_arrival].is_empty() {
+                // Origin == leaf: the data is already in place.
+                for &pi in &packets_of[next_arrival] {
+                    packets[pi].arrived = true;
+                    packets[pi].done = true;
+                }
+                delivered[next_arrival] = packet_count[next_arrival];
+                data_arrival[next_arrival] = now;
+            } else {
+                for &pi in &packets_of[next_arrival] {
+                    packets[pi].arrived = true;
+                }
+            }
+            next_arrival += 1;
+        }
+    }
+
+    assert!(
+        completion.iter().all(|c| c.is_finite()),
+        "packetized run must drain"
+    );
+    let total_flow = completion
+        .iter()
+        .zip(inst.jobs())
+        .map(|(c, j)| c - j.release)
+        .sum();
+    PacketOutcome {
+        completions: completion,
+        data_arrival,
+        total_flow,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bct_core::tree::TreeBuilder;
+    use bct_core::Job;
+
+    /// root -> r -> m -> leaf.
+    fn chain() -> (bct_core::Tree, NodeId) {
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        let m = b.add_child(r);
+        let leaf = b.add_child(m);
+        (b.build().unwrap(), leaf)
+    }
+
+    #[test]
+    fn single_job_pipelines_across_routers() {
+        // p = 4, packet 1, two routers + leaf, unit speed.
+        // Store-and-forward would take 4 + 4 + 4 = 12. Pipelined: last
+        // packet leaves r at t=4, finishes m at t=5; leaf runs 5..9.
+        let (t, leaf) = chain();
+        let inst = Instance::new(t, vec![Job::identical(0u32, 0.0, 4.0)]).unwrap();
+        let out = run_packetized(&inst, &[leaf], &SpeedProfile::unit(), 1.0);
+        assert!((out.data_arrival[0] - 5.0).abs() < 1e-6, "{out:?}");
+        assert!((out.completions[0] - 9.0).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn whole_job_packets_reduce_to_store_and_forward() {
+        // packet_size ≥ p_j: identical to the whole-job engine.
+        let (t, leaf) = chain();
+        let inst = Instance::new(t, vec![Job::identical(0u32, 0.0, 4.0)]).unwrap();
+        let out = run_packetized(&inst, &[leaf], &SpeedProfile::unit(), 100.0);
+        assert!((out.completions[0] - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn leaf_waits_for_all_data() {
+        // Even with tiny packets, the leaf cannot start early: completion
+        // ≥ data_arrival + p_leaf at unit speed.
+        let (t, leaf) = chain();
+        let inst = Instance::new(t, vec![Job::identical(0u32, 0.0, 2.0)]).unwrap();
+        let out = run_packetized(&inst, &[leaf], &SpeedProfile::unit(), 0.25);
+        assert!(out.completions[0] >= out.data_arrival[0] + 2.0 - 1e-6);
+    }
+
+    #[test]
+    fn sjf_priority_holds_between_jobs() {
+        // Big job first, small job arrives: small packets overtake.
+        let (t, leaf) = chain();
+        let inst = Instance::new(
+            t,
+            vec![
+                Job::identical(0u32, 0.0, 8.0),
+                Job::identical(1u32, 1.0, 1.0),
+            ],
+        )
+        .unwrap();
+        let out = run_packetized(&inst, &[leaf, leaf], &SpeedProfile::unit(), 1.0);
+        assert!(
+            out.completions[1] < out.completions[0],
+            "small job must finish first: {out:?}"
+        );
+    }
+
+    #[test]
+    fn packetized_never_slower_than_store_and_forward_single_job() {
+        // For a lone job, store-and-forward takes d·p = 18; pipelining
+        // with any packet size can only help.
+        let (t, leaf) = chain();
+        let inst = Instance::new(t, vec![Job::identical(0u32, 0.0, 6.0)]).unwrap();
+        let mut prev = f64::INFINITY;
+        for ps in [6.0, 3.0, 2.0, 1.0, 0.5] {
+            let out = run_packetized(&inst, &[leaf], &SpeedProfile::unit(), ps);
+            assert!(out.completions[0] <= 18.0 + 1e-6, "ps={ps}: {out:?}");
+            assert!(
+                out.completions[0] <= prev + 1e-6,
+                "smaller packets can only help a lone job: ps={ps}"
+            );
+            prev = out.completions[0];
+        }
+    }
+}

@@ -1,0 +1,647 @@
+//! Live simulation state and the read-only [`SimView`] handed to
+//! policies and probes.
+//!
+//! Progress is materialized lazily: each node's in-flight job stores its
+//! remaining work as of a timestamp (`rem`, `rem_as_of`); the true
+//! remaining at time `t` is `rem − s_v·(t − rem_as_of)`. Nothing is
+//! touched until the node's state changes, so the engine never pays
+//! `O(m)` per event.
+//!
+//! The paper's queue notation maps onto this module as follows, for an
+//! algorithm `A` at time `t`:
+//!
+//! * `Q_v^A(t)` — jobs released by `t`, routed through `v`, not yet done
+//!   at `v` → [`SimView::q`].
+//! * `p_{j,v}^A(t)` — remaining processing of `j` at `v` (full size if
+//!   `j` hasn't reached `v` yet, 0 if past it) → [`SimView::remaining_at`].
+//! * `S_{v,j}^A(t)` — the higher-priority prefix of `Q_v^A(t)` under the
+//!   node policy, including `j` itself → assembled by callers from
+//!   [`SimView::q`] plus the policy key.
+
+use crate::policy::{KeyCtx, NodePolicy, PolicyKey};
+use bct_core::time::{approx_le, snap_nonneg};
+use bct_core::{Instance, JobId, NodeId, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Per-job dynamic state.
+#[derive(Clone, Debug)]
+pub(crate) struct JobRun {
+    /// Root→leaf path (starting at the root-adjacent node). Empty until
+    /// the job is released and assigned.
+    pub path: Vec<NodeId>,
+    /// Index into `path` of the node the job currently needs; equals
+    /// `path.len()` once complete.
+    pub hop: usize,
+    /// Remaining work at the current hop, as of `rem_as_of`.
+    pub rem: Time,
+    /// Timestamp at which `rem` was last materialized.
+    pub rem_as_of: Time,
+    /// True while the current hop's node is actively processing it.
+    pub working: bool,
+    /// When the job became available at its current hop.
+    pub hop_arrival: Time,
+    /// Completion time, once finished at the leaf.
+    pub completion: Option<Time>,
+    /// Finish time at each hop, filled as the job advances.
+    pub hop_finishes: Vec<Time>,
+    /// Position of this job inside `q_members[path[h]]` for each hop
+    /// index `h` (kept in sync by swap-removal).
+    pub q_pos: Vec<u32>,
+}
+
+impl JobRun {
+    fn unreleased() -> JobRun {
+        JobRun {
+            path: Vec::new(),
+            hop: 0,
+            rem: 0.0,
+            rem_as_of: 0.0,
+            working: false,
+            hop_arrival: 0.0,
+            completion: None,
+            hop_finishes: Vec::new(),
+            q_pos: Vec::new(),
+        }
+    }
+
+    /// True once the job has been released and dispatched.
+    pub fn released(&self) -> bool {
+        !self.path.is_empty()
+    }
+
+    /// True once the job finished at its leaf.
+    pub fn completed(&self) -> bool {
+        self.completion.is_some()
+    }
+}
+
+/// Per-node dynamic state.
+#[derive(Debug)]
+pub(crate) struct NodeState {
+    /// Waiting jobs (not the one being processed), min-key first.
+    pub heap: BinaryHeap<Reverse<(PolicyKey, JobId)>>,
+    /// The job being processed, with the key it was last ranked at.
+    pub current: Option<(JobId, PolicyKey)>,
+    /// Bumped whenever `current` changes; stale finish events are
+    /// recognized by version mismatch.
+    pub version: u64,
+    /// Accumulated busy time.
+    pub busy: Time,
+    /// Start of the current busy stretch (valid while `current.is_some()`).
+    pub busy_since: Time,
+}
+
+impl NodeState {
+    fn new() -> NodeState {
+        NodeState {
+            heap: BinaryHeap::new(),
+            current: None,
+            version: 0,
+            busy: 0.0,
+            busy_since: 0.0,
+        }
+    }
+}
+
+/// The complete mutable simulation state.
+pub struct SimState<'a> {
+    pub(crate) instance: &'a Instance,
+    pub(crate) speeds: Vec<f64>,
+    pub(crate) now: Time,
+    pub(crate) nodes: Vec<NodeState>,
+    pub(crate) jobs: Vec<JobRun>,
+    /// `Q_v(t)` membership: `(job, hop index of v in the job's path)`.
+    pub(crate) q_members: Vec<Vec<(JobId, u32)>>,
+    // --- exact objective accounting ---
+    pub(crate) frac_sum: f64,
+    pub(crate) frac_rate: f64,
+    pub(crate) frac_integral: f64,
+    pub(crate) count_integral: f64,
+    pub(crate) unfinished: usize,
+    pub(crate) completed: usize,
+}
+
+impl<'a> SimState<'a> {
+    pub(crate) fn new(instance: &'a Instance, speeds: Vec<f64>) -> SimState<'a> {
+        let m = instance.tree().len();
+        SimState {
+            instance,
+            speeds,
+            now: 0.0,
+            nodes: (0..m).map(|_| NodeState::new()).collect(),
+            jobs: (0..instance.n()).map(|_| JobRun::unreleased()).collect(),
+            q_members: vec![Vec::new(); m],
+            frac_sum: 0.0,
+            frac_rate: 0.0,
+            frac_integral: 0.0,
+            count_integral: 0.0,
+            unfinished: 0,
+            completed: 0,
+        }
+    }
+
+    /// Advance the clock to `t`, integrating both objectives exactly
+    /// (the fractional sum is linear between events, so its integral is
+    /// the closed-form quadrature below).
+    pub(crate) fn advance(&mut self, t: Time) {
+        debug_assert!(approx_le(self.now, t), "time went backwards: {} -> {t}", self.now);
+        let dt = (t - self.now).max(0.0);
+        if dt > 0.0 {
+            self.frac_integral += self.frac_sum * dt - 0.5 * self.frac_rate * dt * dt;
+            self.frac_sum = snap_nonneg(self.frac_sum - self.frac_rate * dt);
+            self.count_integral += self.unfinished as f64 * dt;
+            self.now = t;
+        }
+    }
+
+    /// Speed of node `v`.
+    #[inline]
+    pub(crate) fn speed(&self, v: NodeId) -> f64 {
+        self.speeds[v.as_usize()]
+    }
+
+    /// Bring the node's in-flight job's `rem` up to `now`.
+    pub(crate) fn materialize_current(&mut self, v: NodeId) {
+        if let Some((j, _)) = self.nodes[v.as_usize()].current {
+            let s = self.speed(v);
+            let jr = &mut self.jobs[j.as_usize()];
+            debug_assert!(jr.working);
+            jr.rem = snap_nonneg(jr.rem - s * (self.now - jr.rem_as_of));
+            jr.rem_as_of = self.now;
+        }
+    }
+
+    /// Live remaining work of job `j` at its current hop.
+    pub(crate) fn live_rem(&self, j: JobId) -> Time {
+        let jr = &self.jobs[j.as_usize()];
+        if jr.working {
+            let v = jr.path[jr.hop];
+            snap_nonneg(jr.rem - self.speed(v) * (self.now - jr.rem_as_of))
+        } else {
+            jr.rem
+        }
+    }
+
+    /// Register a freshly released job: record its path and enter it
+    /// into `Q_v` for every hop. Does not enqueue it anywhere yet.
+    pub(crate) fn admit(&mut self, j: JobId, leaf: NodeId) {
+        let path = self.instance.path_of(j, leaf);
+        debug_assert!(!path.is_empty());
+        let jr = &mut self.jobs[j.as_usize()];
+        debug_assert!(!jr.released(), "job admitted twice");
+        jr.q_pos = Vec::with_capacity(path.len());
+        for (h, &v) in path.iter().enumerate() {
+            jr.q_pos.push(self.q_members[v.as_usize()].len() as u32);
+            self.q_members[v.as_usize()].push((j, h as u32));
+        }
+        let jr = &mut self.jobs[j.as_usize()];
+        jr.hop = 0;
+        jr.rem = self.instance.p(j, path[0]);
+        jr.rem_as_of = self.now;
+        jr.hop_arrival = self.now;
+        jr.working = false;
+        jr.hop_finishes = Vec::with_capacity(path.len());
+        jr.path = path;
+        self.frac_sum += 1.0;
+        self.unfinished += 1;
+    }
+
+    /// Make `j` available at node `v` (its current hop) and resolve
+    /// preemption. Returns `true` iff the node's current job changed
+    /// (caller must bump scheduling).
+    pub(crate) fn enqueue(&mut self, v: NodeId, j: JobId, policy: &dyn NodePolicy) -> bool {
+        let key = self.key_of(policy, v, j, self.live_rem(j));
+        let vi = v.as_usize();
+        match self.nodes[vi].current {
+            None => {
+                self.start(v, j, key);
+                true
+            }
+            Some((cur, _)) => {
+                // Recompute the incumbent's key on its live remaining so
+                // dynamic policies (SRPT) compare fairly.
+                self.materialize_current(v);
+                let cur_rem = self.jobs[cur.as_usize()].rem;
+                let cur_key = self.key_of(policy, v, cur, cur_rem);
+                self.nodes[vi].current = Some((cur, cur_key));
+                if key < cur_key {
+                    self.stop_current(v);
+                    self.nodes[vi].heap.push(Reverse((cur_key, cur)));
+                    self.start(v, j, key);
+                    true
+                } else {
+                    self.nodes[vi].heap.push(Reverse((key, j)));
+                    false
+                }
+            }
+        }
+    }
+
+    fn key_of(&self, policy: &dyn NodePolicy, v: NodeId, j: JobId, remaining: Time) -> PolicyKey {
+        policy.key(&KeyCtx {
+            instance: self.instance,
+            node: v,
+            job: j,
+            now: self.now,
+            remaining,
+            arrived_at_node: self.jobs[j.as_usize()].hop_arrival,
+        })
+    }
+
+    /// Begin processing `j` on `v` (which must be idle).
+    fn start(&mut self, v: NodeId, j: JobId, key: PolicyKey) {
+        let vi = v.as_usize();
+        debug_assert!(self.nodes[vi].current.is_none());
+        self.nodes[vi].current = Some((j, key));
+        self.nodes[vi].version += 1;
+        self.nodes[vi].busy_since = self.now;
+        let jr = &mut self.jobs[j.as_usize()];
+        debug_assert!(!jr.working && jr.path[jr.hop] == v);
+        jr.working = true;
+        jr.rem_as_of = self.now;
+        if self.instance.tree().is_leaf(v) {
+            self.frac_rate += self.speed(v) / self.instance.p(j, v);
+        }
+    }
+
+    /// Stop processing the node's current job (for preemption or hop
+    /// completion); leaves `current = None`. The job's `rem` must
+    /// already be materialized.
+    fn stop_current(&mut self, v: NodeId) {
+        let vi = v.as_usize();
+        let (j, _) = self.nodes[vi].current.take().expect("stopping an idle node");
+        self.nodes[vi].version += 1;
+        self.nodes[vi].busy += self.now - self.nodes[vi].busy_since;
+        let jr = &mut self.jobs[j.as_usize()];
+        debug_assert!(jr.working);
+        jr.working = false;
+        if self.instance.tree().is_leaf(v) {
+            self.frac_rate = snap_nonneg(self.frac_rate - self.speed(v) / self.instance.p(j, v));
+        }
+    }
+
+    /// Finish the current job's hop at `v`. Returns the job, which is
+    /// afterwards either complete or waiting to be enqueued at the next
+    /// hop by the caller.
+    pub(crate) fn finish_current_hop(&mut self, v: NodeId) -> JobId {
+        self.materialize_current(v);
+        let (j, _) = self.nodes[v.as_usize()].current.expect("finishing an idle node");
+        debug_assert!(
+            self.jobs[j.as_usize()].rem < 1e-4,
+            "finish fired with {} work left",
+            self.jobs[j.as_usize()].rem
+        );
+        self.jobs[j.as_usize()].rem = 0.0;
+        self.stop_current(v);
+        self.remove_from_q(v, j);
+        let jr = &mut self.jobs[j.as_usize()];
+        jr.hop_finishes.push(self.now);
+        jr.hop += 1;
+        if jr.hop == jr.path.len() {
+            jr.completion = Some(self.now);
+            self.unfinished -= 1;
+            self.completed += 1;
+        } else {
+            let next = jr.path[jr.hop];
+            jr.hop_arrival = self.now;
+            jr.rem = self.instance.p(j, next);
+            jr.rem_as_of = self.now;
+        }
+        j
+    }
+
+    /// Pull the next job (if any) from `v`'s waiting heap and start it.
+    /// Returns `true` if a job was started.
+    pub(crate) fn pick_next(&mut self, v: NodeId) -> bool {
+        let vi = v.as_usize();
+        debug_assert!(self.nodes[vi].current.is_none());
+        if let Some(Reverse((key, j))) = self.nodes[vi].heap.pop() {
+            self.start(v, j, key);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop `j` from `Q_v` with position-tracked swap removal.
+    fn remove_from_q(&mut self, v: NodeId, j: JobId) {
+        let jr = &self.jobs[j.as_usize()];
+        let h = jr
+            .path
+            .iter()
+            .position(|&u| u == v)
+            .expect("job routed through node");
+        let pos = jr.q_pos[h] as usize;
+        let q = &mut self.q_members[v.as_usize()];
+        debug_assert_eq!(q[pos].0, j);
+        q.swap_remove(pos);
+        if pos < q.len() {
+            let (moved, moved_hop) = q[pos];
+            self.jobs[moved.as_usize()].q_pos[moved_hop as usize] = pos as u32;
+        }
+    }
+
+    /// Predicted finish time of `v`'s current job at its speed.
+    pub(crate) fn predicted_finish(&self, v: NodeId) -> Option<Time> {
+        let (j, _) = self.nodes[v.as_usize()].current?;
+        let jr = &self.jobs[j.as_usize()];
+        Some(jr.rem_as_of + jr.rem / self.speed(v))
+    }
+
+    /// Read-only view for policies and probes.
+    pub fn view(&self) -> SimView<'_> {
+        SimView { state: self }
+    }
+
+    /// Scheduling version of a node (bumped on every current-job change).
+    pub(crate) fn node_version(&self, v: NodeId) -> u64 {
+        self.nodes[v.as_usize()].version
+    }
+
+    /// Hop finish times recorded for a job so far.
+    pub(crate) fn hop_finishes_of(&self, j: JobId) -> &[Time] {
+        &self.jobs[j.as_usize()].hop_finishes
+    }
+
+    /// Accumulated fractional-flow integral.
+    pub(crate) fn frac_integral(&self) -> Time {
+        self.frac_integral
+    }
+
+    /// Accumulated `∫ #unfinished dt`.
+    pub(crate) fn count_integral(&self) -> Time {
+        self.count_integral
+    }
+
+    /// Busy time per node, counting in-progress stretches up to `now`.
+    pub(crate) fn node_busy(&self) -> Vec<Time> {
+        self.nodes
+            .iter()
+            .map(|ns| {
+                if ns.current.is_some() {
+                    ns.busy + (self.now - ns.busy_since)
+                } else {
+                    ns.busy
+                }
+            })
+            .collect()
+    }
+}
+
+/// Read-only window onto a running simulation — the interface the
+/// paper's assignment rule, the Lemma-bound calculators, and the
+/// dual-fitting verifier all consume.
+#[derive(Clone, Copy)]
+pub struct SimView<'s> {
+    state: &'s SimState<'s>,
+}
+
+impl<'s> SimView<'s> {
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.state.now
+    }
+
+    /// The instance being simulated.
+    #[inline]
+    pub fn instance(&self) -> &'s Instance {
+        self.state.instance
+    }
+
+    /// Speed of node `v`.
+    #[inline]
+    pub fn speed(&self, v: NodeId) -> f64 {
+        self.state.speed(v)
+    }
+
+    /// `Q_v(t)`: jobs released by now, routed through `v`, not yet
+    /// finished at `v` (includes jobs still upstream of `v`).
+    pub fn q(&self, v: NodeId) -> impl Iterator<Item = JobId> + '_ {
+        self.state.q_members[v.as_usize()].iter().map(|&(j, _)| j)
+    }
+
+    /// Size of `Q_v(t)`.
+    pub fn q_len(&self, v: NodeId) -> usize {
+        self.state.q_members[v.as_usize()].len()
+    }
+
+    /// `p^A_{j,v}(t)`: remaining processing of `j` at `v` — the full
+    /// requirement if `j` hasn't reached `v`, the live remainder if it
+    /// is at `v`, and 0 if it already finished there (or isn't routed
+    /// through `v` / isn't released).
+    pub fn remaining_at(&self, j: JobId, v: NodeId) -> Time {
+        let jr = &self.state.jobs[j.as_usize()];
+        if !jr.released() {
+            return 0.0;
+        }
+        match jr.path.iter().position(|&u| u == v) {
+            None => 0.0,
+            Some(h) if h < jr.hop => 0.0,
+            Some(h) if h == jr.hop => self.state.live_rem(j),
+            Some(_) => self.state.instance.p(j, v),
+        }
+    }
+
+    /// The leaf `j` was dispatched to, if released.
+    pub fn assigned_leaf(&self, j: JobId) -> Option<NodeId> {
+        let jr = &self.state.jobs[j.as_usize()];
+        jr.path.last().copied()
+    }
+
+    /// The job's root→leaf path (empty if unreleased).
+    pub fn path(&self, j: JobId) -> &'s [NodeId] {
+        &self.state.jobs[j.as_usize()].path
+    }
+
+    /// Index of the hop the job currently needs (== path len if done).
+    pub fn hop(&self, j: JobId) -> usize {
+        self.state.jobs[j.as_usize()].hop
+    }
+
+    /// The node the job is currently available at, if in flight.
+    pub fn current_node_of(&self, j: JobId) -> Option<NodeId> {
+        let jr = &self.state.jobs[j.as_usize()];
+        if jr.released() && !jr.completed() {
+            Some(jr.path[jr.hop])
+        } else {
+            None
+        }
+    }
+
+    /// When the job became available at its current hop.
+    pub fn hop_arrival(&self, j: JobId) -> Time {
+        self.state.jobs[j.as_usize()].hop_arrival
+    }
+
+    /// True once released and dispatched.
+    pub fn released(&self, j: JobId) -> bool {
+        self.state.jobs[j.as_usize()].released()
+    }
+
+    /// Completion time, if finished.
+    pub fn completion(&self, j: JobId) -> Option<Time> {
+        self.state.jobs[j.as_usize()].completion
+    }
+
+    /// The job a node is processing right now.
+    pub fn current_job(&self, v: NodeId) -> Option<JobId> {
+        self.state.nodes[v.as_usize()].current.map(|(j, _)| j)
+    }
+
+    /// Number of incomplete released jobs.
+    pub fn unfinished(&self) -> usize {
+        self.state.unfinished
+    }
+
+    /// The running fractional-flow integral (the algorithm's fractional
+    /// cost so far).
+    pub fn fractional_flow_so_far(&self) -> Time {
+        self.state.frac_integral
+    }
+
+    /// The instantaneous fractional queue mass
+    /// `Σ_j p^A_{j,leaf_j}(t)/p_{j,leaf_j}` over unfinished jobs.
+    pub fn frac_sum(&self) -> f64 {
+        self.state.frac_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::NodePolicy;
+    use bct_core::tree::TreeBuilder;
+    use bct_core::{Instance, Job};
+
+    struct SizeOrder;
+
+    impl NodePolicy for SizeOrder {
+        fn name(&self) -> &'static str {
+            "size"
+        }
+        fn key(&self, ctx: &KeyCtx<'_>) -> PolicyKey {
+            PolicyKey::new(
+                ctx.instance.p(ctx.job, ctx.node),
+                ctx.instance.job(ctx.job).release,
+                ctx.job.0,
+            )
+        }
+    }
+
+    fn fixture() -> Instance {
+        // root -> r(1) -> leaf(2)
+        let mut b = TreeBuilder::new();
+        let r = b.add_child(NodeId::ROOT);
+        b.add_child(r);
+        Instance::new(
+            b.build().unwrap(),
+            vec![
+                Job::identical(0u32, 0.0, 4.0),
+                Job::identical(1u32, 0.0, 2.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn state(inst: &Instance) -> SimState<'_> {
+        SimState::new(inst, vec![1.0; inst.tree().len()])
+    }
+
+    #[test]
+    fn admit_registers_queue_membership() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        st.admit(JobId(0), NodeId(2));
+        assert_eq!(st.view().q_len(NodeId(1)), 1);
+        assert_eq!(st.view().q_len(NodeId(2)), 1);
+        assert_eq!(st.view().remaining_at(JobId(0), NodeId(1)), 4.0);
+        assert_eq!(st.view().remaining_at(JobId(0), NodeId(2)), 4.0);
+        assert_eq!(st.view().unfinished(), 1);
+        assert_eq!(st.view().frac_sum(), 1.0);
+    }
+
+    #[test]
+    fn enqueue_preempts_on_smaller_key() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        st.admit(JobId(0), NodeId(2));
+        assert!(st.enqueue(NodeId(1), JobId(0), &SizeOrder), "idle node starts");
+        st.admit(JobId(1), NodeId(2));
+        // Smaller job (size 2) preempts the size-4 incumbent.
+        assert!(st.enqueue(NodeId(1), JobId(1), &SizeOrder));
+        assert_eq!(st.view().current_job(NodeId(1)), Some(JobId(1)));
+    }
+
+    #[test]
+    fn lazy_remaining_materializes_on_advance() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        st.advance(1.5);
+        // View computes live remaining without mutation.
+        assert!((st.view().remaining_at(JobId(0), NodeId(1)) - 2.5).abs() < 1e-9);
+        // Downstream hop is untouched.
+        assert_eq!(st.view().remaining_at(JobId(0), NodeId(2)), 4.0);
+    }
+
+    #[test]
+    fn finish_hop_moves_the_job_and_updates_queues() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        st.advance(4.0);
+        let j = st.finish_current_hop(NodeId(1));
+        assert_eq!(j, JobId(0));
+        assert_eq!(st.view().q_len(NodeId(1)), 0, "left the router's queue");
+        assert_eq!(st.view().q_len(NodeId(2)), 1, "still queued at the leaf");
+        assert_eq!(st.view().current_node_of(JobId(0)), Some(NodeId(2)));
+        assert_eq!(st.view().hop(JobId(0)), 1);
+        assert!(st.view().completion(JobId(0)).is_none());
+    }
+
+    #[test]
+    fn completion_bookkeeping() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        st.advance(4.0);
+        st.finish_current_hop(NodeId(1));
+        st.enqueue(NodeId(2), JobId(0), &SizeOrder);
+        st.advance(8.0);
+        st.finish_current_hop(NodeId(2));
+        assert_eq!(st.view().completion(JobId(0)), Some(8.0));
+        assert_eq!(st.view().unfinished(), 0);
+        assert!(st.view().frac_sum().abs() < 1e-9);
+        // Fractional integral: 1.0 for 4 time units + linear 1→0 over 4 = 6.
+        assert!((st.frac_integral() - 6.0).abs() < 1e-9, "{}", st.frac_integral());
+    }
+
+    #[test]
+    fn predicted_finish_accounts_for_speed() {
+        let inst = fixture();
+        let mut st = SimState::new(&inst, vec![1.0, 2.0, 1.0]);
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        assert_eq!(st.predicted_finish(NodeId(1)), Some(2.0)); // 4 work at speed 2
+        assert_eq!(st.predicted_finish(NodeId(2)), None);
+    }
+
+    #[test]
+    fn node_versions_bump_on_changes() {
+        let inst = fixture();
+        let mut st = state(&inst);
+        let v0 = st.node_version(NodeId(1));
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        let v1 = st.node_version(NodeId(1));
+        assert!(v1 > v0, "start bumps the version");
+        st.admit(JobId(1), NodeId(2));
+        st.enqueue(NodeId(1), JobId(1), &SizeOrder);
+        assert!(st.node_version(NodeId(1)) > v1, "preemption bumps twice");
+    }
+}

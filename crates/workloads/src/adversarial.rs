@@ -1,0 +1,116 @@
+//! Structured stress instances.
+//!
+//! These patterns are the classic hard cases for flow-time scheduling
+//! (cf. the Ω-lower-bound constructions of Leonardi–Raz, ref \[30\] of the
+//! paper): bursts that saturate a layer, convoys of large jobs followed
+//! by streams of small ones, and alternating size classes that punish
+//! congestion-blind assignment.
+
+use bct_core::{Instance, Job, Tree};
+
+/// `n` unit jobs all released at time ~0 — pure batch congestion.
+pub fn burst(tree: &Tree, n: usize, size: f64) -> Instance {
+    let jobs = (0..n)
+        .map(|i| Job::identical(i as u32, i as f64 * 1e-9, size))
+        .collect();
+    Instance::new(tree.clone(), jobs).expect("valid burst")
+}
+
+/// A convoy: `n_big` jobs of size `big` at time 0, then a stream of
+/// `n_small` jobs of size `small` with gap `gap`. SJF must let the small
+/// stream overtake; FIFO strands it behind the convoy.
+pub fn convoy(tree: &Tree, n_big: usize, big: f64, n_small: usize, small: f64, gap: f64) -> Instance {
+    let mut jobs = Vec::with_capacity(n_big + n_small);
+    for i in 0..n_big {
+        jobs.push(Job::identical(i as u32, i as f64 * 1e-9, big));
+    }
+    let start = 1e-3;
+    for i in 0..n_small {
+        jobs.push(Job::identical(
+            (n_big + i) as u32,
+            start + i as f64 * gap,
+            small,
+        ));
+    }
+    Instance::new(tree.clone(), jobs).expect("valid convoy")
+}
+
+/// Leonardi–Raz-flavored stream: phases `k = 0, 1, …` where phase `k`
+/// releases `count_k = base^k` jobs of size `big/base^k` back-to-back —
+/// total volume per phase is constant, so any algorithm that commits
+/// long jobs to few machines accumulates backlog.
+pub fn geometric_phases(tree: &Tree, phases: u32, base: f64, big: f64) -> Instance {
+    let mut jobs = Vec::new();
+    let mut t = 0.0;
+    let mut id = 0u32;
+    for k in 0..phases {
+        let count = base.powi(k as i32).round() as usize;
+        let size = big / base.powi(k as i32);
+        for _ in 0..count {
+            jobs.push(Job::identical(id, t, size));
+            id += 1;
+            t += 1e-9;
+        }
+        t += big / base.powi(k as i32); // one job's worth of spacing
+    }
+    Instance::new(tree.clone(), jobs).expect("valid phases")
+}
+
+/// Alternating sizes aimed at one branch: pairs (small, huge) released
+/// together; a congestion-blind rule that sends both to the closest
+/// leaf stacks the smalls behind the huges.
+pub fn alternating(tree: &Tree, pairs: usize, small: f64, huge: f64, gap: f64) -> Instance {
+    let mut jobs = Vec::with_capacity(2 * pairs);
+    let mut id = 0u32;
+    for i in 0..pairs {
+        let t = i as f64 * gap;
+        jobs.push(Job::identical(id, t, huge));
+        id += 1;
+        jobs.push(Job::identical(id, t + 1e-9, small));
+        id += 1;
+    }
+    Instance::new(tree.clone(), jobs).expect("valid alternating")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn burst_releases_everything_at_once() {
+        let t = topo::star(2, 2);
+        let inst = burst(&t, 10, 2.0);
+        assert_eq!(inst.n(), 10);
+        assert!(inst.last_release() < 1e-6);
+        assert_eq!(inst.total_size(), 20.0);
+    }
+
+    #[test]
+    fn convoy_orders_big_then_small() {
+        let t = topo::star(2, 2);
+        let inst = convoy(&t, 3, 50.0, 10, 1.0, 0.5);
+        assert_eq!(inst.n(), 13);
+        assert_eq!(inst.jobs()[0].size, 50.0);
+        assert_eq!(inst.jobs()[3].size, 1.0);
+        assert!(inst.jobs()[3].release > inst.jobs()[2].release);
+    }
+
+    #[test]
+    fn geometric_phases_preserve_volume() {
+        let t = topo::star(2, 2);
+        let inst = geometric_phases(&t, 4, 2.0, 8.0);
+        // phases: 1×8, 2×4, 4×2, 8×1 — 8 volume each.
+        assert_eq!(inst.n(), 1 + 2 + 4 + 8);
+        assert_eq!(inst.total_size(), 32.0);
+    }
+
+    #[test]
+    fn alternating_pairs() {
+        let t = topo::star(2, 2);
+        let inst = alternating(&t, 5, 1.0, 100.0, 10.0);
+        assert_eq!(inst.n(), 10);
+        assert_eq!(inst.jobs()[0].size, 100.0);
+        assert_eq!(inst.jobs()[1].size, 1.0);
+    }
+}

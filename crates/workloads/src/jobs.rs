@@ -1,0 +1,517 @@
+//! Job-sequence generators: arrival processes × size distributions ×
+//! unrelated-endpoint models.
+
+use bct_core::{CoreError, Instance, Job, Time, Tree};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How release times are spaced.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Poisson process with the given rate (mean gap `1/rate`).
+    Poisson {
+        /// Arrivals per unit time.
+        rate: f64,
+    },
+    /// Fixed gap between consecutive arrivals.
+    Uniform {
+        /// The constant inter-arrival gap.
+        gap: f64,
+    },
+    /// Bursts of `burst` back-to-back arrivals (tiny intra-burst gap),
+    /// separated by exponential gaps of mean `1/rate`.
+    Bursty {
+        /// Jobs per burst.
+        burst: usize,
+        /// Bursts per unit time.
+        rate: f64,
+    },
+    /// Everything at (almost) time zero — the batch/offline pattern.
+    Batch,
+}
+
+impl ArrivalProcess {
+    fn next_gap<R: Rng>(&self, rng: &mut R, index: usize) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => exp_sample(rng, rate),
+            ArrivalProcess::Uniform { gap } => gap,
+            ArrivalProcess::Bursty { burst, rate } => {
+                if index.is_multiple_of(burst) && index > 0 {
+                    exp_sample(rng, rate)
+                } else {
+                    1e-6
+                }
+            }
+            ArrivalProcess::Batch => 1e-6,
+        }
+    }
+}
+
+fn exp_sample<R: Rng>(rng: &mut R, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() / rate
+}
+
+/// Distribution of router sizes `p_j`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every job has the same size.
+    Fixed(f64),
+    /// Uniform over `[lo, hi]`.
+    Uniform {
+        /// Lower bound (> 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Pareto with shape `alpha` and scale `min` (heavy-tailed).
+    Pareto {
+        /// Tail exponent (> 1 for finite mean).
+        alpha: f64,
+        /// Minimum size.
+        min: f64,
+    },
+    /// `small` with probability `1 − p_large`, else `large`.
+    Bimodal {
+        /// The common small size.
+        small: f64,
+        /// The rare large size.
+        large: f64,
+        /// Probability of drawing `large`.
+        p_large: f64,
+    },
+    /// `base^k` for uniform `k ∈ [0, max_k]` — sizes already on the
+    /// paper's `(1+ε)^k` grid when `base = 1+ε`.
+    PowerOfBase {
+        /// The base (> 1).
+        base: f64,
+        /// Largest exponent.
+        max_k: u32,
+    },
+}
+
+impl SizeDist {
+    /// Draw one size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            SizeDist::Fixed(p) => p,
+            SizeDist::Uniform { lo, hi } => rng.gen_range(lo..=hi),
+            SizeDist::Pareto { alpha, min } => {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                min / u.powf(1.0 / alpha)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => {
+                if rng.gen_bool(p_large) {
+                    large
+                } else {
+                    small
+                }
+            }
+            SizeDist::PowerOfBase { base, max_k } => base.powi(rng.gen_range(0..=max_k) as i32),
+        }
+    }
+
+    /// Mean of the distribution (∞-free cases only; Pareto needs α>1).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            SizeDist::Fixed(p) => p,
+            SizeDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            SizeDist::Pareto { alpha, min } => {
+                assert!(alpha > 1.0, "Pareto mean needs alpha > 1");
+                alpha * min / (alpha - 1.0)
+            }
+            SizeDist::Bimodal {
+                small,
+                large,
+                p_large,
+            } => small * (1.0 - p_large) + large * p_large,
+            SizeDist::PowerOfBase { base, max_k } => {
+                let k = max_k as i32;
+                (0..=k).map(|i| base.powi(i)).sum::<f64>() / (k + 1) as f64
+            }
+        }
+    }
+}
+
+/// How per-leaf processing times relate to the router size in the
+/// unrelated setting.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UnrelatedModel {
+    /// `p_{j,v} = p_j · U[lo, hi]`, independent per (job, leaf).
+    UniformFactor {
+        /// Smallest multiplier.
+        lo: f64,
+        /// Largest multiplier.
+        hi: f64,
+    },
+    /// Related-machines special case: leaf `v` has speed `s_v` drawn
+    /// once per leaf from `U[lo, hi]`; `p_{j,v} = p_j / s_v`.
+    RelatedSpeeds {
+        /// Slowest machine speed.
+        lo: f64,
+        /// Fastest machine speed.
+        hi: f64,
+    },
+    /// Each job is "compatible" with each leaf independently with
+    /// probability `p_fast`; compatible leaves cost `p_j`, others
+    /// `p_j · slow_factor` — the affinity pattern of data-locality
+    /// scheduling.
+    Affinity {
+        /// Probability a leaf is fast for a job.
+        p_fast: f64,
+        /// Penalty multiplier on incompatible leaves.
+        slow_factor: f64,
+    },
+}
+
+/// A complete workload specification.
+///
+/// ```
+/// use bct_workloads::jobs::{SizeDist, WorkloadSpec};
+/// use bct_workloads::topo;
+///
+/// let tree = topo::fat_tree(2, 2, 2);
+/// let spec = WorkloadSpec::poisson_identical(
+///     50, 0.8, SizeDist::PowerOfBase { base: 2.0, max_k: 3 }, &tree);
+/// let a = spec.instance(&tree, 7).unwrap();
+/// let b = spec.instance(&tree, 7).unwrap();
+/// assert_eq!(a, b); // fully deterministic per seed
+/// assert_eq!(a.n(), 50);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of jobs.
+    pub n: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Router-size distribution.
+    pub sizes: SizeDist,
+    /// Leaf-size model (None = identical endpoints).
+    pub unrelated: Option<UnrelatedModel>,
+}
+
+impl WorkloadSpec {
+    /// Identical-endpoints Poisson workload with the given load factor
+    /// `ρ` relative to a tree: the arrival rate is chosen so that the
+    /// *bottleneck layer* (the root-adjacent nodes, which every job
+    /// crosses) has utilization `ρ` under uniform random assignment.
+    pub fn poisson_identical(n: usize, rho: f64, sizes: SizeDist, tree: &Tree) -> WorkloadSpec {
+        let branches = tree.root_adjacent().len() as f64;
+        let rate = rho * branches / sizes.mean();
+        WorkloadSpec {
+            n,
+            arrivals: ArrivalProcess::Poisson { rate },
+            sizes,
+            unrelated: None,
+        }
+    }
+
+    /// Generate the job sequence for `tree` with a fresh RNG per seed.
+    pub fn generate(&self, tree: &Tree, seed: u64) -> Vec<Job> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n_leaves = tree.num_leaves();
+        // Pre-draw per-leaf speeds for the related model.
+        let related_speeds: Vec<f64> = match self.unrelated {
+            Some(UnrelatedModel::RelatedSpeeds { lo, hi }) => {
+                (0..n_leaves).map(|_| rng.gen_range(lo..=hi)).collect()
+            }
+            _ => Vec::new(),
+        };
+        let mut t = 0.0;
+        (0..self.n)
+            .map(|i| {
+                t += self.arrivals.next_gap(&mut rng, i);
+                let p = self.sizes.sample(&mut rng);
+                match self.unrelated {
+                    None => Job::identical(i as u32, t, p),
+                    Some(model) => {
+                        let leaf_sizes: Vec<Time> = (0..n_leaves)
+                            .map(|l| match model {
+                                UnrelatedModel::UniformFactor { lo, hi } => {
+                                    p * rng.gen_range(lo..=hi)
+                                }
+                                UnrelatedModel::RelatedSpeeds { .. } => p / related_speeds[l],
+                                UnrelatedModel::Affinity {
+                                    p_fast,
+                                    slow_factor,
+                                } => {
+                                    if rng.gen_bool(p_fast) {
+                                        p
+                                    } else {
+                                        p * slow_factor
+                                    }
+                                }
+                            })
+                            .collect();
+                        Job::unrelated(i as u32, t, p, leaf_sizes)
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Generate and wrap into a validated [`Instance`].
+    pub fn instance(&self, tree: &Tree, seed: u64) -> Result<Instance, CoreError> {
+        Instance::new(tree.clone(), self.generate(tree, seed))
+    }
+}
+
+/// Give a fraction of an instance's jobs random *leaf* origins — the
+/// arbitrary-origin extension the paper's conclusion leaves open
+/// ("what can be shown if jobs arrive at arbitrary nodes?"). Each job
+/// independently becomes a leaf-origin job with probability `fraction`;
+/// its origin leaf is uniform. Deterministic per seed.
+pub fn with_random_leaf_origins(inst: &Instance, fraction: f64, seed: u64) -> Instance {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let leaves = inst.tree().leaves();
+    let jobs = inst
+        .jobs()
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            if rng.gen_bool(fraction) {
+                j.origin = Some(leaves[rng.gen_range(0..leaves.len())]);
+            }
+            j
+        })
+        .collect();
+    Instance::new(inst.tree().clone(), jobs).expect("origins preserve validity")
+}
+
+/// Give every job an independent random weight from `U[lo, hi]` — for
+/// the weighted flow-time objective of the paper's references \[3,13\].
+/// Deterministic per seed.
+pub fn with_random_weights(inst: &Instance, lo: f64, hi: f64, seed: u64) -> Instance {
+    assert!(0.0 < lo && lo <= hi);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let jobs = inst
+        .jobs()
+        .iter()
+        .map(|j| j.clone().with_weight(rng.gen_range(lo..=hi)))
+        .collect();
+    Instance::new(inst.tree().clone(), jobs).expect("weights preserve validity")
+}
+
+/// Round every size of an instance up to the `(1+ε)^k` grid — the §2
+/// preprocessing that costs at most a `(1+ε)` speed factor.
+pub fn round_to_classes(inst: &Instance, epsilon: f64) -> Instance {
+    let r = bct_core::ClassRounding::new(epsilon);
+    let jobs = inst
+        .jobs()
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.size = r.round_up(j.size);
+            if let bct_core::LeafSizes::Unrelated(sizes) = &mut j.leaf_sizes {
+                for s in sizes.iter_mut() {
+                    *s = r.round_up(*s);
+                }
+            }
+            j
+        })
+        .collect();
+    Instance::new(inst.tree().clone(), jobs).expect("rounding preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo;
+
+    #[test]
+    fn poisson_arrivals_are_increasing_and_seeded() {
+        let t = topo::star(3, 2);
+        let spec = WorkloadSpec {
+            n: 50,
+            arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+            sizes: SizeDist::Fixed(1.0),
+            unrelated: None,
+        };
+        let a = spec.generate(&t, 1);
+        let b = spec.generate(&t, 1);
+        let c = spec.generate(&t, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for w in a.windows(2) {
+            assert!(w[0].release <= w[1].release);
+        }
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let t = topo::star(3, 2);
+        let spec = WorkloadSpec {
+            n: 2000,
+            arrivals: ArrivalProcess::Poisson { rate: 4.0 },
+            sizes: SizeDist::Fixed(1.0),
+            unrelated: None,
+        };
+        let jobs = spec.generate(&t, 3);
+        let span = jobs.last().unwrap().release - jobs[0].release;
+        let rate = 2000.0 / span;
+        assert!((rate - 4.0).abs() < 0.5, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn size_distributions_sample_in_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        for _ in 0..500 {
+            let u = SizeDist::Uniform { lo: 1.0, hi: 3.0 }.sample(&mut rng);
+            assert!((1.0..=3.0).contains(&u));
+            let p = SizeDist::Pareto {
+                alpha: 2.0,
+                min: 1.0,
+            }
+            .sample(&mut rng);
+            assert!(p >= 1.0);
+            let b = SizeDist::Bimodal {
+                small: 1.0,
+                large: 64.0,
+                p_large: 0.1,
+            }
+            .sample(&mut rng);
+            assert!(b == 1.0 || b == 64.0);
+            let pw = SizeDist::PowerOfBase { base: 2.0, max_k: 5 }.sample(&mut rng);
+            assert!(pw.log2().fract().abs() < 1e-9 && (1.0..=32.0).contains(&pw));
+        }
+    }
+
+    #[test]
+    fn size_means_match_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let d = SizeDist::Bimodal {
+            small: 1.0,
+            large: 10.0,
+            p_large: 0.25,
+        };
+        let emp: f64 = (0..20000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20000.0;
+        assert!((emp - d.mean()).abs() < 0.15, "emp {emp}, mean {}", d.mean());
+    }
+
+    #[test]
+    fn bursty_produces_clumps() {
+        let t = topo::star(2, 2);
+        let spec = WorkloadSpec {
+            n: 30,
+            arrivals: ArrivalProcess::Bursty {
+                burst: 5,
+                rate: 0.1,
+            },
+            sizes: SizeDist::Fixed(1.0),
+            unrelated: None,
+        };
+        let jobs = spec.generate(&t, 4);
+        // Within a burst, gaps are tiny.
+        let gap01 = jobs[1].release - jobs[0].release;
+        assert!(gap01 < 1e-3);
+        // Across bursts, gaps are typically large.
+        let gap45 = jobs[5].release - jobs[4].release;
+        assert!(gap45 > 0.1, "inter-burst gap {gap45}");
+    }
+
+    #[test]
+    fn unrelated_models_produce_valid_instances() {
+        let t = topo::star(3, 2);
+        for model in [
+            UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 },
+            UnrelatedModel::RelatedSpeeds { lo: 1.0, hi: 4.0 },
+            UnrelatedModel::Affinity {
+                p_fast: 0.3,
+                slow_factor: 10.0,
+            },
+        ] {
+            let spec = WorkloadSpec {
+                n: 20,
+                arrivals: ArrivalProcess::Uniform { gap: 1.0 },
+                sizes: SizeDist::Uniform { lo: 1.0, hi: 4.0 },
+                unrelated: Some(model),
+            };
+            let inst = spec.instance(&t, 5).unwrap();
+            assert_eq!(inst.setting(), bct_core::Setting::Unrelated);
+        }
+    }
+
+    #[test]
+    fn related_speeds_are_consistent_per_leaf() {
+        let t = topo::star(2, 2);
+        let spec = WorkloadSpec {
+            n: 10,
+            arrivals: ArrivalProcess::Uniform { gap: 1.0 },
+            sizes: SizeDist::Uniform { lo: 1.0, hi: 4.0 },
+            unrelated: Some(UnrelatedModel::RelatedSpeeds { lo: 1.0, hi: 4.0 }),
+        };
+        let inst = spec.instance(&t, 6).unwrap();
+        // p_{j,v}/p_j must be the same for all jobs at a fixed leaf.
+        let l0 = inst.tree().leaves()[0];
+        let ratios: Vec<f64> = (0..10u32)
+            .map(|j| inst.p(bct_core::JobId(j), l0) / inst.job(bct_core::JobId(j)).size)
+            .collect();
+        for r in &ratios {
+            assert!((r - ratios[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_origins_hit_requested_fraction() {
+        let t = topo::fat_tree(2, 2, 2);
+        let spec = WorkloadSpec {
+            n: 400,
+            arrivals: ArrivalProcess::Uniform { gap: 0.5 },
+            sizes: SizeDist::Fixed(1.0),
+            unrelated: None,
+        };
+        let inst = spec.instance(&t, 1).unwrap();
+        let with = with_random_leaf_origins(&inst, 0.5, 2);
+        let count = with.jobs().iter().filter(|j| j.origin.is_some()).count();
+        assert!((150..=250).contains(&count), "got {count}/400 at p=0.5");
+        assert!(with.has_origins());
+        // All origins are leaves.
+        for j in with.jobs() {
+            if let Some(o) = j.origin {
+                assert!(with.tree().is_leaf(o));
+            }
+        }
+        // fraction 0 is the identity.
+        let none = with_random_leaf_origins(&inst, 0.0, 3);
+        assert_eq!(&none, &inst);
+    }
+
+    #[test]
+    fn round_to_classes_puts_sizes_on_grid() {
+        let t = topo::star(2, 2);
+        let spec = WorkloadSpec {
+            n: 25,
+            arrivals: ArrivalProcess::Uniform { gap: 0.5 },
+            sizes: SizeDist::Uniform { lo: 1.0, hi: 7.0 },
+            unrelated: Some(UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 }),
+        };
+        let inst = spec.instance(&t, 8).unwrap();
+        let rounded = round_to_classes(&inst, 0.5);
+        let cr = bct_core::ClassRounding::new(0.5);
+        for (orig, new) in inst.jobs().iter().zip(rounded.jobs()) {
+            assert!(cr.on_grid(new.size));
+            assert!(new.size >= orig.size * (1.0 - 1e-9));
+            assert!(new.size <= orig.size * 1.5 * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn poisson_identical_targets_bottleneck_load() {
+        let t = topo::star(4, 2);
+        let spec = WorkloadSpec::poisson_identical(100, 0.8, SizeDist::Fixed(2.0), &t);
+        match spec.arrivals {
+            ArrivalProcess::Poisson { rate } => {
+                // rho = rate * mean_size / branches
+                assert!((rate * 2.0 / 4.0 - 0.8).abs() < 1e-12);
+            }
+            _ => panic!("expected Poisson"),
+        }
+    }
+}

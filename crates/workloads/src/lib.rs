@@ -1,0 +1,26 @@
+//! # bct-workloads
+//!
+//! Deterministic, seeded generators for tree-network scheduling
+//! experiments:
+//!
+//! * [`topo`] — topology families: lines (ref \[5\] of the paper), stars,
+//!   k-ary trees, caterpillars, broomsticks, 3-tier fat-trees (refs
+//!   \[1,2\]) and random trees.
+//! * [`jobs`] — arrival processes (Poisson, uniform, bursty) × size
+//!   distributions (fixed, uniform, Pareto, bimodal, power-of-(1+ε)),
+//!   with unrelated-endpoint leaf-size models layered on top.
+//! * [`adversarial`] — structured stress instances (bursts, convoys,
+//!   small-behind-big patterns).
+//! * [`trace_io`] — JSON (de)serialization of instances.
+//!
+//! Everything is reproducible: the same seed yields the same instance.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod adversarial;
+pub mod jobs;
+pub mod topo;
+pub mod trace_io;
+
+pub use jobs::{ArrivalProcess, SizeDist, UnrelatedModel, WorkloadSpec};

@@ -1,0 +1,234 @@
+//! Topology generators.
+//!
+//! All generators return validated [`Tree`]s satisfying the model's
+//! structural constraints (root never processes, no leaf adjacent to
+//! the root). Node ids are topological by construction.
+
+use bct_core::tree::TreeBuilder;
+use bct_core::{NodeId, Tree};
+use rand::Rng;
+
+/// A **line network** (the topology of Antoniadis et al., the paper's
+/// ref \[5\]): root → a chain of `routers` routers → one machine at the
+/// end. `routers ≥ 1`.
+pub fn line(routers: usize) -> Tree {
+    assert!(routers >= 1);
+    let mut b = TreeBuilder::new();
+    let r = b.add_child(NodeId::ROOT);
+    let chain = b.add_chain(r, routers - 1);
+    let last = chain.last().copied().unwrap_or(r);
+    b.add_child(last);
+    b.build().expect("line is valid")
+}
+
+/// A **star of chains**: `branches` root-adjacent routers, each a chain
+/// of `depth − 1` further routers ending in one machine (`depth ≥ 1` is
+/// the router-path length per branch).
+pub fn star(branches: usize, depth: usize) -> Tree {
+    assert!(branches >= 1 && depth >= 1);
+    let mut b = TreeBuilder::new();
+    for _ in 0..branches {
+        let r = b.add_child(NodeId::ROOT);
+        let chain = b.add_chain(r, depth - 1);
+        let last = chain.last().copied().unwrap_or(r);
+        b.add_child(last);
+    }
+    b.build().expect("star is valid")
+}
+
+/// A complete **k-ary router tree** of the given router depth with one
+/// machine under every deepest router. `depth ≥ 1` levels of routers,
+/// branching factor `k ≥ 1`.
+pub fn kary(k: usize, depth: usize) -> Tree {
+    assert!(k >= 1 && depth >= 1);
+    let mut b = TreeBuilder::new();
+    let mut frontier = vec![NodeId::ROOT];
+    for _ in 0..depth {
+        let mut next = Vec::with_capacity(frontier.len() * k);
+        for &v in &frontier {
+            for _ in 0..k {
+                next.push(b.add_child(v));
+            }
+        }
+        frontier = next;
+    }
+    for &v in &frontier {
+        b.add_child(v);
+    }
+    b.build().expect("kary is valid")
+}
+
+/// A **caterpillar**: one spine of `spine` routers under a single
+/// root-adjacent node, with `leaves_per_node` machines hanging off each
+/// spine node.
+pub fn caterpillar(spine: usize, leaves_per_node: usize) -> Tree {
+    assert!(spine >= 1 && leaves_per_node >= 1);
+    let mut b = TreeBuilder::new();
+    let r = b.add_child(NodeId::ROOT);
+    let mut spine_nodes = vec![r];
+    spine_nodes.extend(b.add_chain(r, spine - 1));
+    for &v in &spine_nodes {
+        for _ in 0..leaves_per_node {
+            b.add_child(v);
+        }
+    }
+    b.build().expect("caterpillar is valid")
+}
+
+/// A **broomstick** in the §3.3 sense: `handles` root-adjacent handles,
+/// each a path of `handle_len` routers with `leaves_per_node` machines
+/// hanging off every handle node except the first.
+pub fn broomstick(handles: usize, handle_len: usize, leaves_per_node: usize) -> Tree {
+    assert!(handles >= 1 && handle_len >= 2 && leaves_per_node >= 1);
+    let mut b = TreeBuilder::new();
+    for _ in 0..handles {
+        let h0 = b.add_child(NodeId::ROOT);
+        let chain = b.add_chain(h0, handle_len - 1);
+        for &v in &chain {
+            for _ in 0..leaves_per_node {
+                b.add_child(v);
+            }
+        }
+    }
+    let t = b.build().expect("broomstick is valid");
+    debug_assert!(t.is_broomstick());
+    t
+}
+
+/// A 3-tier **fat-tree-style** data center tree (refs \[1,2\] of the
+/// paper, collapsed to its spanning tree): the root is the core switch,
+/// `pods` aggregation switches, each with `edges_per_pod` edge switches,
+/// each with `hosts_per_edge` machines.
+pub fn fat_tree(pods: usize, edges_per_pod: usize, hosts_per_edge: usize) -> Tree {
+    assert!(pods >= 1 && edges_per_pod >= 1 && hosts_per_edge >= 1);
+    let mut b = TreeBuilder::new();
+    for _ in 0..pods {
+        let agg = b.add_child(NodeId::ROOT);
+        for _ in 0..edges_per_pod {
+            let edge = b.add_child(agg);
+            for _ in 0..hosts_per_edge {
+                b.add_child(edge);
+            }
+        }
+    }
+    b.build().expect("fat tree is valid")
+}
+
+/// A seeded **random tree**: `routers` routers attached one by one to a
+/// uniformly random existing router (the first few to the root), then
+/// `leaves` machines attached to uniformly random routers.
+pub fn random_tree<R: Rng>(rng: &mut R, routers: usize, leaves: usize) -> Tree {
+    assert!(routers >= 1 && leaves >= 1);
+    let mut b = TreeBuilder::new();
+    let mut router_ids = Vec::with_capacity(routers);
+    let mut is_root_adjacent = Vec::with_capacity(routers);
+    let mut child_count = Vec::with_capacity(routers);
+    let first = b.add_child(NodeId::ROOT);
+    router_ids.push(first);
+    is_root_adjacent.push(true);
+    child_count.push(0usize);
+    for _ in 1..routers {
+        // Bias toward the root early so multiple branches form.
+        let (parent, adjacent) = if rng.gen_bool(0.3) {
+            (NodeId::ROOT, true)
+        } else {
+            let i = rng.gen_range(0..router_ids.len());
+            child_count[i] += 1;
+            (router_ids[i], false)
+        };
+        router_ids.push(b.add_child(parent));
+        is_root_adjacent.push(adjacent);
+        child_count.push(0);
+    }
+    for _ in 0..leaves {
+        let i = rng.gen_range(0..router_ids.len());
+        child_count[i] += 1;
+        b.add_child(router_ids[i]);
+    }
+    // A childless router is itself a machine — legal at depth ≥ 2 but
+    // not when root-adjacent; give those one machine each.
+    for i in 0..router_ids.len() {
+        if is_root_adjacent[i] && child_count[i] == 0 {
+            b.add_child(router_ids[i]);
+        }
+    }
+    b.build().expect("random tree is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn line_shape() {
+        let t = line(3);
+        assert_eq!(t.len(), 5); // root + 3 routers + 1 machine
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.max_leaf_depth(), 4);
+        assert!(t.is_broomstick());
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(4, 2);
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.root_adjacent().len(), 4);
+        assert_eq!(t.max_leaf_depth(), 3);
+    }
+
+    #[test]
+    fn kary_shape() {
+        let t = kary(2, 3);
+        // routers: 2 + 4 + 8 = 14, leaves: 8.
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.len(), 1 + 14 + 8);
+        assert_eq!(t.max_leaf_depth(), 4);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(3, 2);
+        assert_eq!(t.num_leaves(), 6);
+        assert!(t.is_broomstick());
+    }
+
+    #[test]
+    fn broomstick_shape() {
+        let t = broomstick(2, 3, 2);
+        assert!(t.is_broomstick());
+        assert_eq!(t.num_leaves(), 2 * 2 * 2); // 2 handles × 2 non-top nodes × 2
+        assert_eq!(t.root_adjacent().len(), 2);
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let t = fat_tree(4, 2, 3);
+        assert_eq!(t.num_leaves(), 24);
+        assert_eq!(t.root_adjacent().len(), 4);
+        assert_eq!(t.max_leaf_depth(), 3);
+    }
+
+    #[test]
+    fn random_tree_is_valid_and_deterministic() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(5);
+        let mut r2 = ChaCha8Rng::seed_from_u64(5);
+        let a = random_tree(&mut r1, 10, 15);
+        let b = random_tree(&mut r2, 10, 15);
+        assert_eq!(a, b);
+        assert!(a.num_leaves() >= 15);
+        for &leaf in a.leaves() {
+            assert!(a.depth(leaf) >= 2);
+        }
+    }
+
+    #[test]
+    fn random_tree_many_seeds_all_valid() {
+        for seed in 0..50 {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let t = random_tree(&mut rng, 8, 10);
+            assert!(t.num_leaves() >= 10, "seed {seed}");
+        }
+    }
+}

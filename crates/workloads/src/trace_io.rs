@@ -1,0 +1,78 @@
+//! Instance (de)serialization: JSON via serde.
+//!
+//! An instance on disk is exactly reproducible across machines — useful
+//! for sharing failing cases from property tests and pinning experiment
+//! inputs.
+
+use bct_core::Instance;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Serialize an instance to a JSON string.
+pub fn to_json(inst: &Instance) -> String {
+    serde_json::to_string_pretty(inst).expect("instances always serialize")
+}
+
+/// Parse an instance from JSON (re-validating on load).
+pub fn from_json(s: &str) -> Result<Instance, String> {
+    // Deserialize through the public constructor so invariants hold:
+    // serde gives us the raw parts; Instance::new re-checks them.
+    let raw: Instance = serde_json::from_str(s).map_err(|e| e.to_string())?;
+    Instance::new(raw.tree().clone(), raw.jobs().to_vec()).map_err(|e| e.to_string())
+}
+
+/// Write an instance to a file.
+pub fn save(inst: &Instance, path: &Path) -> io::Result<()> {
+    fs::write(path, to_json(inst))
+}
+
+/// Read an instance from a file.
+pub fn load(path: &Path) -> io::Result<Instance> {
+    let s = fs::read_to_string(path)?;
+    from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{ArrivalProcess, SizeDist, UnrelatedModel, WorkloadSpec};
+    use crate::topo;
+
+    fn sample() -> Instance {
+        let t = topo::fat_tree(2, 2, 2);
+        WorkloadSpec {
+            n: 12,
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            sizes: SizeDist::Uniform { lo: 1.0, hi: 4.0 },
+            unrelated: Some(UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 }),
+        }
+        .instance(&t, 11)
+        .unwrap()
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let inst = sample();
+        let s = to_json(&inst);
+        let back = from_json(&s).unwrap();
+        assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let inst = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("bct_trace_io_test.json");
+        save(&inst, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(inst, back);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{\"tree\": 3}").is_err());
+    }
+}

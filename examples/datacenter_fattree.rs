@@ -1,0 +1,83 @@
+//! Data-center scenario — the workload that motivates the paper.
+//!
+//! A fat-tree data center (refs [1,2] of the paper) runs a MapReduce-
+//! style mix: many short tasks plus occasional huge data-shuffle jobs,
+//! all of whose data must be routed from the ingestion point (the root)
+//! through the switch hierarchy to a worker machine before processing.
+//!
+//! Compares the paper's algorithm against congestion-blind and
+//! load-only baselines across resource augmentation levels — a compact
+//! version of experiment E10.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_fattree
+//! ```
+
+use bandwidth_tree_scheduling::analysis::runner::{AssignKind, NodePolicyKind, PolicyCombo};
+use bandwidth_tree_scheduling::analysis::table::{num, Table};
+use bandwidth_tree_scheduling::core::SpeedProfile;
+use bandwidth_tree_scheduling::lp::bounds::combined_bound;
+use bandwidth_tree_scheduling::workloads::jobs::SizeDist;
+use bandwidth_tree_scheduling::workloads::jobs::WorkloadSpec;
+use bandwidth_tree_scheduling::workloads::topo;
+
+fn main() {
+    // 4 pods × 2 edge switches × 3 hosts = 24 machines.
+    let tree = topo::fat_tree(4, 2, 3);
+    println!(
+        "fat-tree: {} nodes, {} machines, {} pods\n",
+        tree.len(),
+        tree.num_leaves(),
+        tree.root_adjacent().len()
+    );
+
+    // MapReduce-ish mix: 90% short tasks (size 1), 10% shuffles (size 32).
+    let sizes = SizeDist::Bimodal {
+        small: 1.0,
+        large: 32.0,
+        p_large: 0.1,
+    };
+    let spec = WorkloadSpec::poisson_identical(600, 0.85, sizes, &tree);
+
+    let combos: Vec<(&str, PolicyCombo)> = vec![
+        ("paper (sjf+greedy)", PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::GreedyIdentical(0.5) }),
+        ("sjf+closest", PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::Closest }),
+        ("sjf+random", PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::Random(1) }),
+        ("sjf+least-volume", PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::LeastVolume }),
+        ("fifo+greedy", PolicyCombo { node: NodePolicyKind::Fifo, assign: AssignKind::GreedyIdentical(0.5) }),
+    ];
+
+    let mut table = Table::new(
+        "Mean flow time by policy and speed (lower is better)",
+        &["policy", "s=1.0", "s=1.25", "s=1.5", "s=2.0"],
+    );
+    let mut lb_printed = false;
+    for (label, combo) in &combos {
+        let mut row = vec![label.to_string()];
+        for &s in &[1.0f64, 1.25, 1.5, 2.0] {
+            let mut mean_flows = Vec::new();
+            for seed in 0..3u64 {
+                let inst = spec.instance(&tree, seed).unwrap();
+                if !lb_printed {
+                    println!(
+                        "seed {seed}: OPT lower bound (unit speed) ≥ {:.1} mean flow",
+                        combined_bound(&inst, 1.0) / inst.n() as f64
+                    );
+                }
+                let flow = combo.total_flow(&inst, &SpeedProfile::Uniform(s));
+                mean_flows.push(flow / inst.n() as f64);
+            }
+            lb_printed = true;
+            row.push(num(
+                mean_flows.iter().sum::<f64>() / mean_flows.len() as f64,
+            ));
+        }
+        table.push_row(row);
+    }
+    println!("\n{table}");
+    println!(
+        "Reading guide: the paper's rule should dominate at every speed; the \n\
+         congestion-blind `closest` baseline collapses at s=1 because every job \n\
+         funnels into one pod's switches."
+    );
+}

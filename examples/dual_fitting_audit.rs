@@ -1,0 +1,76 @@
+//! Dual-fitting audit — Lemmas 5–7, replayed live.
+//!
+//! Runs the paper's greedy algorithm on random broomstick instances,
+//! constructs the explicit dual solution of §3.5/§3.6 from the run, and
+//! checks every dual constraint at every event time. Prints the audit
+//! for both settings.
+//!
+//! ```sh
+//! cargo run --release --example dual_fitting_audit
+//! ```
+
+use bandwidth_tree_scheduling::core::Instance;
+use bandwidth_tree_scheduling::lp::dualfit;
+use bandwidth_tree_scheduling::workloads::jobs::{
+    ArrivalProcess, SizeDist, UnrelatedModel, WorkloadSpec,
+};
+use bandwidth_tree_scheduling::workloads::topo;
+
+fn audit(inst: &Instance, epsilon: f64, label: &str) {
+    let report = dualfit::verify(inst, epsilon).expect("simulation runs");
+    println!("== {label} (ε = {epsilon}) ==");
+    println!("  jobs                  : {}", report.n_jobs);
+    println!("  constraint samples    : {}", report.samples);
+    println!("  violations            : {}", report.violations.len());
+    for v in report.violations.iter().take(5) {
+        println!("    {v}");
+    }
+    println!("  ALG fractional cost   : {:.2}", report.alg_fractional_cost);
+    println!("  Σ β_j                 : {:.2}", report.beta_sum);
+    println!("  ∫ Σ α dt              : {:.2}", report.alpha_integral);
+    println!("  scaled dual objective : {:.4}", report.dual_objective);
+    println!(
+        "  dual / ALG            : {:.4}   (weak duality ⇒ ALG ≤ {:.1}·OPT)",
+        report.ratio,
+        2.0 / report.ratio.max(1e-9)
+    );
+    assert!(report.feasible(), "dual constraints must hold");
+    println!("  feasible ✓\n");
+}
+
+fn main() {
+    let tree = topo::broomstick(3, 4, 1);
+    println!(
+        "broomstick: {} handles, {} nodes, {} machines\n",
+        tree.root_adjacent().len(),
+        tree.len(),
+        tree.num_leaves()
+    );
+
+    // Identical endpoints (§3.5).
+    let inst = WorkloadSpec {
+        n: 60,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        sizes: SizeDist::PowerOfBase { base: 2.0, max_k: 3 },
+        unrelated: None,
+    }
+    .instance(&tree, 42)
+    .unwrap();
+    audit(&inst, 0.25, "identical endpoints, Lemmas 5-7");
+
+    // Unrelated endpoints (§3.6).
+    let inst = WorkloadSpec {
+        n: 60,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        sizes: SizeDist::PowerOfBase { base: 2.0, max_k: 3 },
+        unrelated: Some(UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 }),
+    }
+    .instance(&tree, 43)
+    .unwrap();
+    audit(&inst, 0.125, "unrelated endpoints, §3.6 duals");
+
+    println!(
+        "Every sampled dual constraint held: the paper's explicit dual solution is \n\
+         feasible on these runs, which is exactly what Lemmas 5-7 prove in general."
+    );
+}

@@ -1,0 +1,33 @@
+//! # bandwidth-tree-scheduling
+//!
+//! Facade crate for the reproduction of Im & Moseley,
+//! *"Scheduling in Bandwidth Constrained Tree Networks"* (SPAA 2015).
+//!
+//! Re-exports the workspace crates under stable module names:
+//!
+//! * [`core`] — instance model, trees, the broomstick reduction.
+//! * [`sim`] — the discrete-event store-and-forward simulator.
+//! * [`policies`] — node policies (SJF/FIFO/SRPT/LJF) and baseline
+//!   leaf-assignment rules.
+//! * [`sched`] — the paper's algorithms (greedy broomstick assignment,
+//!   the general-tree mirroring algorithm, the Lemma 1–4 bound
+//!   calculators).
+//! * [`lp`] — the paper's LP relaxation, a from-scratch simplex solver,
+//!   and the Lemma 5–7 dual-fitting verifier.
+//! * [`workloads`] — workload and topology generators.
+//! * [`analysis`] — metrics and the E1–E18 experiment harness.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+/// Compiles the README's code examples as doctests.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
+pub use bct_analysis as analysis;
+pub use bct_core as core;
+pub use bct_lp as lp;
+pub use bct_policies as policies;
+pub use bct_sched as sched;
+pub use bct_sim as sim;
+pub use bct_workloads as workloads;
