@@ -1,0 +1,216 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`/`iter_custom`, the `criterion_group!`
+//! / `criterion_main!` macros) with a simple wall-clock measurement
+//! loop: one warm-up run, then enough iterations to fill the group's
+//! measurement time (capped by sample size), reporting the mean.
+//!
+//! No statistics, plots, or command-line filtering — just honest
+//! timings printed to stdout, which is what the repo's speedup
+//! assertions consume.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle.
+#[derive(Debug)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration budget (upstream: number of samples).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness warms up with a
+    /// single unmeasured run instead of a timed phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            max_iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        bencher.report(&self.name, &id.0);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (upstream writes reports here; we already printed).
+    pub fn finish(self) {}
+}
+
+/// Measurement driver passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    max_iters: u64,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (not measured).
+        std::hint::black_box(routine());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= self.max_iters || start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time with a caller-controlled clock: `routine(n)` must execute
+    /// the workload `n` times and return the elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let n = self.max_iters;
+        self.total = routine(n);
+        self.iters = n;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations measured");
+            return;
+        }
+        let mean = self.total.as_secs_f64() / self.iters as f64;
+        let (value, unit) = if mean < 1e-6 {
+            (mean * 1e9, "ns")
+        } else if mean < 1e-3 {
+            (mean * 1e6, "µs")
+        } else if mean < 1.0 {
+            (mean * 1e3, "ms")
+        } else {
+            (mean, "s")
+        };
+        println!(
+            "{group}/{id}: time [{value:.3} {unit}] ({} iterations)",
+            self.iters
+        );
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

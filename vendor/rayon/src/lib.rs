@@ -1,0 +1,61 @@
+//! Offline sequential stand-in for `rayon`.
+//!
+//! `par_iter()` / `into_par_iter()` simply hand back the corresponding
+//! *sequential* std iterator, so every adaptor chain (`map`, `collect`,
+//! `sum`, …) keeps working unchanged with identical results — just
+//! without the parallelism, which no correctness property in this
+//! workspace depends on.
+
+pub mod prelude {
+    /// `.par_iter()` on collections: sequential passthrough.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+
+        /// Iterate by reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `.into_par_iter()` on owned collections and ranges: sequential
+    /// passthrough.
+    pub trait IntoParallelIterator {
+        /// The (sequential) iterator type.
+        type Iter: Iterator;
+
+        /// Iterate by value.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Iter = C::IntoIter;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only adaptors, mapped onto their sequential equivalents.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// `flat_map` whose closure returns a serial iterator.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}

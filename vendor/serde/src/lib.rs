@@ -1,0 +1,183 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors a small data-model-based replacement exposing the
+//! exact trait surface the repo uses: `Serialize`/`Deserialize` with
+//! derive macros, `Serializer`/`Deserializer` for the two manual tree
+//! impls, and `de::Error::custom`.
+//!
+//! Everything funnels through a self-describing [`Value`] tree; format
+//! crates (here: the vendored `serde_json`) convert `Value` to and from
+//! text. This is not wire-compatible with upstream serde beyond the JSON
+//! shapes the workspace actually produces (maps, seqs, primitives, and
+//! externally-tagged enums).
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value passes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None` / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer that fits `i64` (covers every id/count in the repo).
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string (also the encoding of unit enum variants).
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (structs, tagged enum variants).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// The single error type used by both halves of the stub.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SerdeError(pub String);
+
+impl fmt::Display for SerdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for SerdeError {}
+
+impl ser::Error for SerdeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+impl de::Error for SerdeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        SerdeError(msg.to_string())
+    }
+}
+
+pub mod ser {
+    use super::Value;
+    use std::fmt;
+
+    /// Error constraint for serializers (mirrors `serde::ser::Error`).
+    pub trait Error: Sized + fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A sink that accepts one fully-built [`Value`].
+    pub trait Serializer: Sized {
+        /// Result of successful serialization.
+        type Ok;
+        /// Error type.
+        type Error: Error;
+
+        /// Consume the value tree.
+        fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// A type that can describe itself as a [`Value`].
+    pub trait Serialize {
+        /// Feed `self` into the serializer.
+        fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+    }
+}
+
+pub mod de {
+    use super::{SerdeError, Value};
+    use std::fmt;
+
+    /// Error constraint for deserializers (mirrors `serde::de::Error`).
+    pub trait Error: Sized + fmt::Display {
+        /// Build an error from a display-able message.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+
+    /// A source that yields one fully-parsed [`Value`].
+    pub trait Deserializer<'de>: Sized {
+        /// Error type.
+        type Error: Error;
+
+        /// Produce the value tree.
+        fn deserialize_value(self) -> Result<Value, Self::Error>;
+    }
+
+    /// A type that can rebuild itself from a [`Value`].
+    pub trait Deserialize<'de>: Sized {
+        /// Pull a value tree out of the deserializer and convert.
+        fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+    }
+
+    /// Owned deserialization (what `serde_json::from_str` needs).
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+    /// Extract and convert a required struct field (derive support).
+    pub fn req_field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, SerdeError> {
+        match v.get(name) {
+            Some(field) => crate::from_value(field.clone()),
+            None => Err(SerdeError(format!("missing field `{name}`"))),
+        }
+    }
+
+    /// Extract and convert an optional struct field (derive support for
+    /// `#[serde(default)]` / `#[serde(default = "...")]`).
+    pub fn opt_field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<Option<T>, SerdeError> {
+        match v.get(name) {
+            Some(field) => crate::from_value(field.clone()).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+/// Serializer that just hands back the value tree.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = SerdeError;
+
+    fn serialize_value(self, v: Value) -> Result<Value, SerdeError> {
+        Ok(v)
+    }
+}
+
+/// Deserializer over an already-parsed value tree.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = SerdeError;
+
+    fn deserialize_value(self) -> Result<Value, SerdeError> {
+        Ok(self.0)
+    }
+}
+
+/// Render any serializable value as a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, SerdeError> {
+    v.serialize(ValueSerializer)
+}
+
+/// Rebuild a value from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(v: Value) -> Result<T, SerdeError> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+mod impls;

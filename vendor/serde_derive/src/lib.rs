@@ -1,0 +1,451 @@
+//! Derive macros for the vendored `serde` stub.
+//!
+//! Hand-rolled token-level parsing (no `syn`/`quote`, which are not
+//! available offline). Supports exactly the item shapes this workspace
+//! derives on: non-generic named structs, newtype tuple structs, unit
+//! structs, and enums with unit / newtype / struct variants. Recognised
+//! field attributes: `#[serde(default)]`, `#[serde(default = "path")]`,
+//! and `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Encoding matches upstream serde's JSON conventions: structs and
+//! struct variants become string-keyed maps, newtype structs are
+//! transparent, enums are externally tagged, unit variants are strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    /// `Some(None)` = `#[serde(default)]`; `Some(Some(p))` = `default = "p"`.
+    default: Option<Option<String>>,
+    /// `#[serde(skip_serializing_if = "path")]`.
+    skip_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum Variant {
+    Unit(String),
+    Newtype(String),
+    Struct(String, Vec<Field>),
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    NewtypeStruct(String),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parse a `#[serde(...)]` meta list out of an attribute group's tokens.
+fn parse_serde_attr(tokens: Vec<TokenTree>, attrs: &mut FieldAttrs) {
+    // tokens = [Ident(serde), Group(( ... ))]
+    let mut it = tokens.into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = it.next() else {
+        return;
+    };
+    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    while i < inner.len() {
+        if let TokenTree::Ident(id) = &inner[i] {
+            let key = id.to_string();
+            let has_eq = matches!(
+                inner.get(i + 1),
+                Some(TokenTree::Punct(p)) if p.as_char() == '='
+            );
+            let val = if has_eq {
+                match inner.get(i + 2) {
+                    Some(TokenTree::Literal(l)) => Some(strip_quotes(&l.to_string())),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            match (key.as_str(), val) {
+                ("default", v) => attrs.default = Some(v),
+                ("skip_serializing_if", Some(p)) => attrs.skip_if = Some(p),
+                _ => {}
+            }
+            i += if has_eq { 3 } else { 1 };
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Skip (and collect serde metadata from) a run of `#[...]` attributes.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize, attrs: &mut FieldAttrs) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_serde_attr(g.stream().into_iter().collect(), attrs);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` visibility.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parse `name: Type, ...` named-field lists (types are skipped; the
+/// generated code relies on inference).
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut attrs);
+        i = skip_vis(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:`, got {other:?}"),
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut ignored = FieldAttrs::default();
+        i = skip_attrs(&tokens, i, &mut ignored);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_comma = g.stream().into_iter().any(|t| {
+                    matches!(&t, TokenTree::Punct(p) if p.as_char() == ',')
+                });
+                assert!(
+                    !has_comma,
+                    "serde stub derive: only newtype tuple variants are supported"
+                );
+                variants.push(Variant::Newtype(name));
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                variants.push(Variant::Struct(name, parse_named_fields(g)));
+                i += 1;
+            }
+            _ => variants.push(Variant::Unit(name)),
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut ignored = FieldAttrs::default();
+    let mut i = skip_attrs(&tokens, 0, &mut ignored);
+    i = skip_vis(&tokens, i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic items are not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct(name, parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let has_comma = g.stream().into_iter().any(|t| {
+                    matches!(&t, TokenTree::Punct(p) if p.as_char() == ',')
+                });
+                assert!(
+                    !has_comma,
+                    "serde stub derive: only newtype tuple structs are supported"
+                );
+                Item::NewtypeStruct(name)
+            }
+            _ => Item::UnitStruct(name),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum(name, parse_variants(g))
+            }
+            other => panic!("serde stub derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for `{other}`"),
+    }
+}
+
+const SER_ERR: &str = "<__S::Error as ::serde::ser::Error>::custom";
+const DE_ERR: &str = "<__D::Error as ::serde::de::Error>::custom";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => {
+            let mut b = String::from(
+                "let mut _m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "_m.push((::std::string::String::from(\"{n}\"), \
+                     ::serde::to_value(&self.{n}).map_err({SER_ERR})?));\n",
+                    n = f.name
+                );
+                match &f.attrs.skip_if {
+                    Some(path) => b.push_str(&format!(
+                        "if !{path}(&self.{n}) {{ {push} }}\n",
+                        n = f.name
+                    )),
+                    None => b.push_str(&push),
+                }
+            }
+            b.push_str("_serializer.serialize_value(::serde::Value::Map(_m))");
+            (name, b)
+        }
+        Item::NewtypeStruct(name) => (
+            name,
+            format!(
+                "let _inner = ::serde::to_value(&self.0).map_err({SER_ERR})?;\n\
+                 _serializer.serialize_value(_inner)"
+            ),
+        ),
+        Item::UnitStruct(name) => (
+            name,
+            String::from("_serializer.serialize_value(::serde::Value::Null)"),
+        ),
+        Item::Enum(name, variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => b.push_str(&format!(
+                        "{name}::{vn} => _serializer.serialize_value(\
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\"))),\n"
+                    )),
+                    Variant::Newtype(vn) => b.push_str(&format!(
+                        "{name}::{vn}(_f0) => {{\n\
+                         let _inner = ::serde::to_value(_f0).map_err({SER_ERR})?;\n\
+                         _serializer.serialize_value(::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vn}\"), _inner)]))\n}}\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut _fm: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "_fm.push((::std::string::String::from(\"{n}\"), \
+                                 ::serde::to_value({n}).map_err({SER_ERR})?));\n",
+                                n = f.name
+                            ));
+                        }
+                        b.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             _serializer.serialize_value(::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(_fm))]))\n}}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            b.push('}');
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, _serializer: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Field initialiser expression for deserialization (type inferred).
+fn de_field_expr(src: &str, f: &Field) -> String {
+    match &f.attrs.default {
+        None => format!(
+            "::serde::de::req_field({src}, \"{n}\").map_err({DE_ERR})?",
+            n = f.name
+        ),
+        Some(path) => {
+            let fallback = match path {
+                Some(p) => format!("{p}()"),
+                None => String::from("::core::default::Default::default()"),
+            };
+            format!(
+                "match ::serde::de::opt_field({src}, \"{n}\").map_err({DE_ERR})? {{\n\
+                 ::core::option::Option::Some(_x) => _x,\n\
+                 ::core::option::Option::None => {fallback},\n}}",
+                n = f.name
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{n}: {e}", n = f.name, e = de_field_expr("&_v", f)))
+                .collect();
+            (
+                name,
+                format!(
+                    "let _v = _deserializer.deserialize_value()?;\n\
+                     ::core::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join(",\n")
+                ),
+            )
+        }
+        Item::NewtypeStruct(name) => (
+            name,
+            format!(
+                "let _v = _deserializer.deserialize_value()?;\n\
+                 ::core::result::Result::Ok({name}(\
+                 ::serde::from_value(_v).map_err({DE_ERR})?))"
+            ),
+        ),
+        Item::UnitStruct(name) => (
+            name,
+            format!(
+                "let _v = _deserializer.deserialize_value()?;\n\
+                 ::core::result::Result::Ok({name})"
+            ),
+        ),
+        Item::Enum(name, variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match v {
+                    Variant::Unit(vn) => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Variant::Newtype(vn) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                         ::serde::from_value(_payload.clone()).map_err({DE_ERR})?)),\n"
+                    )),
+                    Variant::Struct(vn, fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{n}: {e}", n = f.name, e = de_field_expr("_payload", f))
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{\n{}\n}}),\n",
+                            inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            let b = format!(
+                "let _v = _deserializer.deserialize_value()?;\n\
+                 match &_v {{\n\
+                 ::serde::Value::Str(_s) => match _s.as_str() {{\n{unit_arms}\
+                 _other => ::core::result::Result::Err({DE_ERR}(\
+                 ::std::format!(\"unknown variant `{{_other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Map(_m) if _m.len() == 1 => {{\n\
+                 let (_tag, _payload) = &_m[0];\n\
+                 match _tag.as_str() {{\n{payload_arms}\
+                 _other => ::core::result::Result::Err({DE_ERR}(\
+                 ::std::format!(\"unknown variant `{{_other}}` of {name}\"))),\n}}\n}},\n\
+                 _other => ::core::result::Result::Err({DE_ERR}(\
+                 ::std::format!(\"invalid {name}: {{_other:?}}\"))),\n}}"
+            );
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(unused, clippy::all)]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(_deserializer: __D) \
+         -> ::core::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derive `serde::Serialize` (stub).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (stub).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde stub derive: generated invalid Deserialize impl")
+}
