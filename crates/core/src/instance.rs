@@ -5,7 +5,8 @@ use crate::ids::{JobId, NodeId};
 use crate::job::{Job, LeafSizes};
 use crate::time::Time;
 use crate::tree::Tree;
-use serde::{Deserialize, Serialize};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize};
 
 /// Which of the paper's two settings an instance belongs to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,14 +18,101 @@ pub enum Setting {
     Unrelated,
 }
 
+/// Precomputed processing paths for jobs with non-root origins, so
+/// [`Instance::path_of`] and [`Instance::entry_node`] never walk the
+/// tree or allocate at dispatch time.
+///
+/// Rows are the distinct origins appearing in the job sequence, columns
+/// the tree's leaves; cell `(row, leaf)` holds an arena span for the
+/// full origin→leaf processing path plus its first node. Root-origin
+/// jobs don't need a row — their paths live in the tree's own leaf-path
+/// arena.
+#[derive(Clone, Debug, Default)]
+struct PathCache {
+    /// `row_of[v]` = row index of origin `v`, or `u32::MAX` if no job
+    /// originates there.
+    row_of: Vec<u32>,
+    /// Number of rows (distinct non-root origins).
+    rows: u32,
+    /// `(offset, len)` into `arena`, indexed by `row * num_leaves + leaf_index`.
+    spans: Vec<(u32, u32)>,
+    /// First processing node per `(row, leaf_index)`.
+    entries: Vec<NodeId>,
+    arena: Vec<NodeId>,
+}
+
+impl PathCache {
+    fn build(tree: &Tree, jobs: &[Job]) -> PathCache {
+        let mut cache = PathCache {
+            row_of: vec![u32::MAX; tree.len()],
+            ..PathCache::default()
+        };
+        let mut origins: Vec<NodeId> = Vec::new();
+        for o in jobs.iter().filter_map(|j| j.origin) {
+            if cache.row_of[o.as_usize()] == u32::MAX {
+                cache.row_of[o.as_usize()] = cache.rows;
+                cache.rows += 1;
+                origins.push(o);
+            }
+        }
+        cache.spans.reserve(origins.len() * tree.num_leaves());
+        cache.entries.reserve(origins.len() * tree.num_leaves());
+        for &o in &origins {
+            for &l in tree.leaves() {
+                let path = tree.path_between(o, l);
+                cache.entries.push(path[0]);
+                cache
+                    .spans
+                    .push((cache.arena.len() as u32, path.len() as u32));
+                cache.arena.extend_from_slice(&path);
+            }
+        }
+        cache
+    }
+}
+
 /// A validated scheduling instance.
 ///
 /// Jobs are stored in release order; `jobs[i].id == JobId(i)`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization carries only `(tree, jobs, setting)`; the path cache is
+/// rebuilt — and the whole instance re-validated through
+/// [`Instance::new`] — on deserialize.
+#[derive(Clone, Debug, Serialize)]
 pub struct Instance {
     tree: Tree,
     jobs: Vec<Job>,
     setting: Setting,
+    #[serde(skip)]
+    paths: PathCache,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        // The cache is a pure function of (tree, jobs).
+        self.tree == other.tree && self.jobs == other.jobs && self.setting == other.setting
+    }
+}
+
+impl<'de> Deserialize<'de> for Instance {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Instance, D::Error> {
+        #[derive(Deserialize)]
+        struct InstanceData {
+            tree: Tree,
+            jobs: Vec<Job>,
+            setting: Setting,
+        }
+        let data = InstanceData::deserialize(deserializer)?;
+        let inst = Instance::new(data.tree, data.jobs)
+            .map_err(|e| D::Error::custom(format!("invalid instance: {e}")))?;
+        if inst.setting != data.setting {
+            return Err(D::Error::custom(format!(
+                "invalid instance: stored setting {:?} does not match jobs ({:?})",
+                data.setting, inst.setting
+            )));
+        }
+        Ok(inst)
+    }
 }
 
 impl Instance {
@@ -83,7 +171,8 @@ impl Instance {
         if setting == Setting::Unrelated && jobs.iter().any(|j| !j.is_unrelated()) {
             return Err(CoreError::BadJobIds);
         }
-        Ok(Instance { tree, jobs, setting })
+        let paths = PathCache::build(&tree, &jobs);
+        Ok(Instance { tree, jobs, setting, paths })
     }
 
     /// The tree topology.
@@ -147,20 +236,47 @@ impl Instance {
     /// The processing path of job `j` if assigned to `leaf`: from its
     /// origin (the root unless the job sets one) through the LCA down
     /// to the leaf, excluding origin and root.
-    pub fn path_of(&self, j: JobId, leaf: NodeId) -> Vec<NodeId> {
-        let origin = self.jobs[j.as_usize()].origin.unwrap_or(NodeId::ROOT);
-        self.tree.path_between(origin, leaf)
+    ///
+    /// Returns a borrowed slice of a precomputed path — `O(1)`, no
+    /// allocation, no tree walk — so dispatch-time scoring can consult
+    /// paths for every candidate leaf cheaply.
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not a leaf of the tree.
+    #[inline]
+    pub fn path_of(&self, j: JobId, leaf: NodeId) -> &[NodeId] {
+        match self.jobs[j.as_usize()].origin {
+            None => self.tree.leaf_path(leaf),
+            Some(o) => {
+                let cell = self.cache_cell(o, leaf);
+                let (off, len) = self.paths.spans[cell];
+                &self.paths.arena[off as usize..(off + len) as usize]
+            }
+        }
     }
 
     /// First node job `j` would be processed on if assigned to `leaf`
     /// (the root-adjacent node `R(leaf)` in the root-origin model).
+    /// `O(1)` via the path cache.
+    #[inline]
     pub fn entry_node(&self, j: JobId, leaf: NodeId) -> NodeId {
-        let origin = self.jobs[j.as_usize()].origin.unwrap_or(NodeId::ROOT);
-        if origin == NodeId::ROOT {
-            self.tree.r_node(leaf)
-        } else {
-            self.path_of(j, leaf)[0]
+        match self.jobs[j.as_usize()].origin {
+            None => self.tree.r_node(leaf),
+            Some(o) => self.paths.entries[self.cache_cell(o, leaf)],
         }
+    }
+
+    /// Cache index of `(origin, leaf)`; both are validated at
+    /// construction, so a missing row or a non-leaf target is a bug.
+    #[inline]
+    fn cache_cell(&self, origin: NodeId, leaf: NodeId) -> usize {
+        let row = self.paths.row_of[origin.as_usize()];
+        debug_assert!(row != u32::MAX, "origin {origin} has no cache row");
+        let li = self
+            .tree
+            .leaf_index(leaf)
+            .unwrap_or_else(|| panic!("path_of target {leaf} is not a leaf"));
+        row as usize * self.tree.num_leaves() + li
     }
 
     /// Origin-aware `η`: total processing along `j`'s actual path to

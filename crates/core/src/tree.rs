@@ -38,6 +38,12 @@ pub struct Tree {
     r_node: Vec<NodeId>,
     leaves: Vec<NodeId>,
     leaf_index: Vec<Option<u32>>,
+    /// Root→leaf paths for every leaf, concatenated in leaf-index order;
+    /// leaf `i`'s path is `leaf_path_arena[offsets[i]..offsets[i+1]]`.
+    /// Only leaves are cached (Σ depths, not Σ over all nodes), so deep
+    /// line topologies don't blow the memory up quadratically.
+    leaf_path_arena: Vec<NodeId>,
+    leaf_path_offsets: Vec<u32>,
 }
 
 /// Incremental builder for [`Tree`]; ids are handed out in topological
@@ -167,6 +173,23 @@ impl Tree {
                 leaves.push(v);
             }
         }
+        // Cache every leaf's root→leaf path in one contiguous arena so
+        // the hot dispatch loop can borrow paths without allocating.
+        let mut leaf_path_arena = Vec::with_capacity(
+            leaves.iter().map(|&l| depth[l.as_usize()] as usize).sum(),
+        );
+        let mut leaf_path_offsets = Vec::with_capacity(leaves.len() + 1);
+        leaf_path_offsets.push(0u32);
+        for &l in &leaves {
+            let start = leaf_path_arena.len();
+            leaf_path_arena.resize(start + depth[l.as_usize()] as usize, NodeId::ROOT);
+            let mut cur = l;
+            for slot in leaf_path_arena[start..].iter_mut().rev() {
+                *slot = cur;
+                cur = parent[cur.as_usize()].expect("leaf path stays below the root");
+            }
+            leaf_path_offsets.push(leaf_path_arena.len() as u32);
+        }
         Ok(Tree {
             parent,
             children,
@@ -174,6 +197,8 @@ impl Tree {
             r_node,
             leaves,
             leaf_index,
+            leaf_path_arena,
+            leaf_path_offsets,
         })
     }
 
@@ -292,6 +317,22 @@ impl Tree {
         }
         path.reverse();
         path
+    }
+
+    /// Cached [`Tree::path_from_root`] for a leaf, borrowed from the
+    /// tree (no allocation). This is the hot-path accessor the
+    /// dispatcher uses when scoring every leaf per job.
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not a leaf.
+    #[inline]
+    pub fn leaf_path(&self, leaf: NodeId) -> &[NodeId] {
+        let i = self
+            .leaf_index[leaf.as_usize()]
+            .unwrap_or_else(|| panic!("leaf_path({leaf}): not a leaf"))
+            as usize;
+        let (lo, hi) = (self.leaf_path_offsets[i], self.leaf_path_offsets[i + 1]);
+        &self.leaf_path_arena[lo as usize..hi as usize]
     }
 
     /// Lowest common ancestor of `a` and `b`.
@@ -559,6 +600,21 @@ mod tests {
         );
         assert_eq!(t.path_from_root(NodeId(1)), vec![NodeId(1)]);
         assert!(t.path_from_root(NodeId::ROOT).is_empty());
+    }
+
+    #[test]
+    fn leaf_path_matches_path_from_root() {
+        let t = figure1_tree();
+        for &l in t.leaves() {
+            assert_eq!(t.leaf_path(l), t.path_from_root(l));
+        }
+        assert_eq!(t.leaf_path(NodeId(6)), &[NodeId(1), NodeId(3), NodeId(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a leaf")]
+    fn leaf_path_rejects_routers() {
+        figure1_tree().leaf_path(NodeId(1));
     }
 
     #[test]

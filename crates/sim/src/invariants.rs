@@ -72,7 +72,10 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
                     )));
                 }
                 js[ji].arrived = Some(e.t);
-                js[ji].leaf = Some(e.node);
+                // Record the leaf only if it is one: later path checks
+                // look paths up by leaf, and a bogus dispatch target is
+                // already reported above.
+                js[ji].leaf = tree.is_leaf(e.node).then_some(e.node);
             }
             TraceKind::Start => {
                 if js[ji].arrived.is_none() {

@@ -71,7 +71,7 @@ pub fn run_packetized(
         .enumerate()
         .map(|(id, &leaf)| {
             assert!(tree.is_leaf(leaf));
-            let mut p = inst.path_of(JobId(id as u32), leaf);
+            let mut p = inst.path_of(JobId(id as u32), leaf).to_vec();
             p.pop(); // the leaf hop is handled at job granularity
             p
         })

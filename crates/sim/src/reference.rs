@@ -59,7 +59,7 @@ pub fn run_reference(
         .map(|(id, &leaf)| {
             assert!(tree.is_leaf(leaf), "assignment must be a leaf");
             RJob {
-                path: instance.path_of(JobId(id as u32), leaf),
+                path: instance.path_of(JobId(id as u32), leaf).to_vec(),
                 hop: 0,
                 rem: 0.0,
                 hop_arrival: 0.0,

@@ -202,7 +202,7 @@ impl<'a> SimState<'a> {
         jr.hop_arrival = self.now;
         jr.working = false;
         jr.hop_finishes = Vec::with_capacity(path.len());
-        jr.path = path;
+        jr.path = path.to_vec();
         self.frac_sum += 1.0;
         self.unfinished += 1;
     }

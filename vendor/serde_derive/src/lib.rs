@@ -5,7 +5,8 @@
 //! derives on: non-generic named structs, newtype tuple structs, unit
 //! structs, and enums with unit / newtype / struct variants. Recognised
 //! field attributes: `#[serde(default)]`, `#[serde(default = "path")]`,
-//! and `#[serde(skip_serializing_if = "path")]`.
+//! `#[serde(skip_serializing_if = "path")]`, and `#[serde(skip)]`
+//! (never serialized, `Default::default()` on deserialize).
 //!
 //! Encoding matches upstream serde's JSON conventions: structs and
 //! struct variants become string-keyed maps, newtype structs are
@@ -19,6 +20,8 @@ struct FieldAttrs {
     default: Option<Option<String>>,
     /// `#[serde(skip_serializing_if = "path")]`.
     skip_if: Option<String>,
+    /// `#[serde(skip)]`: omit on serialize, default on deserialize.
+    skip: bool,
 }
 
 #[derive(Debug)]
@@ -76,6 +79,7 @@ fn parse_serde_attr(tokens: Vec<TokenTree>, attrs: &mut FieldAttrs) {
             };
             match (key.as_str(), val) {
                 ("default", v) => attrs.default = Some(v),
+                ("skip", None) => attrs.skip = true,
                 ("skip_serializing_if", Some(p)) => attrs.skip_if = Some(p),
                 _ => {}
             }
@@ -249,6 +253,9 @@ fn gen_serialize(item: &Item) -> String {
                  ::std::vec::Vec::new();\n",
             );
             for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
                 let push = format!(
                     "_m.push((::std::string::String::from(\"{n}\"), \
                      ::serde::to_value(&self.{n}).map_err({SER_ERR})?));\n",
@@ -329,6 +336,9 @@ fn gen_serialize(item: &Item) -> String {
 
 /// Field initialiser expression for deserialization (type inferred).
 fn de_field_expr(src: &str, f: &Field) -> String {
+    if f.attrs.skip {
+        return String::from("::core::default::Default::default()");
+    }
     match &f.attrs.default {
         None => format!(
             "::serde::de::req_field({src}, \"{n}\").map_err({DE_ERR})?",
