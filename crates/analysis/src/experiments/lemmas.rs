@@ -222,6 +222,9 @@ pub fn e5_lemma3_potential(scale: Scale) -> Table {
     )
 }
 
+/// A named, seedable topology family.
+type TreeFamily = (&'static str, fn(u64) -> bct_core::Tree);
+
 /// **E7 — Lemma 8.** Mirroring the broomstick schedule back to the
 /// tree: per-job completion dominance and the aggregate improvement.
 pub fn e7_lemma8_mirroring(scale: Scale) -> Table {
@@ -229,7 +232,7 @@ pub fn e7_lemma8_mirroring(scale: Scale) -> Table {
         "E7 — Lemma 8: flow on T vs flow on T' (mirrored schedule)",
         &["tree", "seeds", "violations", "mean flow(T)/flow(T')"],
     );
-    let families: [(&str, fn(u64) -> bct_core::Tree); 3] = [
+    let families: [TreeFamily; 3] = [
         ("fat-tree(2,2,2)", |_| topo::fat_tree(2, 2, 2)),
         ("random(6,6)", |seed| {
             use rand::SeedableRng;

@@ -19,6 +19,9 @@ use bct_workloads::jobs::WorkloadSpec;
 use bct_workloads::topo;
 use rayon::prelude::*;
 
+/// A named fixed topology.
+type NamedTopology = (&'static str, fn() -> bct_core::Tree);
+
 /// **E16 — objectives beyond total flow.** Mean / max / ℓ₂ flow for
 /// SJF vs FIFO routing, on a line network and a fat-tree.
 pub fn e16_objective_tradeoffs(scale: Scale) -> Table {
@@ -26,7 +29,7 @@ pub fn e16_objective_tradeoffs(scale: Scale) -> Table {
         "E16 — open-question probe: total vs max vs ℓ₂ flow time by node policy",
         &["topology", "policy", "mean flow", "max flow", "ℓ₂ flow"],
     );
-    let topologies: [(&str, fn() -> bct_core::Tree); 2] = [
+    let topologies: [NamedTopology; 2] = [
         ("line(5)", || topo::line(5)),
         ("fat-tree(2,2,2)", || topo::fat_tree(2, 2, 2)),
     ];

@@ -50,7 +50,6 @@ impl Table {
 
     /// Render as column-aligned GitHub markdown.
     pub fn render(&self) -> String {
-        let ncols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
@@ -59,9 +58,9 @@ impl Table {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut s = String::from("|");
-            for i in 0..ncols {
+            for (i, &w) in widths.iter().enumerate() {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
-                s.push_str(&format!(" {cell:>w$} |", w = widths[i]));
+                s.push_str(&format!(" {cell:>w$} |"));
             }
             s
         };

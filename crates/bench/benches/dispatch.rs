@@ -1,0 +1,147 @@
+//! Greedy dispatch-scoring benchmark: aggregate-backed `O(log |Q|)`
+//! queue queries vs the naive `O(|Q|)` scan oracle.
+//!
+//! One driving simulation per variant (round-robin assignment, SJF
+//! nodes, 50k jobs on a 1024-leaf fat tree) provides live queue states;
+//! at sampled arrivals a probe times full greedy assignments — score
+//! every leaf, take the argmin — through `GreedyIdentical::score`. Both
+//! variants run the *same* scoring code: the "aggregate" run keys the
+//! engine's queue aggregates like the policy (fast path taken), the
+//! "naive" run mis-keys them (class-rounded engine vs raw-size policy),
+//! so every query falls back to the scan oracle. Only the time inside
+//! the scoring loop is measured.
+
+use bct_core::{ClassRounding, Instance, JobId, NodeId, SpeedProfile};
+use bct_policies::Sjf;
+use bct_sched::GreedyIdentical;
+use bct_sim::policy::Probe;
+use bct_sim::{AssignmentPolicy, SimConfig, SimView, Simulation};
+use bct_workloads::jobs::{SizeDist, WorkloadSpec};
+use bct_workloads::topo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+/// Cheap deterministic driving assignment: cycle over the leaves.
+struct RoundRobin {
+    leaves: Vec<NodeId>,
+    next: usize,
+}
+
+impl AssignmentPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn assign(&mut self, _view: &SimView<'_>, _job: JobId) -> NodeId {
+        let v = self.leaves[self.next];
+        self.next = (self.next + 1) % self.leaves.len();
+        v
+    }
+}
+
+/// Times `reps` full greedy assignments at every `sample_every`-th
+/// arrival (skipping the cold start), accumulating only scoring time.
+struct ScoringTimer {
+    policy: GreedyIdentical,
+    sample_every: usize,
+    reps: u64,
+    elapsed: Duration,
+    assignments: u64,
+    sink: f64,
+}
+
+impl Probe for ScoringTimer {
+    fn on_arrival(&mut self, view: &SimView<'_>, job: JobId, _leaf: NodeId) {
+        let id = job.as_usize();
+        if id == 0 || id % self.sample_every != 0 {
+            return;
+        }
+        let leaves = view.instance().tree().leaves();
+        let start = Instant::now();
+        for _ in 0..self.reps {
+            let mut best = f64::INFINITY;
+            for &v in leaves {
+                let s = self.policy.score(view, job, v);
+                if s < best {
+                    best = s;
+                }
+            }
+            self.sink += best;
+        }
+        self.elapsed += start.elapsed();
+        self.assignments += self.reps;
+    }
+}
+
+/// Run the driving simulation and return (scoring time, assignments
+/// timed, checksum). `fast` keys the engine aggregates to match the
+/// scoring policy; otherwise they are deliberately mis-keyed so every
+/// query takes the scan fallback.
+fn measure(inst: &Instance, reps: u64, fast: bool) -> (Duration, u64, f64) {
+    let mut cfg = SimConfig::with_speeds(SpeedProfile::unit());
+    if !fast {
+        cfg.dispatch_rounding = Some(ClassRounding::new(0.5));
+    }
+    let mut probe = ScoringTimer {
+        policy: GreedyIdentical::new(0.5),
+        sample_every: inst.n() / 10,
+        reps,
+        elapsed: Duration::ZERO,
+        assignments: 0,
+        sink: 0.0,
+    };
+    let mut asg = RoundRobin {
+        leaves: inst.tree().leaves().to_vec(),
+        next: 0,
+    };
+    Simulation::run(inst, &Sjf::new(), &mut asg, &mut probe, &cfg).unwrap();
+    assert!(probe.assignments > 0, "probe never sampled an arrival");
+    (probe.elapsed, probe.assignments, probe.sink)
+}
+
+fn dispatch_scoring(c: &mut Criterion) {
+    let tree = topo::fat_tree(16, 8, 8);
+    assert!(tree.num_leaves() >= 1000, "bench needs a wide tree");
+    // Overdriven load (ρ = 2 at the root-adjacent layer): the entry
+    // queues build into the hundreds over the run, which is the regime
+    // the per-node aggregates exist for. At ρ < 1 queues stay O(1) and
+    // a scan is nearly free.
+    let inst = WorkloadSpec::poisson_identical(
+        50_000,
+        2.0,
+        SizeDist::PowerOfBase { base: 2.0, max_k: 4 },
+        &tree,
+    )
+    .instance(&tree, 17)
+    .expect("valid instance");
+
+    let reps = 5;
+    let (fast_t, fast_n, fast_sink) = measure(&inst, reps, true);
+    let (slow_t, slow_n, slow_sink) = measure(&inst, reps, false);
+    assert_eq!(fast_n, slow_n);
+    // Same scores up to summation order; a checksum divergence means the
+    // two paths scored different queues.
+    assert!(
+        (fast_sink - slow_sink).abs() <= 1e-6 * (1.0 + slow_sink.abs()),
+        "checksum diverged: {fast_sink} vs {slow_sink}"
+    );
+
+    let mut g = c.benchmark_group("dispatch_scoring");
+    g.sample_size(fast_n as usize);
+    g.bench_function("greedy-assign/aggregate/1024-leaves-50k-jobs", |b| {
+        b.iter_custom(|_| fast_t)
+    });
+    g.bench_function("greedy-assign/naive/1024-leaves-50k-jobs", |b| {
+        b.iter_custom(|_| slow_t)
+    });
+    g.finish();
+
+    let speedup = slow_t.as_secs_f64() / fast_t.as_secs_f64();
+    println!("dispatch_scoring/speedup(naive/aggregate): {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "aggregate scoring must be >=5x faster than the scan oracle, got {speedup:.1}x"
+    );
+}
+
+criterion_group!(benches, dispatch_scoring);
+criterion_main!(benches);

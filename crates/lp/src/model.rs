@@ -1,5 +1,9 @@
 //! The paper's LP relaxation (§2) on a discretized time grid.
 //!
+// The builder walks a dense (node, job, step) index cube; plain index
+// loops mirror the math and keep the `x_{v,j,k}` subscripts legible.
+#![allow(clippy::needless_range_loop)]
+//!
 //! Variables `x_{v,j,k}` = amount of job `j` processed on node `v`
 //! during grid step `k` (step length `dt`, node capacity `s_v·dt`).
 //! The three constraint families follow the paper:

@@ -279,9 +279,9 @@ impl Tableau {
         (0..allowed)
             .map(|j| {
                 let mut rc = cost[j];
-                for r in 0..m {
-                    if cb[r] != 0.0 {
-                        rc -= cb[r] * self.rows[r][j];
+                for (cb_r, row) in cb.iter().zip(&self.rows) {
+                    if *cb_r != 0.0 {
+                        rc -= cb_r * row[j];
                     }
                 }
                 rc
@@ -381,9 +381,7 @@ impl Tableau {
         let m = self.rows.len();
         // Phase 1: minimize the sum of artificials.
         let mut phase1 = vec![0.0; self.n_all];
-        for j in self.n_total..self.n_all {
-            phase1[j] = 1.0;
-        }
+        phase1[self.n_total..].fill(1.0);
         if !self.iterate(&phase1, self.n_all) {
             // Phase-1 objective is bounded below by 0; unbounded is impossible.
             unreachable!("phase 1 cannot be unbounded");

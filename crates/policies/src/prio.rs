@@ -52,54 +52,132 @@ pub fn sjf_precedes_or_eq(
     i < j
 }
 
+/// Can the engine's queue aggregates answer queries for this requested
+/// rounding? They can exactly when both sides key priorities the same
+/// way (both raw, or both the same class grid).
+#[inline]
+fn aggregates_usable(requested: Option<&ClassRounding>, view: &SimView<'_>) -> bool {
+    match (requested, view.dispatch_rounding()) {
+        (None, None) => true,
+        (Some(a), Some(b)) => *a == b,
+        _ => false,
+    }
+}
+
 /// `Σ_{J_i ∈ S_{v,j}(t) \ {j}} p^A_{i,v}(t)`: remaining volume of
 /// strictly-preceding jobs queued through `v`. (`J_j`'s own term is
 /// added by callers when the paper's formula includes it — at dispatch
 /// time `J_j` is not yet in any queue.)
+///
+/// `O(log |Q_v|)` via the engine's per-node aggregates when `rounding`
+/// matches the engine's [`SimView::dispatch_rounding`], else an
+/// `O(|Q_v|)` scan ([`naive::s_volume_excl`]).
 pub fn s_volume_excl(
     view: &SimView<'_>,
     rounding: Option<&ClassRounding>,
     v: NodeId,
     j: JobId,
 ) -> Time {
-    let inst = view.instance();
-    view.q(v)
-        .filter(|&i| i != j && sjf_precedes_or_eq(inst, rounding, v, i, j))
-        .map(|i| view.remaining_at(i, v))
-        .sum()
+    if aggregates_usable(rounding, view) {
+        let inst = view.instance();
+        let eff = effective_size(inst, rounding, j, v);
+        view.volume_before(v, eff, inst.job(j).release, j.0)
+    } else {
+        naive::s_volume_excl(view, rounding, v, j)
+    }
 }
 
 /// `|{J_i ∈ Q_v(t) : p_{i,v} > p_{j,v}}|`: how many queued jobs have
 /// strictly larger effective size than `j` on `v` — the jobs `j` will
 /// delay by jumping ahead of them.
+///
+/// `O(log |Q_v|)` when `rounding` matches the engine's, else a scan.
 pub fn count_larger(
     view: &SimView<'_>,
     rounding: Option<&ClassRounding>,
     v: NodeId,
     j: JobId,
 ) -> usize {
-    let inst = view.instance();
-    let sj = effective_size(inst, rounding, j, v);
-    view.q(v)
-        .filter(|&i| i != j && effective_size(inst, rounding, i, v) > sj)
-        .count()
+    if aggregates_usable(rounding, view) {
+        let eff = effective_size(view.instance(), rounding, j, v);
+        view.count_larger(v, eff)
+    } else {
+        naive::count_larger(view, rounding, v, j)
+    }
 }
 
 /// `Σ_{J_i ∈ Q_v(t), p_{i,v} > p_{j,v}} p^A_{i,v}(t)/p_{i,v}`: the
 /// *fractional count* of strictly larger jobs at `v` — the unrelated
 /// assignment rule's delay-to-others term at the leaf (§3.4).
+///
+/// `O(log |Q_v|)` when `rounding` matches the engine's, else a scan.
 pub fn frac_count_larger(
     view: &SimView<'_>,
     rounding: Option<&ClassRounding>,
     v: NodeId,
     j: JobId,
 ) -> f64 {
-    let inst = view.instance();
-    let sj = effective_size(inst, rounding, j, v);
-    view.q(v)
-        .filter(|&i| i != j && effective_size(inst, rounding, i, v) > sj)
-        .map(|i| view.remaining_at(i, v) / inst.p(i, v))
-        .sum()
+    if aggregates_usable(rounding, view) {
+        let eff = effective_size(view.instance(), rounding, j, v);
+        view.frac_volume_larger(v, eff)
+    } else {
+        naive::frac_count_larger(view, rounding, v, j)
+    }
+}
+
+/// Scan-based reference implementations of the queue-volume queries.
+///
+/// These walk `Q_v(t)` job by job, straight from the paper's set
+/// definitions — `O(|Q_v|)` per call, nothing incremental to be wrong.
+/// They serve three purposes: the runtime fallback when a policy's
+/// rounding differs from the engine's aggregate keying, the oracle the
+/// differential property tests compare the `O(log)` paths against, and
+/// the baseline for the dispatch-scoring benchmark.
+pub mod naive {
+    use super::*;
+
+    /// Scan-based [`super::s_volume_excl`].
+    pub fn s_volume_excl(
+        view: &SimView<'_>,
+        rounding: Option<&ClassRounding>,
+        v: NodeId,
+        j: JobId,
+    ) -> Time {
+        let inst = view.instance();
+        view.q(v)
+            .filter(|&i| i != j && sjf_precedes_or_eq(inst, rounding, v, i, j))
+            .map(|i| view.remaining_at(i, v))
+            .sum()
+    }
+
+    /// Scan-based [`super::count_larger`].
+    pub fn count_larger(
+        view: &SimView<'_>,
+        rounding: Option<&ClassRounding>,
+        v: NodeId,
+        j: JobId,
+    ) -> usize {
+        let inst = view.instance();
+        let sj = effective_size(inst, rounding, j, v);
+        view.q(v)
+            .filter(|&i| i != j && effective_size(inst, rounding, i, v) > sj)
+            .count()
+    }
+
+    /// Scan-based [`super::frac_count_larger`].
+    pub fn frac_count_larger(
+        view: &SimView<'_>,
+        rounding: Option<&ClassRounding>,
+        v: NodeId,
+        j: JobId,
+    ) -> f64 {
+        let inst = view.instance();
+        let sj = effective_size(inst, rounding, j, v);
+        view.q(v)
+            .filter(|&i| i != j && effective_size(inst, rounding, i, v) > sj)
+            .map(|i| view.remaining_at(i, v) / inst.p(i, v))
+            .sum()
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +266,13 @@ mod live_tests {
                 self.s_vol = Some(s_volume_excl(view, None, v, job));
                 self.larger = Some(count_larger(view, None, v, job));
                 self.frac_larger = Some(frac_count_larger(view, None, v, job));
+                // The aggregate fast path and the scan oracle must agree.
+                assert_eq!(self.s_vol, Some(naive::s_volume_excl(view, None, v, job)));
+                assert_eq!(self.larger, Some(naive::count_larger(view, None, v, job)));
+                assert_eq!(
+                    self.frac_larger,
+                    Some(naive::frac_count_larger(view, None, v, job))
+                );
             }
         }
     }

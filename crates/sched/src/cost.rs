@@ -16,6 +16,11 @@
 //! Both the greedy assignment rule and the dual variables (`β_j`,
 //! `γ_{v,j,∞}`) are built from these exact expressions, so they live in
 //! one place.
+//!
+//! Each term costs two [`bct_policies::prio`] queue queries — `O(log
+//! |Q_v|)` against an engine maintaining matching queue aggregates
+//! (`SimConfig::dispatch_rounding` equal to the `rounding` passed
+//! here), `O(|Q_v|)` scans otherwise.
 
 use bct_core::{ClassRounding, JobId, NodeId, Time};
 use bct_policies::prio;

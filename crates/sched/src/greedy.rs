@@ -9,6 +9,12 @@
 //! The rule is designed for broomsticks (where the dual fitting of
 //! §§3.5–3.6 analyzes it) but is well defined — and is run as an
 //! empirical heuristic — on arbitrary trees.
+//!
+//! Scoring one leaf costs `O(log |Q|)` when the engine maintains queue
+//! aggregates keyed like this rule — configure the run with
+//! `SimConfig::dispatch_rounding` equal to [`GreedyIdentical::rounding`]
+//! / [`GreedyUnrelated::rounding`]. On a mismatch the scoring silently
+//! degrades to `O(|Q|)` queue scans (same answers, just slower).
 
 use crate::cost::{distance_term, f_prime_term, f_term};
 use bct_core::{ClassRounding, JobId, NodeId, Time};
@@ -72,6 +78,13 @@ impl GreedyIdentical {
         self
     }
 
+    /// The priority rounding this rule compares sizes under — pass it
+    /// to `SimConfig::with_dispatch_rounding` (or leave the config
+    /// `None` to match [`GreedyIdentical::new`]) for `O(log)` scoring.
+    pub fn rounding(&self) -> Option<ClassRounding> {
+        self.rounding
+    }
+
     /// The score minimized over leaves: `F(j,v) + w·(6/ε²)·d_v·p_j`
     /// (`d_v` generalizes to the job's actual path length for non-root
     /// origins).
@@ -117,6 +130,12 @@ impl GreedyUnrelated {
             epsilon,
             rounding: Some(ClassRounding::new(epsilon)),
         }
+    }
+
+    /// The priority rounding this rule compares sizes under — pass it
+    /// to `SimConfig::with_dispatch_rounding` for `O(log)` scoring.
+    pub fn rounding(&self) -> Option<ClassRounding> {
+        self.rounding
     }
 
     /// The score minimized over leaves:

@@ -1,0 +1,287 @@
+//! Differential tests: the aggregate-backed `O(log)` dispatch scoring
+//! must agree with the scan oracle (`bct_policies::prio::naive`).
+//!
+//! The exact-equality suites draw every quantity from dyadic rationals
+//! — power-of-two sizes, quarter-integer releases, unit speeds — so all
+//! float sums are exact in any association order and the two paths must
+//! match *bit for bit*, including the greedy `argmin` leaf choice. A
+//! separate tolerance suite uses arbitrary sizes, where the two
+//! summation orders may differ in the last bits.
+
+use bct_core::tree::TreeBuilder;
+use bct_core::{ClassRounding, Instance, Job, JobId, NodeId, SpeedProfile, Tree};
+use bct_policies::prio::{self, naive};
+use bct_policies::Sjf;
+use bct_sched::cost::{f_prime_term, f_term};
+use bct_sim::policy::Probe;
+use bct_sim::{AssignmentPolicy, SimConfig, SimView, Simulation};
+use proptest::prelude::*;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Random tree: 2–3 root children, random interior growth, a machine
+/// under every interior node.
+fn random_tree(rng: &mut ChaCha8Rng) -> Tree {
+    let mut b = TreeBuilder::new();
+    let mut interior = Vec::new();
+    for _ in 0..rng.gen_range(2..=3) {
+        let r = b.add_child(NodeId::ROOT);
+        interior.push(r);
+        for _ in 0..rng.gen_range(1..=4) {
+            let parent = interior[rng.gen_range(0..interior.len())];
+            interior.push(b.add_child(parent));
+        }
+    }
+    let snapshot = interior.clone();
+    for v in snapshot {
+        b.add_child(v);
+    }
+    b.build().unwrap()
+}
+
+/// Random instance with dyadic data when `dyadic` is set (exact float
+/// sums), arbitrary sizes otherwise.
+fn random_instance(seed: u64, unrelated: bool, dyadic: bool) -> Instance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let t = random_tree(&mut rng);
+    let n_leaves = t.num_leaves();
+    let n = rng.gen_range(8..=30);
+    let mut release = 0.0;
+    let size = |rng: &mut ChaCha8Rng| -> f64 {
+        if dyadic {
+            [0.5, 1.0, 2.0, 4.0, 8.0][rng.gen_range(0..5)]
+        } else {
+            rng.gen_range(0.1..10.0)
+        }
+    };
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            release += if dyadic {
+                0.25 * rng.gen_range(0..8) as f64
+            } else {
+                rng.gen_range(0.0..2.0)
+            };
+            let s = size(&mut rng);
+            if unrelated {
+                let sizes: Vec<f64> = (0..n_leaves).map(|_| size(&mut rng)).collect();
+                Job::unrelated(i as u32, release, s, sizes)
+            } else {
+                Job::identical(i as u32, release, s)
+            }
+        })
+        .collect();
+    Instance::new(t, jobs).unwrap()
+}
+
+/// First-strict-minimum argmin over the leaves — the same tie-breaking
+/// as the greedy rules' internal `argmin_leaf`.
+fn argmin_leaf(leaves: &[NodeId], mut score: impl FnMut(NodeId) -> f64) -> NodeId {
+    let mut best = leaves[0];
+    let mut best_score = f64::INFINITY;
+    for &v in leaves {
+        let s = score(v);
+        if s < best_score {
+            best_score = s;
+            best = v;
+        }
+    }
+    best
+}
+
+/// At every arrival and hop completion, compare the dispatching helpers
+/// (aggregate fast path when the engine's rounding matches) against the
+/// scan oracle for the triggering job at every leaf.
+struct DiffProbe {
+    rounding: Option<ClassRounding>,
+    exact: bool,
+    checks: usize,
+}
+
+impl DiffProbe {
+    fn close(&self, a: f64, b: f64) -> bool {
+        if self.exact {
+            a == b
+        } else {
+            (a - b).abs() <= 1e-9 * (1.0 + b.abs())
+        }
+    }
+
+    fn check(&mut self, view: &SimView<'_>, j: JobId) {
+        let inst = view.instance();
+        let r = self.rounding.as_ref();
+        for &leaf in inst.tree().leaves() {
+            let entry = inst.entry_node(j, leaf);
+            for v in [entry, leaf] {
+                let (fv, nv) = (
+                    prio::s_volume_excl(view, r, v, j),
+                    naive::s_volume_excl(view, r, v, j),
+                );
+                assert!(self.close(fv, nv), "s_volume at {v}: {fv} vs {nv}");
+                assert_eq!(
+                    prio::count_larger(view, r, v, j),
+                    naive::count_larger(view, r, v, j),
+                    "count_larger at {v}"
+                );
+                let (ff, nf) = (
+                    prio::frac_count_larger(view, r, v, j),
+                    naive::frac_count_larger(view, r, v, j),
+                );
+                assert!(self.close(ff, nf), "frac_larger at {v}: {ff} vs {nf}");
+            }
+            // The composed cost terms, against oracles assembled purely
+            // from naive queries (mirroring cost.rs's formulas).
+            let p_r = inst.p(j, entry);
+            let naive_f = naive::s_volume_excl(view, r, entry, j)
+                + p_r
+                + p_r * naive::count_larger(view, r, entry, j) as f64;
+            let fast_f = f_term(view, r, j, leaf);
+            assert!(self.close(fast_f, naive_f), "F: {fast_f} vs {naive_f}");
+            let p_v = inst.p(j, leaf);
+            let naive_fp = naive::s_volume_excl(view, r, leaf, j)
+                + p_v
+                + p_v * naive::frac_count_larger(view, r, leaf, j);
+            let fast_fp = f_prime_term(view, r, j, leaf);
+            assert!(self.close(fast_fp, naive_fp), "F': {fast_fp} vs {naive_fp}");
+            self.checks += 1;
+        }
+        // In the exact regime the argmin choices must coincide too.
+        if self.exact {
+            let leaves = inst.tree().leaves();
+            let fast_best = argmin_leaf(leaves, |v| f_term(view, r, j, v));
+            let naive_best = argmin_leaf(leaves, |v| {
+                let entry = inst.entry_node(j, v);
+                let p_r = inst.p(j, entry);
+                naive::s_volume_excl(view, r, entry, j)
+                    + p_r
+                    + p_r * naive::count_larger(view, r, entry, j) as f64
+            });
+            assert_eq!(fast_best, naive_best, "best leaf diverged for {j}");
+        }
+    }
+}
+
+impl Probe for DiffProbe {
+    fn on_arrival(&mut self, view: &SimView<'_>, job: JobId, _leaf: NodeId) {
+        self.check(view, job);
+    }
+    fn on_hop_complete(&mut self, view: &SimView<'_>, job: JobId, _node: NodeId) {
+        self.check(view, job);
+    }
+}
+
+/// Greedy assignment that re-queries through the dispatching helpers —
+/// drives the run into the same states both paths score.
+struct GreedyByF(Option<ClassRounding>);
+
+impl AssignmentPolicy for GreedyByF {
+    fn name(&self) -> &'static str {
+        "greedy-by-f"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let r = self.0.as_ref().cloned();
+        argmin_leaf(view.instance().tree().leaves(), |v| {
+            f_term(view, r.as_ref(), job, v) + f_prime_term(view, r.as_ref(), job, v)
+        })
+    }
+}
+
+/// Run `inst` under greedy dispatch with the engine's aggregates keyed
+/// by `engine_rounding`, checking every query against the oracle with
+/// `query_rounding`. Returns the number of per-leaf check sites.
+fn run_diff(
+    inst: &Instance,
+    engine_rounding: Option<ClassRounding>,
+    query_rounding: Option<ClassRounding>,
+    exact: bool,
+) -> usize {
+    let mut cfg = SimConfig::with_speeds(SpeedProfile::unit());
+    cfg.dispatch_rounding = engine_rounding;
+    let mut probe = DiffProbe {
+        rounding: query_rounding.clone(),
+        exact,
+        checks: 0,
+    };
+    Simulation::run(
+        inst,
+        &Sjf::new(),
+        &mut GreedyByF(query_rounding),
+        &mut probe,
+        &cfg,
+    )
+    .unwrap();
+    probe.checks
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dyadic data, matching rounding config: the aggregate fast path
+    /// must agree with the scan oracle bit for bit.
+    #[test]
+    fn exact_agreement_on_dyadic_instances(
+        seed in 0u64..5000,
+        unrelated in any::<bool>(),
+        classes in any::<bool>(),
+    ) {
+        let inst = random_instance(seed, unrelated, true);
+        let r = classes.then(|| ClassRounding::new(1.0));
+        let checks = run_diff(&inst, r.clone(), r, true);
+        prop_assert!(checks > 0, "probe never fired");
+    }
+
+    /// Mismatched rounding config: the helpers must fall back to the
+    /// scan (trivially equal — this pins the fallback, and that the
+    /// aggregate bookkeeping never corrupts a run it isn't queried on).
+    #[test]
+    fn mismatched_rounding_falls_back_to_scan(
+        seed in 0u64..5000,
+        engine_classes in any::<bool>(),
+    ) {
+        let inst = random_instance(seed, false, true);
+        let engine = engine_classes.then(|| ClassRounding::new(1.0));
+        let query = if engine_classes { None } else { Some(ClassRounding::new(1.0)) };
+        let checks = run_diff(&inst, engine, query, true);
+        prop_assert!(checks > 0);
+    }
+
+    /// Arbitrary floats: agreement within summation-order tolerance.
+    #[test]
+    fn tolerant_agreement_on_arbitrary_instances(
+        seed in 0u64..5000,
+        unrelated in any::<bool>(),
+        classes in any::<bool>(),
+    ) {
+        let inst = random_instance(seed, unrelated, false);
+        let r = classes.then(|| ClassRounding::new(0.5));
+        let checks = run_diff(&inst, r.clone(), r, false);
+        prop_assert!(checks > 0);
+    }
+}
+
+/// The engine must produce identical schedules whether or not it
+/// maintains aggregates under any rounding — the aggregate structure is
+/// read-only bookkeeping as far as scheduling is concerned.
+#[test]
+fn aggregates_never_change_the_schedule() {
+    for seed in 0..20u64 {
+        let inst = random_instance(seed, seed % 2 == 0, false);
+        let mut outs = Vec::new();
+        for rounding in [None, Some(ClassRounding::new(1.0))] {
+            let mut cfg = SimConfig::with_speeds(SpeedProfile::unit());
+            cfg.dispatch_rounding = rounding;
+            // Fixed queries (raw sizes) so the dispatch decisions are
+            // identical; only the engine-side bookkeeping differs.
+            let out = Simulation::run(
+                &inst,
+                &Sjf::new(),
+                &mut GreedyByF(None),
+                &mut bct_sim::policy::NoProbe,
+                &cfg,
+            )
+            .unwrap();
+            outs.push((out.assignments, out.completions));
+        }
+        assert_eq!(outs[0], outs[1], "seed {seed}");
+    }
+}

@@ -1,0 +1,457 @@
+//! Per-node priority-indexed queue aggregates.
+//!
+//! Every node `v` keeps its live queue `Q_v(t)` in an order-statistic
+//! treap keyed by SJF priority (effective size, release, id). Each
+//! entry stores the job's remaining work at `v` and its *fractional*
+//! remainder `rem/p`, and every subtree maintains `(count, Σrem,
+//! Σrem/p)`. The §3.4 assignment-cost terms then reduce to two
+//! `O(log |Q_v|)` prefix queries per node instead of an `O(|Q_v|)`
+//! scan per candidate leaf:
+//!
+//! * `S`-volume: sum of `rem` over keys strictly before the job's key;
+//! * larger-count / larger-fraction: totals minus the prefix at
+//!   `eff ≤ p_j`.
+//!
+//! Stored remainders are *as of the node's last materialization*; the
+//! one continuously-draining job per node (its `current`) is corrected
+//! at query time by [`crate::state::SimState`], which knows its live
+//! remainder. All entries for one simulation live in a single arena
+//! (`u32` links, free list), so per-node trees cost no allocations
+//! after warm-up.
+//!
+//! Treap priorities come from a deterministic xorshift stream, keeping
+//! runs reproducible.
+
+use bct_core::Time;
+use std::cmp::Ordering;
+
+/// Sentinel for "no child" / "empty tree".
+const NIL: u32 = u32::MAX;
+
+/// SJF priority key of a queued job at a node, ascending = served
+/// earlier: effective size (class index when rounding is configured,
+/// raw `p_{j,v}` otherwise), then release time, then job id. All
+/// components are finite, so the ordering is total.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueKey {
+    /// Effective size of the job at the node.
+    pub eff: f64,
+    /// Release time (tie-break).
+    pub release: Time,
+    /// Job id (final tie-break; makes keys unique).
+    pub id: u32,
+}
+
+impl Ord for QueueKey {
+    /// Total order matching `prio::sjf_precedes_or_eq`.
+    #[inline]
+    fn cmp(&self, other: &QueueKey) -> Ordering {
+        self.eff
+            .total_cmp(&other.eff)
+            .then_with(|| self.release.total_cmp(&other.release))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for QueueKey {
+    #[inline]
+    fn partial_cmp(&self, other: &QueueKey) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for QueueKey {
+    #[inline]
+    fn eq(&self, other: &QueueKey) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for QueueKey {}
+
+/// Running sums over a key range.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AggSums {
+    /// Number of queued jobs.
+    pub cnt: u32,
+    /// `Σ rem` (remaining work at the node, as last materialized).
+    pub sum_rem: f64,
+    /// `Σ rem / p` (fractional remainders).
+    pub sum_frac: f64,
+}
+
+impl AggSums {
+    #[inline]
+    fn add(&mut self, other: AggSums) {
+        self.cnt += other.cnt;
+        self.sum_rem += other.sum_rem;
+        self.sum_frac += other.sum_frac;
+    }
+
+    #[inline]
+    fn add_entry(&mut self, e: &Entry) {
+        self.cnt += 1;
+        self.sum_rem += e.rem;
+        self.sum_frac += e.rem / e.p;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    key: QueueKey,
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Remaining work of this job at this node (stored value).
+    rem: f64,
+    /// Full requirement `p_{j,v}`, for the fractional remainder.
+    p: f64,
+    /// Subtree aggregates (including this entry).
+    sums: AggSums,
+}
+
+/// One treap per tree node, all sharing an arena.
+#[derive(Debug)]
+pub(crate) struct QueueAggregates {
+    entries: Vec<Entry>,
+    free: Vec<u32>,
+    roots: Vec<u32>,
+    rng: u64,
+}
+
+impl QueueAggregates {
+    pub fn new(num_nodes: usize) -> QueueAggregates {
+        QueueAggregates {
+            entries: Vec::new(),
+            free: Vec::new(),
+            roots: vec![NIL; num_nodes],
+            rng: 0x853C_49E6_748F_EA9B,
+        }
+    }
+
+    fn next_prio(&mut self) -> u64 {
+        // xorshift64: full-period, deterministic, plenty for treap shape.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn alloc(&mut self, key: QueueKey, rem: f64, p: f64) -> u32 {
+        let prio = self.next_prio();
+        let entry = Entry {
+            key,
+            prio,
+            left: NIL,
+            right: NIL,
+            rem,
+            p,
+            sums: AggSums {
+                cnt: 1,
+                sum_rem: rem,
+                sum_frac: rem / p,
+            },
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = entry;
+                i
+            }
+            None => {
+                self.entries.push(entry);
+                (self.entries.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Recompute `t`'s subtree sums from its children and own values.
+    /// Sums are rebuilt (not delta-adjusted), so float error never
+    /// accumulates across updates.
+    fn pull(&mut self, t: u32) {
+        let (l, r) = (self.entries[t as usize].left, self.entries[t as usize].right);
+        let mut sums = AggSums {
+            cnt: 1,
+            sum_rem: self.entries[t as usize].rem,
+            sum_frac: self.entries[t as usize].rem / self.entries[t as usize].p,
+        };
+        for c in [l, r] {
+            if c != NIL {
+                let cs = self.entries[c as usize].sums;
+                sums.cnt += cs.cnt;
+                sums.sum_rem += cs.sum_rem;
+                sums.sum_frac += cs.sum_frac;
+            }
+        }
+        self.entries[t as usize].sums = sums;
+    }
+
+    /// Split into (keys < `key`, keys ≥ `key`).
+    fn split_lt(&mut self, t: u32, key: &QueueKey) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.entries[t as usize].key.cmp(key) == Ordering::Less {
+            let (a, b) = {
+                let r = self.entries[t as usize].right;
+                self.split_lt(r, key)
+            };
+            self.entries[t as usize].right = a;
+            self.pull(t);
+            (t, b)
+        } else {
+            let (a, b) = {
+                let l = self.entries[t as usize].left;
+                self.split_lt(l, key)
+            };
+            self.entries[t as usize].left = b;
+            self.pull(t);
+            (a, t)
+        }
+    }
+
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.entries[a as usize].prio >= self.entries[b as usize].prio {
+            let ar = self.entries[a as usize].right;
+            let m = self.merge(ar, b);
+            self.entries[a as usize].right = m;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.entries[b as usize].left;
+            let m = self.merge(a, bl);
+            self.entries[b as usize].left = m;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Insert a job entering `Q_v` with full requirement `p` remaining.
+    pub fn insert(&mut self, v: usize, key: QueueKey, p: f64) {
+        let idx = self.alloc(key, p, p);
+        let (a, b) = self.split_lt(self.roots[v], &key);
+        let ab = self.merge(a, idx);
+        self.roots[v] = self.merge(ab, b);
+    }
+
+    /// Remove the entry with exactly `key` from `Q_v`.
+    pub fn remove(&mut self, v: usize, key: &QueueKey) {
+        let root = self.roots[v];
+        self.roots[v] = self.remove_rec(root, key);
+    }
+
+    fn remove_rec(&mut self, t: u32, key: &QueueKey) -> u32 {
+        assert!(t != NIL, "removing a job that is not in the queue");
+        match key.cmp(&self.entries[t as usize].key) {
+            Ordering::Less => {
+                let l = self.entries[t as usize].left;
+                let nl = self.remove_rec(l, key);
+                self.entries[t as usize].left = nl;
+                self.pull(t);
+                t
+            }
+            Ordering::Greater => {
+                let r = self.entries[t as usize].right;
+                let nr = self.remove_rec(r, key);
+                self.entries[t as usize].right = nr;
+                self.pull(t);
+                t
+            }
+            Ordering::Equal => {
+                let (l, r) = (self.entries[t as usize].left, self.entries[t as usize].right);
+                self.free.push(t);
+                self.merge(l, r)
+            }
+        }
+    }
+
+    /// Update the stored remainder of the entry with `key` in `Q_v`.
+    pub fn set_rem(&mut self, v: usize, key: &QueueKey, rem: f64) {
+        let mut t = self.roots[v];
+        // Collect the search path, then rebuild sums bottom-up.
+        let mut path = [NIL; 64];
+        let mut depth = 0;
+        loop {
+            assert!(t != NIL, "updating a job that is not in the queue");
+            path[depth] = t;
+            depth += 1;
+            match key.cmp(&self.entries[t as usize].key) {
+                Ordering::Less => t = self.entries[t as usize].left,
+                Ordering::Greater => t = self.entries[t as usize].right,
+                Ordering::Equal => break,
+            }
+        }
+        self.entries[t as usize].rem = rem;
+        for &u in path[..depth].iter().rev() {
+            self.pull(u);
+        }
+    }
+
+    /// Aggregates over all of `Q_v`.
+    pub fn totals(&self, v: usize) -> AggSums {
+        let t = self.roots[v];
+        if t == NIL {
+            AggSums::default()
+        } else {
+            self.entries[t as usize].sums
+        }
+    }
+
+    /// Aggregates over entries with key strictly before `key`.
+    pub fn before(&self, v: usize, key: &QueueKey) -> AggSums {
+        let mut acc = AggSums::default();
+        let mut t = self.roots[v];
+        while t != NIL {
+            let e = &self.entries[t as usize];
+            if e.key.cmp(key) == Ordering::Less {
+                if e.left != NIL {
+                    acc.add(self.entries[e.left as usize].sums);
+                }
+                acc.add_entry(e);
+                t = e.right;
+            } else {
+                t = e.left;
+            }
+        }
+        acc
+    }
+
+    /// Aggregates over entries with effective size strictly greater than
+    /// `eff` (any release / id). Summed directly over the suffix — not
+    /// as `totals − prefix` — so no cancellation error sneaks in.
+    pub fn above_eff(&self, v: usize, eff: f64) -> AggSums {
+        let mut acc = AggSums::default();
+        let mut t = self.roots[v];
+        while t != NIL {
+            let e = &self.entries[t as usize];
+            if e.key.eff > eff {
+                if e.right != NIL {
+                    acc.add(self.entries[e.right as usize].sums);
+                }
+                acc.add_entry(e);
+                t = e.left;
+            } else {
+                t = e.right;
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(eff: f64, id: u32) -> QueueKey {
+        QueueKey {
+            eff,
+            release: 0.0,
+            id,
+        }
+    }
+
+    /// Brute-force mirror of one node's queue.
+    #[derive(Default)]
+    struct Mirror(Vec<(QueueKey, f64, f64)>);
+
+    impl Mirror {
+        fn before(&self, k: &QueueKey) -> AggSums {
+            self.sums(|e| e.cmp(k) == Ordering::Less)
+        }
+        fn above(&self, eff: f64) -> AggSums {
+            self.sums(|e| e.eff > eff)
+        }
+        fn sums(&self, f: impl Fn(&QueueKey) -> bool) -> AggSums {
+            let mut s = AggSums::default();
+            for (k, rem, p) in &self.0 {
+                if f(k) {
+                    s.cnt += 1;
+                    s.sum_rem += rem;
+                    s.sum_frac += rem / p;
+                }
+            }
+            s
+        }
+    }
+
+    #[test]
+    fn insert_query_remove_match_brute_force() {
+        let mut agg = QueueAggregates::new(1);
+        let mut mir = Mirror::default();
+        // Deterministic pseudo-random workload of dyadic sizes (exact
+        // float sums in any association order).
+        let mut x = 7u64;
+        let mut step = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut live: Vec<QueueKey> = Vec::new();
+        for i in 0..400u32 {
+            let op = step() % 3;
+            if op < 2 || live.is_empty() {
+                // Power-of-two sizes keep rem/p dyadic, so float sums
+                // are exact in any association order.
+                let p = f64::powi(2.0, (step() % 4) as i32);
+                let k = key(((step() % 8) as f64) * 0.5, i);
+                agg.insert(0, k, p);
+                mir.0.push((k, p, p));
+                live.push(k);
+            } else {
+                let idx = (step() as usize) % live.len();
+                let k = live.swap_remove(idx);
+                agg.remove(0, &k);
+                let pos = mir.0.iter().position(|(mk, _, _)| *mk == k).unwrap();
+                mir.0.swap_remove(pos);
+            }
+            // Occasionally shrink a stored remainder.
+            if !live.is_empty() && step() % 4 == 0 {
+                let k = live[(step() as usize) % live.len()];
+                let e = mir.0.iter_mut().find(|(mk, _, _)| *mk == k).unwrap();
+                e.1 = (e.1 - 0.25).max(0.0);
+                agg.set_rem(0, &k, e.1);
+            }
+            let probe = key(((step() % 8) as f64) * 0.5, step() as u32 % 500);
+            assert_eq!(agg.before(0, &probe), mir.before(&probe), "step {i}");
+            assert_eq!(agg.above_eff(0, probe.eff), mir.above(probe.eff), "step {i}");
+            assert_eq!(agg.totals(0), mir.sums(|_| true), "step {i}");
+        }
+    }
+
+    #[test]
+    fn empty_queue_yields_zero() {
+        let agg = QueueAggregates::new(3);
+        assert_eq!(agg.totals(2), AggSums::default());
+        assert_eq!(agg.before(2, &key(1.0, 0)), AggSums::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the queue")]
+    fn removing_missing_entry_panics() {
+        let mut agg = QueueAggregates::new(1);
+        agg.insert(0, key(1.0, 0), 1.0);
+        agg.remove(0, &key(2.0, 1));
+    }
+
+    #[test]
+    fn arena_reuses_freed_slots() {
+        let mut agg = QueueAggregates::new(1);
+        for i in 0..10 {
+            agg.insert(0, key(1.0, i), 1.0);
+        }
+        for i in 0..10 {
+            agg.remove(0, &key(1.0, i));
+        }
+        for i in 10..20 {
+            agg.insert(0, key(1.0, i), 1.0);
+        }
+        assert_eq!(agg.entries.len(), 10, "slots recycled, not regrown");
+        assert_eq!(agg.totals(0).cnt, 10);
+    }
+}

@@ -5,7 +5,7 @@ use crate::policy::{AssignmentPolicy, NodePolicy, Probe};
 use crate::state::SimState;
 use crate::trace::{Trace, TraceKind};
 use bct_core::time::OrderedTime;
-use bct_core::{CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
+use bct_core::{ClassRounding, CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -21,6 +21,10 @@ pub struct SimConfig {
     pub horizon: Option<Time>,
     /// Hard cap on processed events (runaway guard).
     pub max_events: u64,
+    /// Class rounding the per-node queue aggregates are keyed by
+    /// (`None` = raw sizes). Dispatch policies whose own rounding
+    /// matches get `O(log)` scoring queries instead of queue scans.
+    pub dispatch_rounding: Option<ClassRounding>,
 }
 
 impl SimConfig {
@@ -36,12 +40,19 @@ impl SimConfig {
             record_trace: false,
             horizon: None,
             max_events: 1 << 34,
+            dispatch_rounding: None,
         }
     }
 
     /// Enable trace recording.
     pub fn traced(mut self) -> SimConfig {
         self.record_trace = true;
+        self
+    }
+
+    /// Key the queue aggregates by class index under `rounding`.
+    pub fn with_dispatch_rounding(mut self, rounding: ClassRounding) -> SimConfig {
+        self.dispatch_rounding = Some(rounding);
         self
     }
 }
@@ -179,7 +190,7 @@ impl Simulation {
             .speeds
             .materialize(instance.tree())
             .map_err(SimError::BadSpeeds)?;
-        let mut st = SimState::new(instance, speeds);
+        let mut st = SimState::new(instance, speeds, cfg.dispatch_rounding);
         let mut trace = cfg.record_trace.then(Trace::default);
         let mut evq = EventQueue::new();
 
@@ -188,8 +199,7 @@ impl Simulation {
         }
 
         let mut events: u64 = 0;
-        loop {
-            let Some(t) = evq.peek_time() else { break };
+        while let Some(t) = evq.peek_time() {
             if cfg.horizon.is_some_and(|h| t > h) {
                 break;
             }

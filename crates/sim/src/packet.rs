@@ -79,11 +79,11 @@ pub fn run_packetized(
 
     let mut packets: Vec<Packet> = Vec::new();
     let mut packets_of: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for j in 0..n {
+    for (j, of_j) in packets_of.iter_mut().enumerate() {
         let p_j = inst.jobs()[j].size;
         let k = (p_j / packet_size).ceil().max(1.0) as usize;
         for seq in 0..k {
-            packets_of[j].push(packets.len());
+            of_j.push(packets.len());
             packets.push(Packet {
                 job: j,
                 seq,
@@ -185,8 +185,7 @@ pub fn run_packetized(
         // --- Packet hop completions (cascade within the instant). ---
         loop {
             let mut progressed = false;
-            for pi in 0..packets.len() {
-                let p = &mut packets[pi];
+            for p in &mut packets {
                 if p.arrived && !p.done && p.rem <= EPS {
                     p.hop += 1;
                     if p.hop == paths[p.job].len() {

@@ -158,8 +158,7 @@ pub fn run_reference(
         // Hop completions (cascade within this instant).
         loop {
             let mut progressed = false;
-            for id in 0..n {
-                let j = &mut jobs[id];
+            for (id, j) in jobs.iter_mut().enumerate() {
                 if j.released && !j.done && j.rem <= EPS {
                     j.hop_finishes.push(now);
                     j.hop += 1;

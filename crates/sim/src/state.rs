@@ -18,10 +18,11 @@
 //!   node policy, including `j` itself → assembled by callers from
 //!   [`SimView::q`] plus the policy key.
 
+use crate::agg::{QueueAggregates, QueueKey};
 use crate::policy::{KeyCtx, NodePolicy, PolicyKey};
 use bct_core::time::{approx_le, snap_nonneg};
-use bct_core::{Instance, JobId, NodeId, Time};
-use std::cmp::Reverse;
+use bct_core::{ClassRounding, Instance, JobId, NodeId, Time};
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 /// Per-job dynamic state.
@@ -48,6 +49,9 @@ pub(crate) struct JobRun {
     /// Position of this job inside `q_members[path[h]]` for each hop
     /// index `h` (kept in sync by swap-removal).
     pub q_pos: Vec<u32>,
+    /// `(node, hop index)` pairs of `path`, sorted by node — maps a node
+    /// to the job's hop there in `O(log depth)`.
+    pub node_hop: Vec<(NodeId, u32)>,
 }
 
 impl JobRun {
@@ -62,7 +66,17 @@ impl JobRun {
             completion: None,
             hop_finishes: Vec::new(),
             q_pos: Vec::new(),
+            node_hop: Vec::new(),
         }
+    }
+
+    /// The job's hop index at node `v`, if `v` is on its path.
+    #[inline]
+    fn hop_at(&self, v: NodeId) -> Option<usize> {
+        self.node_hop
+            .binary_search_by_key(&v, |&(u, _)| u)
+            .ok()
+            .map(|i| self.node_hop[i].1 as usize)
     }
 
     /// True once the job has been released and dispatched.
@@ -113,6 +127,13 @@ pub struct SimState<'a> {
     pub(crate) jobs: Vec<JobRun>,
     /// `Q_v(t)` membership: `(job, hop index of v in the job's path)`.
     pub(crate) q_members: Vec<Vec<(JobId, u32)>>,
+    /// Order-statistic aggregates over each `Q_v(t)`, keyed by SJF
+    /// priority under `rounding`.
+    pub(crate) aggs: QueueAggregates,
+    /// The class rounding the aggregates are keyed by (`None` = raw
+    /// sizes); dispatch policies with a matching configuration get
+    /// `O(log)` scoring queries.
+    pub(crate) rounding: Option<ClassRounding>,
     // --- exact objective accounting ---
     pub(crate) frac_sum: f64,
     pub(crate) frac_rate: f64,
@@ -123,7 +144,11 @@ pub struct SimState<'a> {
 }
 
 impl<'a> SimState<'a> {
-    pub(crate) fn new(instance: &'a Instance, speeds: Vec<f64>) -> SimState<'a> {
+    pub(crate) fn new(
+        instance: &'a Instance,
+        speeds: Vec<f64>,
+        rounding: Option<ClassRounding>,
+    ) -> SimState<'a> {
         let m = instance.tree().len();
         SimState {
             instance,
@@ -132,6 +157,8 @@ impl<'a> SimState<'a> {
             nodes: (0..m).map(|_| NodeState::new()).collect(),
             jobs: (0..instance.n()).map(|_| JobRun::unreleased()).collect(),
             q_members: vec![Vec::new(); m],
+            aggs: QueueAggregates::new(m),
+            rounding,
             frac_sum: 0.0,
             frac_rate: 0.0,
             frac_integral: 0.0,
@@ -161,14 +188,36 @@ impl<'a> SimState<'a> {
         self.speeds[v.as_usize()]
     }
 
-    /// Bring the node's in-flight job's `rem` up to `now`.
+    /// Bring the node's in-flight job's `rem` up to `now`, keeping the
+    /// node's queue aggregate in sync.
     pub(crate) fn materialize_current(&mut self, v: NodeId) {
         if let Some((j, _)) = self.nodes[v.as_usize()].current {
             let s = self.speed(v);
             let jr = &mut self.jobs[j.as_usize()];
             debug_assert!(jr.working);
-            jr.rem = snap_nonneg(jr.rem - s * (self.now - jr.rem_as_of));
-            jr.rem_as_of = self.now;
+            if self.now > jr.rem_as_of {
+                jr.rem = snap_nonneg(jr.rem - s * (self.now - jr.rem_as_of));
+                jr.rem_as_of = self.now;
+                let rem = jr.rem;
+                let key = self.queue_key(v, j);
+                self.aggs.set_rem(v.as_usize(), &key, rem);
+            }
+        }
+    }
+
+    /// The SJF aggregate key of `j` at `v`: class index when rounding is
+    /// configured, raw `p_{j,v}` otherwise, with (release, id)
+    /// tie-breaks — the exact order of `sjf_precedes_or_eq`.
+    #[inline]
+    pub(crate) fn queue_key(&self, v: NodeId, j: JobId) -> QueueKey {
+        let p = self.instance.p(j, v);
+        QueueKey {
+            eff: match &self.rounding {
+                Some(r) => f64::from(r.class_of(p)),
+                None => p,
+            },
+            release: self.instance.job(j).release,
+            id: j.0,
         }
     }
 
@@ -191,9 +240,19 @@ impl<'a> SimState<'a> {
         let jr = &mut self.jobs[j.as_usize()];
         debug_assert!(!jr.released(), "job admitted twice");
         jr.q_pos = Vec::with_capacity(path.len());
+        jr.node_hop = path
+            .iter()
+            .enumerate()
+            .map(|(h, &v)| (v, h as u32))
+            .collect();
+        jr.node_hop.sort_unstable_by_key(|&(v, _)| v);
         for (h, &v) in path.iter().enumerate() {
             jr.q_pos.push(self.q_members[v.as_usize()].len() as u32);
             self.q_members[v.as_usize()].push((j, h as u32));
+        }
+        for &v in path {
+            let key = self.queue_key(v, j);
+            self.aggs.insert(v.as_usize(), key, self.instance.p(j, v));
         }
         let jr = &mut self.jobs[j.as_usize()];
         jr.hop = 0;
@@ -324,14 +383,11 @@ impl<'a> SimState<'a> {
         }
     }
 
-    /// Drop `j` from `Q_v` with position-tracked swap removal.
+    /// Drop `j` from `Q_v` with position-tracked swap removal, and from
+    /// the node's aggregate.
     fn remove_from_q(&mut self, v: NodeId, j: JobId) {
         let jr = &self.jobs[j.as_usize()];
-        let h = jr
-            .path
-            .iter()
-            .position(|&u| u == v)
-            .expect("job routed through node");
+        let h = jr.hop_at(v).expect("job routed through node");
         let pos = jr.q_pos[h] as usize;
         let q = &mut self.q_members[v.as_usize()];
         debug_assert_eq!(q[pos].0, j);
@@ -340,6 +396,13 @@ impl<'a> SimState<'a> {
             let (moved, moved_hop) = q[pos];
             self.jobs[moved.as_usize()].q_pos[moved_hop as usize] = pos as u32;
         }
+        let key = self.queue_key(v, j);
+        self.aggs.remove(v.as_usize(), &key);
+        debug_assert_eq!(
+            self.aggs.totals(v.as_usize()).cnt as usize,
+            self.q_members[v.as_usize()].len(),
+            "aggregate and queue membership diverged at {v}"
+        );
     }
 
     /// Predicted finish time of `v`'s current job at its speed.
@@ -436,7 +499,7 @@ impl<'s> SimView<'s> {
         if !jr.released() {
             return 0.0;
         }
-        match jr.path.iter().position(|&u| u == v) {
+        match jr.hop_at(v) {
             None => 0.0,
             Some(h) if h < jr.hop => 0.0,
             Some(h) if h == jr.hop => self.state.live_rem(j),
@@ -506,6 +569,59 @@ impl<'s> SimView<'s> {
     pub fn frac_sum(&self) -> f64 {
         self.state.frac_sum
     }
+
+    // --- O(log |Q_v|) aggregate queries over the node queues ---
+    //
+    // Each stored remainder is as of the node's last materialization;
+    // only the node's `current` job drains between events, so its live
+    // deficit (`live − stored ≤ 0`) is folded in at query time when its
+    // key lies in the queried range.
+
+    /// The class rounding the queue aggregates are keyed by. Policies
+    /// must only use the fast queries below when their own rounding
+    /// matches this (same effective-size order), else fall back to
+    /// scanning [`SimView::q`].
+    #[inline]
+    pub fn dispatch_rounding(&self) -> Option<ClassRounding> {
+        self.state.rounding
+    }
+
+    /// `Σ p^A_{i,v}(t)` over queued jobs `i` whose SJF key
+    /// `(eff, release, id)` is strictly before the probe key — the
+    /// higher-priority volume a job with that key would wait behind at
+    /// `v`. A queued job with the probe's exact id is excluded.
+    pub fn volume_before(&self, v: NodeId, eff: f64, release: Time, id: u32) -> Time {
+        let bound = QueueKey { eff, release, id };
+        let vi = v.as_usize();
+        let mut sum = self.state.aggs.before(vi, &bound).sum_rem;
+        if let Some((c, _)) = self.state.nodes[vi].current {
+            if self.state.queue_key(v, c).cmp(&bound) == Ordering::Less {
+                let stored = self.state.jobs[c.as_usize()].rem;
+                sum += self.state.live_rem(c) - stored;
+            }
+        }
+        sum
+    }
+
+    /// `|{i ∈ Q_v(t) : eff_i > eff}|` — queued jobs of strictly larger
+    /// effective size.
+    pub fn count_larger(&self, v: NodeId, eff: f64) -> usize {
+        self.state.aggs.above_eff(v.as_usize(), eff).cnt as usize
+    }
+
+    /// `Σ p^A_{i,v}(t)/p_{i,v}` over queued jobs of strictly larger
+    /// effective size — the fractional analogue of [`Self::count_larger`].
+    pub fn frac_volume_larger(&self, v: NodeId, eff: f64) -> f64 {
+        let vi = v.as_usize();
+        let mut sum = self.state.aggs.above_eff(vi, eff).sum_frac;
+        if let Some((c, _)) = self.state.nodes[vi].current {
+            if self.state.queue_key(v, c).eff > eff {
+                let stored = self.state.jobs[c.as_usize()].rem;
+                sum += (self.state.live_rem(c) - stored) / self.state.instance.p(c, v);
+            }
+        }
+        sum
+    }
 }
 
 #[cfg(test)]
@@ -546,7 +662,7 @@ mod tests {
     }
 
     fn state(inst: &Instance) -> SimState<'_> {
-        SimState::new(inst, vec![1.0; inst.tree().len()])
+        SimState::new(inst, vec![1.0; inst.tree().len()], None)
     }
 
     #[test]
@@ -624,7 +740,7 @@ mod tests {
     #[test]
     fn predicted_finish_accounts_for_speed() {
         let inst = fixture();
-        let mut st = SimState::new(&inst, vec![1.0, 2.0, 1.0]);
+        let mut st = SimState::new(&inst, vec![1.0, 2.0, 1.0], None);
         st.admit(JobId(0), NodeId(2));
         st.enqueue(NodeId(1), JobId(0), &SizeOrder);
         assert_eq!(st.predicted_finish(NodeId(1)), Some(2.0)); // 4 work at speed 2

@@ -98,11 +98,10 @@ proptest! {
         ).unwrap();
         let assignments: Vec<_> = out.assignments.iter().map(|a| a.unwrap()).collect();
         let pkt = run_packetized(&inst, &assignments, &speeds, k as f64);
-        for j in 0..inst.n() {
+        for (j, &leaf) in assignments.iter().enumerate() {
             let flow = pkt.completions[j] - inst.jobs()[j].release;
             // Lower bound: leaf processing plus at least one traversal of
             // the entry node (pipelining can hide the rest).
-            let leaf = assignments[j];
             let min_work = inst.p(bandwidth_tree_scheduling::core::JobId(j as u32), leaf);
             prop_assert!(flow >= min_work - 1e-6, "job {j}: flow {flow} < leaf work {min_work}");
             prop_assert!(flow.is_finite());
