@@ -1,8 +1,22 @@
 #!/usr/bin/env bash
-# Local CI gate: build, test, lint. Run from the repo root.
+# Local CI gate: build, test, lint, golden sweep, scaling bench.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
-cargo test -q
+cargo test -q --workspace
 cargo clippy --all-targets -- -D warnings
+
+# Golden sweep: a 2-worker run must reproduce the checked-in JSONL byte
+# for byte (the harness's determinism contract, end to end through the
+# CLI).
+golden_out=$(mktemp)
+trap 'rm -f "$golden_out"' EXIT
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep.json --workers 2 --out "$golden_out" --quiet >/dev/null
+diff specs/golden_sweep.expected.jsonl "$golden_out"
+
+# Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
+# scaling at 4 workers only on machines with >=4 cores.
+cargo bench -q -p bct-bench --bench sweep_throughput

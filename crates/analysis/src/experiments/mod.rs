@@ -5,7 +5,8 @@
 //! *claims*: one experiment per theorem/lemma, plus the headline
 //! who-wins sweep and engine-scaling measurements. Each experiment is a
 //! function from a scale preset to a rendered [`Table`], deterministic
-//! per seed; sweeps fan out across (seed × parameter) cells with rayon.
+//! per seed; [`run_all`] fans the experiments out across the
+//! `bct-harness` worker pool.
 
 pub mod ablation;
 pub mod competitive;
@@ -53,28 +54,60 @@ impl Scale {
     }
 }
 
-/// Run every experiment and return the tables in order.
-pub fn run_all(scale: Scale) -> Vec<Table> {
+/// One experiment: a function from a scale preset to its table.
+pub type Experiment = fn(Scale) -> Table;
+
+/// The experiment registry: stable id, one function per table.
+///
+/// `examples/run_experiments.rs` and [`run_all`] both iterate this, so
+/// the set of experiments is defined exactly once.
+pub fn all_experiments() -> Vec<(&'static str, Experiment)> {
     vec![
-        competitive::e1_identical_competitive(scale),
-        competitive::e2_unrelated_speed_sweep(scale),
-        lemmas::e3_lemma1_interior_wait(scale),
-        lemmas::e4_lemma2_available_volume(scale),
-        lemmas::e5_lemma3_potential(scale),
-        competitive::e6_broomstick_opt_gap(scale),
-        lemmas::e7_lemma8_mirroring(scale),
-        lemmas::e8_dual_fitting(scale),
-        conversion::e9_fractional_vs_integral(scale),
-        competitive::e10_policy_sweep(scale),
-        conversion::e11_engine_scaling(scale),
-        conversion::e12_packetized(scale),
-        ablation::e13_distance_term(scale),
-        ablation::e14_class_rounding(scale),
-        ablation::e15_router_policy(scale),
-        openq::e16_objective_tradeoffs(scale),
-        origins::e17_arbitrary_origins(scale),
-        weighted::e18_weighted_flow(scale),
+        ("E1", competitive::e1_identical_competitive as Experiment),
+        ("E2", competitive::e2_unrelated_speed_sweep),
+        ("E3", lemmas::e3_lemma1_interior_wait),
+        ("E4", lemmas::e4_lemma2_available_volume),
+        ("E5", lemmas::e5_lemma3_potential),
+        ("E6", competitive::e6_broomstick_opt_gap),
+        ("E7", lemmas::e7_lemma8_mirroring),
+        ("E8", lemmas::e8_dual_fitting),
+        ("E9", conversion::e9_fractional_vs_integral),
+        ("E10", competitive::e10_policy_sweep),
+        ("E11", conversion::e11_engine_scaling),
+        ("E12", conversion::e12_packetized),
+        ("E13", ablation::e13_distance_term),
+        ("E14", ablation::e14_class_rounding),
+        ("E15", ablation::e15_router_policy),
+        ("E16", openq::e16_objective_tradeoffs),
+        ("E17", origins::e17_arbitrary_origins),
+        ("E18", weighted::e18_weighted_flow),
     ]
+}
+
+/// Run every experiment and return the tables in registry order.
+///
+/// Experiments run as independent tasks on the harness worker pool;
+/// each is deterministic per seed, so the tables are identical at any
+/// worker count. A panicking experiment aborts with its id and message
+/// (use `examples/run_experiments.rs` for the fault-isolated variant).
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let experiments = all_experiments();
+    let opts = bct_harness::ExecOptions {
+        workers: bct_harness::exec::available_workers(),
+        max_retries: 0,
+    };
+    let results =
+        bct_harness::execute(&experiments, &opts, |_, (_, f)| Ok(f(scale)), |_| {});
+    results
+        .into_iter()
+        .zip(&experiments)
+        .map(|(r, (id, _))| match r.status {
+            bct_harness::TaskStatus::Done(t) => t,
+            bct_harness::TaskStatus::Failed { error } => {
+                panic!("experiment {id} failed: {error}")
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -1,182 +1,33 @@
-//! A by-name policy registry, so experiments can sweep policy
-//! combinations declaratively.
+//! Policy registry for experiments.
+//!
+//! The by-name registry itself lives in [`bct_harness::registry`] so the
+//! sweep engine can resolve policies without depending on this crate;
+//! this module re-exports it for the experiment code and keeps the
+//! basket evaluator, which now runs on the harness worker pool.
 
-use bct_core::{ClassRounding, Instance, SpeedProfile, Time};
-use bct_policies::{ClosestLeaf, Fifo, Hdf, LeastVolume, Ljf, MinEta, RandomLeaf, RoundRobin, Sjf, Srpt};
-use bct_sched::{GreedyIdentical, GreedyUnrelated};
-use bct_sim::engine::SimError;
-use bct_sim::policy::NoProbe;
-use bct_sim::{AssignmentPolicy, NodePolicy, Probe, SimConfig, SimOutcome, Simulation};
+pub use bct_harness::registry::{
+    baseline_basket, paper_combo, AssignKind, ChaosPolicy, NodePolicyKind, PolicyCombo,
+};
 
-/// Per-node scheduling policy selector.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum NodePolicyKind {
-    /// SJF on raw sizes (the paper's rule).
-    Sjf,
-    /// SJF on `(1+ε)^k` classes.
-    SjfClasses(f64),
-    /// FIFO per node.
-    Fifo,
-    /// Shortest remaining processing time.
-    Srpt,
-    /// Longest job first (adversarial ablation).
-    Ljf,
-    /// Highest density first (`p/w`) — the weighted SJF analogue.
-    Hdf,
-}
-
-impl NodePolicyKind {
-    /// Stable display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            NodePolicyKind::Sjf => "sjf",
-            NodePolicyKind::SjfClasses(_) => "sjf-classes",
-            NodePolicyKind::Fifo => "fifo",
-            NodePolicyKind::Srpt => "srpt",
-            NodePolicyKind::Ljf => "ljf",
-            NodePolicyKind::Hdf => "hdf",
-        }
-    }
-
-    fn build(&self) -> Box<dyn NodePolicy> {
-        match *self {
-            NodePolicyKind::Sjf => Box::new(Sjf::new()),
-            NodePolicyKind::SjfClasses(eps) => Box::new(Sjf::with_classes(ClassRounding::new(eps))),
-            NodePolicyKind::Fifo => Box::new(Fifo),
-            NodePolicyKind::Srpt => Box::new(Srpt),
-            NodePolicyKind::Ljf => Box::new(Ljf),
-            NodePolicyKind::Hdf => Box::new(Hdf),
-        }
-    }
-}
-
-/// Leaf-assignment policy selector.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum AssignKind {
-    /// The paper's greedy rule, identical endpoints, parameter ε.
-    GreedyIdentical(f64),
-    /// Ablation: the greedy rule with the `(6/ε²)·d_v·p_j` distance
-    /// term removed (queue terms only).
-    GreedyNoDistance(f64),
-    /// The paper's greedy rule, unrelated endpoints, parameter ε.
-    GreedyUnrelated(f64),
-    /// Shallowest leaf, always.
-    Closest,
-    /// Uniform random leaf with the given seed.
-    Random(u64),
-    /// Cycle through the leaves.
-    RoundRobin,
-    /// Locally load-aware greedy baseline.
-    LeastVolume,
-    /// Cheapest total path work.
-    MinEta,
-}
-
-impl AssignKind {
-    /// Stable display name.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AssignKind::GreedyIdentical(_) => "greedy",
-            AssignKind::GreedyNoDistance(_) => "greedy-no-dist",
-            AssignKind::GreedyUnrelated(_) => "greedy-unrel",
-            AssignKind::Closest => "closest",
-            AssignKind::Random(_) => "random",
-            AssignKind::RoundRobin => "round-robin",
-            AssignKind::LeastVolume => "least-volume",
-            AssignKind::MinEta => "min-eta",
-        }
-    }
-
-    fn build(&self) -> Box<dyn AssignmentPolicy> {
-        match *self {
-            AssignKind::GreedyIdentical(eps) => Box::new(GreedyIdentical::new(eps)),
-            AssignKind::GreedyNoDistance(eps) => {
-                Box::new(GreedyIdentical::new(eps).with_distance_weight(0.0))
-            }
-            AssignKind::GreedyUnrelated(eps) => Box::new(GreedyUnrelated::new(eps)),
-            AssignKind::Closest => Box::new(ClosestLeaf),
-            AssignKind::Random(seed) => Box::new(RandomLeaf::new(seed)),
-            AssignKind::RoundRobin => Box::new(RoundRobin::default()),
-            AssignKind::LeastVolume => Box::new(LeastVolume),
-            AssignKind::MinEta => Box::new(MinEta),
-        }
-    }
-}
-
-/// A (node policy, assignment policy) pair.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct PolicyCombo {
-    /// Per-node rule.
-    pub node: NodePolicyKind,
-    /// Dispatch rule.
-    pub assign: AssignKind,
-}
-
-impl PolicyCombo {
-    /// `"sjf+greedy"`-style label.
-    pub fn label(&self) -> String {
-        format!("{}+{}", self.node.name(), self.assign.name())
-    }
-
-    /// Run the combo on an instance.
-    pub fn run(&self, inst: &Instance, speeds: &SpeedProfile) -> Result<SimOutcome, SimError> {
-        self.run_probed(inst, speeds, &mut NoProbe)
-    }
-
-    /// Run with an observer probe.
-    pub fn run_probed(
-        &self,
-        inst: &Instance,
-        speeds: &SpeedProfile,
-        probe: &mut dyn Probe,
-    ) -> Result<SimOutcome, SimError> {
-        let node = self.node.build();
-        let mut assign = self.assign.build();
-        let cfg = SimConfig::with_speeds(speeds.clone());
-        Simulation::run(inst, node.as_ref(), assign.as_mut(), probe, &cfg)
-    }
-
-    /// Total flow time of a run (panics on unfinished jobs).
-    pub fn total_flow(&self, inst: &Instance, speeds: &SpeedProfile) -> Time {
-        let out = self.run(inst, speeds).expect("run failed");
-        let releases: Vec<Time> = inst.jobs().iter().map(|j| j.release).collect();
-        out.total_flow(&releases)
-    }
-}
-
-/// The paper's algorithm for an instance's setting.
-pub fn paper_combo(inst: &Instance, epsilon: f64) -> PolicyCombo {
-    PolicyCombo {
-        node: NodePolicyKind::Sjf,
-        assign: match inst.setting() {
-            bct_core::Setting::Identical => AssignKind::GreedyIdentical(epsilon),
-            bct_core::Setting::Unrelated => AssignKind::GreedyUnrelated(epsilon),
-        },
-    }
-}
-
-/// A diverse policy basket; the minimum total flow over it is a usable
-/// upper estimate of OPT on instances too large for the LP.
-pub fn baseline_basket(inst: &Instance, epsilon: f64) -> Vec<PolicyCombo> {
-    let greedy = paper_combo(inst, epsilon).assign;
-    let mut v = vec![
-        PolicyCombo { node: NodePolicyKind::Sjf, assign: greedy },
-        PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::LeastVolume },
-        PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::RoundRobin },
-        PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::Random(12345) },
-        PolicyCombo { node: NodePolicyKind::Srpt, assign: AssignKind::LeastVolume },
-    ];
-    if inst.setting() == bct_core::Setting::Unrelated {
-        v.push(PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::MinEta });
-    }
-    v
-}
+use bct_core::{Instance, SpeedProfile, Time};
+use bct_harness::exec::{execute, ExecOptions, TaskStatus};
 
 /// Minimum total flow across the basket — an OPT upper estimate.
+///
+/// Each basket member runs as one fault-isolated task on the harness
+/// pool with `workers: 1` (serial: basket members share nothing, and
+/// experiment tables must stay deterministic); a member that panics is
+/// simply excluded from the minimum instead of aborting the experiment.
 pub fn best_of_basket(inst: &Instance, speeds: &SpeedProfile, epsilon: f64) -> Time {
-    baseline_basket(inst, epsilon)
+    let basket = baseline_basket(inst, epsilon);
+    let opts = ExecOptions { workers: 1, max_retries: 0 };
+    let results = execute(&basket, &opts, |_, c| Ok(c.total_flow(inst, speeds)), |_| {});
+    results
         .iter()
-        .map(|c| c.total_flow(inst, speeds))
+        .filter_map(|r| match &r.status {
+            TaskStatus::Done(f) => Some(*f),
+            TaskStatus::Failed { .. } => None,
+        })
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -199,41 +50,6 @@ mod tests {
     }
 
     #[test]
-    fn all_combos_run_to_completion() {
-        let inst = instance();
-        let speeds = SpeedProfile::Uniform(1.5);
-        for node in [
-            NodePolicyKind::Sjf,
-            NodePolicyKind::SjfClasses(0.5),
-            NodePolicyKind::Fifo,
-            NodePolicyKind::Srpt,
-            NodePolicyKind::Ljf,
-        ] {
-            for assign in [
-                AssignKind::GreedyIdentical(0.5),
-                AssignKind::Closest,
-                AssignKind::Random(1),
-                AssignKind::RoundRobin,
-                AssignKind::LeastVolume,
-                AssignKind::MinEta,
-            ] {
-                let combo = PolicyCombo { node, assign };
-                let out = combo.run(&inst, &speeds).unwrap();
-                assert_eq!(out.unfinished, 0, "{}", combo.label());
-            }
-        }
-    }
-
-    #[test]
-    fn labels_are_stable() {
-        let c = PolicyCombo {
-            node: NodePolicyKind::Sjf,
-            assign: AssignKind::GreedyIdentical(0.5),
-        };
-        assert_eq!(c.label(), "sjf+greedy");
-    }
-
-    #[test]
     fn best_of_basket_is_at_most_each_member() {
         let inst = instance();
         let speeds = SpeedProfile::Uniform(1.5);
@@ -244,8 +60,12 @@ mod tests {
     }
 
     #[test]
-    fn paper_combo_matches_setting() {
-        let inst = instance();
-        assert_eq!(paper_combo(&inst, 0.5).assign, AssignKind::GreedyIdentical(0.5));
+    fn reexported_registry_is_usable() {
+        let c = PolicyCombo {
+            node: NodePolicyKind::Sjf,
+            assign: AssignKind::GreedyIdentical(0.5),
+        };
+        assert_eq!(c.label(), "sjf+greedy");
+        assert_eq!(paper_combo(&instance(), 0.5).assign, AssignKind::GreedyIdentical(0.5));
     }
 }

@@ -1,0 +1,82 @@
+//! Sweep-engine scaling benchmark: cells/second at 1 worker vs 4
+//! workers on a fixed 96-cell grid.
+//!
+//! Emits `target/BENCH_sweep.json` with both rates and the speedup.
+//! The ≥2× scaling assertion only fires when the machine actually has
+//! ≥4 cores (`std::thread::available_parallelism`); on smaller boxes
+//! the bench still runs and reports, since 4 workers on 1 core can at
+//! best tie.
+
+use bct_harness::sweep::{ProgressMode, SweepOptions};
+use bct_harness::{run_sweep, NullSink, SweepSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+fn bench_spec() -> SweepSpec {
+    SweepSpec::from_json(
+        r#"{
+            "name": "throughput",
+            "root_seed": 99,
+            "replications": 4,
+            "topologies": ["star:4,2", "fat-tree:2,2,2"],
+            "workloads": [{"jobs": 120}],
+            "policies": ["sjf+greedy:0.5", "sjf+least-volume", "fifo+closest"],
+            "speeds": ["uniform:1", "uniform:1.5"]
+        }"#,
+    )
+    .expect("bench spec is valid")
+}
+
+/// Run the whole sweep once and return (elapsed, cells).
+fn run_once(spec: &SweepSpec, workers: usize) -> (Duration, usize) {
+    let opts = SweepOptions { workers, progress: ProgressMode::Silent };
+    let start = Instant::now();
+    let report = run_sweep(spec, &opts, &mut NullSink).expect("sweep runs");
+    let elapsed = start.elapsed();
+    assert!(report.all_ok(), "bench cells must not fail");
+    (elapsed, report.rows.len())
+}
+
+fn sweep_throughput(c: &mut Criterion) {
+    let spec = bench_spec();
+    let cells = spec.num_cells();
+
+    // Warm-up (page in, heat caches), then measure each worker count.
+    let _ = run_once(&spec, 1);
+    let (t1, n1) = run_once(&spec, 1);
+    let (t4, n4) = run_once(&spec, 4);
+    assert_eq!(n1, cells);
+    assert_eq!(n4, cells);
+
+    let rate1 = cells as f64 / t1.as_secs_f64();
+    let rate4 = cells as f64 / t4.as_secs_f64();
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut g = c.benchmark_group("sweep_throughput");
+    g.sample_size(10);
+    g.bench_function(format!("{cells}-cells/1-worker"), |b| b.iter_custom(|_| t1));
+    g.bench_function(format!("{cells}-cells/4-workers"), |b| b.iter_custom(|_| t4));
+    g.finish();
+
+    let json = format!(
+        "{{\"bench\": \"sweep_throughput\", \"cells\": {cells}, \"cores\": {cores}, \
+         \"rate_1_worker_cells_per_s\": {rate1:.1}, \"rate_4_workers_cells_per_s\": {rate4:.1}, \
+         \"speedup_4_over_1\": {speedup:.2}}}\n"
+    );
+    // Cargo runs benches with cwd = the package dir; anchor the output
+    // in the workspace target/ regardless.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_sweep.json");
+    std::fs::write(out, &json).expect("write BENCH_sweep.json");
+    println!("sweep_throughput: {rate1:.1} cells/s @1 worker, {rate4:.1} @4 workers ({speedup:.2}x, {cores} cores)");
+
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "4 workers must be >=2x faster than 1 on a >=4-core machine, got {speedup:.2}x"
+        );
+    }
+}
+
+criterion_group!(benches, sweep_throughput);
+criterion_main!(benches);

@@ -6,6 +6,8 @@
 //! bct run         --topo star:3,3 --jobs 200 --load 0.8 [--sizes pow:2,4]
 //!                 [--policy sjf+greedy:0.5] [--speeds uniform:1.5] [--seed 1]
 //!                 [--unrelated uniform-factor:0.5,2]
+//! bct sweep       --spec specs/golden_sweep.json [--workers 4]
+//!                 [--out rows.jsonl] [--quiet]
 //! bct sweep       --topo fat-tree:3,2,2 --speeds-list 1,1.5,2
 //!                 [--policies sjf+greedy:0.5,sjf+closest,fifo+greedy:0.5]
 //! bct bound       --topo star:2,2 --jobs 4 [--lp-steps 24]
@@ -14,27 +16,33 @@
 //! ```
 
 mod opts;
-mod spec;
 
 use bct_analysis::experiments::{run_all, Scale};
 use bct_analysis::metrics::{FlowStats, LayerBreakdown};
 use bct_analysis::table::{num, Table};
 use bct_core::{render, Instance, SpeedProfile};
+use bct_harness::spec;
 use bct_lp::bounds::{bound_report, combined_bound};
 use bct_lp::model::{lp_lower_bound, LpGrid};
 use bct_workloads::jobs::{SizeDist, UnrelatedModel, WorkloadSpec};
 use opts::Opts;
 
+/// Exit code for a `sweep --spec` run in which some cells failed.
+const EXIT_PARTIAL_FAILURE: i32 = 3;
+
 fn main() {
     let opts = match Opts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n");
-            print_help();
+            eprintln!("error: {e}\n{}", usage());
             std::process::exit(2);
         }
     };
     let result = match opts.command.as_str() {
+        "" => {
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
         "render" => cmd_render(&opts),
         "reduce" => cmd_reduce(&opts),
         "run" => cmd_run(&opts),
@@ -46,10 +54,13 @@ fn main() {
         "packetize" => cmd_packetize(&opts),
         "gen" => cmd_gen(&opts),
         "help" | "--help" | "-h" => {
-            print_help();
+            println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command '{other}' (try `bct help`)")),
+        other => {
+            eprintln!("error: unknown command '{other}'\n{}", usage());
+            std::process::exit(2);
+        }
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -57,23 +68,25 @@ fn main() {
     }
 }
 
-fn print_help() {
-    println!(
-        "bct — scheduling in bandwidth-constrained tree networks (Im & Moseley, SPAA'15)\n\n\
-         commands:\n  \
-         render       print a topology (ASCII, or DOT with --dot)\n  \
-         reduce       apply the §3.3 broomstick reduction and show the mapping\n  \
-         run          simulate one policy on one workload; print flow statistics\n  \
-         sweep        policies × speeds table on a common workload\n  \
-         bound        OPT lower bounds (LP-certified + combinatorial)\n  \
-         verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
-         gen          generate an instance file (bct run --instance FILE replays it)\n  \
-         lemmas       check Lemmas 1-2 live on a chosen workload\n  \
-         packetize    store-and-forward vs packetized routing (§2 extension)\n  \
-         experiments  regenerate the E1-E18 tables (EXPERIMENTS.md)\n\n\
-         run `bct <command>` with no flags to see its defaults in action; see the\n\
-         crate docs for the full spec grammar (topologies, sizes, speeds, policies)."
-    );
+fn usage() -> String {
+    "bct — scheduling in bandwidth-constrained tree networks (Im & Moseley, SPAA'15)\n\n\
+     commands:\n  \
+     render       print a topology (ASCII, or DOT with --dot)\n  \
+     reduce       apply the §3.3 broomstick reduction and show the mapping\n  \
+     run          simulate one policy on one workload; print flow statistics\n  \
+     sweep        with --spec FILE: parallel sweep over a declarative grid\n               \
+     (topologies × workloads × policies × speeds × replications) with\n               \
+     [--workers N] [--out rows.jsonl] [--quiet]; exits 3 if cells failed.\n               \
+     without --spec: inline policies × speeds table on one workload\n  \
+     bound        OPT lower bounds (LP-certified + combinatorial)\n  \
+     verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
+     gen          generate an instance file (bct run --instance FILE replays it)\n  \
+     lemmas       check Lemmas 1-2 live on a chosen workload\n  \
+     packetize    store-and-forward vs packetized routing (§2 extension)\n  \
+     experiments  regenerate the E1-E18 tables (EXPERIMENTS.md)\n\n\
+     run `bct <command>` with no flags to see its defaults in action; see the\n\
+     crate docs for the full spec grammar (topologies, sizes, speeds, policies)."
+        .to_string()
 }
 
 fn build_instance(opts: &Opts) -> Result<Instance, String> {
@@ -204,6 +217,10 @@ fn cmd_run(opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Opts) -> Result<(), String> {
+    match opts.get("spec", "").as_str() {
+        "" => {}
+        path => return cmd_sweep_spec(opts, path),
+    }
     let inst = build_instance(opts)?;
     let speeds: Vec<f64> = opts
         .get_list("speeds-list", "1,1.25,1.5,2")
@@ -228,6 +245,67 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
         table.push_row(row);
     }
     println!("{table}");
+    Ok(())
+}
+
+/// The harness-backed sweep: declarative spec in, JSONL + summary out.
+///
+/// Rows stream to `--out` in completion order while workers race; once
+/// the sweep finishes the file is rewritten in canonical sorted form,
+/// which is byte-identical at any `--workers` count. Failed cells never
+/// abort the sweep — they become `Failed` rows with reproducer seeds,
+/// and the process exits with code 3.
+fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
+    let sweep_spec = bct_harness::SweepSpec::load(std::path::Path::new(path))?;
+    let workers = opts.get_usize("workers", bct_harness::exec::available_workers())?;
+    let run_opts = bct_harness::SweepOptions {
+        workers,
+        progress: if opts.get_bool("quiet") {
+            bct_harness::sweep::ProgressMode::Silent
+        } else {
+            bct_harness::sweep::ProgressMode::Stderr
+        },
+    };
+    let out_path = opts.get("out", "sweep.jsonl");
+    let file = std::fs::File::create(&out_path)
+        .map_err(|e| format!("creating {out_path}: {e}"))?;
+    let mut sink = bct_harness::JsonlSink::new(std::io::BufWriter::new(file));
+    // Cell panics are caught and become Failed rows; silence the
+    // default panic hook for the sweep so each one doesn't also dump a
+    // backtrace over the progress stream.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = bct_harness::run_sweep(&sweep_spec, &run_opts, &mut sink);
+    std::panic::set_hook(prev_hook);
+    let report = result?;
+    sink.into_inner().map_err(|e| format!("flushing {out_path}: {e}"))?;
+    // Replace the completion-ordered stream with the canonical sorted
+    // serialization (the determinism contract of the harness).
+    std::fs::write(&out_path, report.sorted_jsonl())
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "sweep '{}': {} cells ({} ok, {} failed) in {:.2}s, {} workers",
+        report.name,
+        report.rows.len(),
+        report.ok,
+        report.failed,
+        report.elapsed.as_secs_f64(),
+        workers,
+    );
+    println!("rows written to {out_path}");
+    println!("\n{}", report.agg.render());
+    if !report.all_ok() {
+        for row in &report.rows {
+            if let bct_harness::sweep::RowOutcome::Failed { panic_msg } = &row.outcome {
+                eprintln!(
+                    "FAILED cell {}: topo={} workload={} policy={} speeds={} seed={} — {}",
+                    row.cell, row.topo, row.workload, row.policy, row.speeds, row.seed,
+                    panic_msg,
+                );
+            }
+        }
+        std::process::exit(EXIT_PARTIAL_FAILURE);
+    }
     Ok(())
 }
 

@@ -14,7 +14,7 @@ impl Opts {
     /// Parse from an iterator of arguments (excluding argv\[0\]).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Opts, String> {
         let mut it = args.into_iter().peekable();
-        let command = it.next().unwrap_or_else(|| "help".to_string());
+        let command = it.next().unwrap_or_default(); // empty = no subcommand
         let mut flags = HashMap::new();
         while let Some(a) = it.next() {
             let Some(key) = a.strip_prefix("--") else {
@@ -102,8 +102,8 @@ mod tests {
     }
 
     #[test]
-    fn empty_defaults_to_help() {
+    fn empty_argv_yields_empty_command() {
         let o = Opts::parse(Vec::<String>::new()).unwrap();
-        assert_eq!(o.command, "help");
+        assert_eq!(o.command, "");
     }
 }

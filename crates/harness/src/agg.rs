@@ -1,0 +1,276 @@
+//! Streaming aggregation over sweep rows: scalar accumulators plus
+//! fixed-bucket log-scale histograms for quantiles, grouped by policy.
+//!
+//! Everything here is O(1) memory per group and commutative in the
+//! counts, so aggregation can run live while workers race. (Float
+//! *sums* still depend on arrival order at the last few ulps; the
+//! byte-determinism guarantee of the harness covers the JSONL rows,
+//! which never pass through this module.)
+
+use crate::sweep::{RowOutcome, SweepRow};
+use std::collections::BTreeMap;
+
+/// Log-spaced fixed-bucket histogram over `(0, ∞)`.
+///
+/// Values map to `floor(BUCKETS_PER_DECADE · log10(v / LO))`, clamped
+/// into range, so quantiles come back as conservative (upper) bucket
+/// edges with ~16% relative resolution across 12 decades — plenty for
+/// flow times and competitive ratios.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+}
+
+/// Smallest representable value; everything below lands in bucket 0.
+const LO: f64 = 1e-3;
+/// Buckets per factor-of-10.
+const BUCKETS_PER_DECADE: f64 = 16.0;
+/// 12 decades from 1e-3 to 1e9.
+const NUM_BUCKETS: usize = (12.0 * BUCKETS_PER_DECADE) as usize;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: vec![0; NUM_BUCKETS], count: 0 }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: f64) -> usize {
+        if !v.is_finite() || v <= LO {
+            return 0;
+        }
+        let b = (BUCKETS_PER_DECADE * (v / LO).log10()).floor() as usize;
+        b.min(NUM_BUCKETS - 1)
+    }
+
+    /// Upper edge of bucket `b` (the value reported for quantiles).
+    fn edge_of(b: usize) -> f64 {
+        LO * 10f64.powf((b + 1) as f64 / BUCKETS_PER_DECADE)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as an upper bucket edge, or
+    /// `None` before any observation.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::edge_of(b));
+            }
+        }
+        None
+    }
+}
+
+/// Streaming scalar statistics (count / mean / min / max).
+#[derive(Clone, Debug, Default)]
+pub struct Scalar {
+    n: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Scalar {
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        if self.n == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.n += 1;
+        self.sum += v;
+    }
+
+    /// Mean over observations (`0` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.sum / self.n as f64 }
+    }
+
+    /// Maximum observation (`0` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.max }
+    }
+
+    /// Count of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Per-policy accumulators.
+#[derive(Clone, Debug, Default)]
+pub struct GroupStats {
+    /// Cells aggregated into this group.
+    pub cells: u64,
+    /// Failed cells (excluded from the numeric accumulators).
+    pub failed: u64,
+    /// Mean flow time per cell.
+    pub mean_flow: Scalar,
+    /// Max flow time per cell.
+    pub max_flow: Scalar,
+    /// ALG / lower-bound competitive ratio per cell.
+    pub ratio: Scalar,
+    /// Histogram of per-cell mean flow (p50/p95/p99).
+    pub flow_hist: Histogram,
+    /// Histogram of per-cell competitive ratios.
+    pub ratio_hist: Histogram,
+}
+
+/// The in-memory streaming aggregator fed one [`SweepRow`] at a time.
+#[derive(Clone, Debug, Default)]
+pub struct StreamingAgg {
+    /// Whole-sweep accumulators.
+    pub overall: GroupStats,
+    /// Accumulators keyed by policy label (BTreeMap: stable render order).
+    pub by_policy: BTreeMap<String, GroupStats>,
+}
+
+impl StreamingAgg {
+    /// Fold one row in.
+    pub fn observe(&mut self, row: &SweepRow) {
+        let group = self.by_policy.entry(row.policy.clone()).or_default();
+        for g in [&mut self.overall, group] {
+            g.cells += 1;
+            match &row.outcome {
+                RowOutcome::Failed { .. } => g.failed += 1,
+                RowOutcome::Ok(m) => {
+                    g.mean_flow.observe(m.mean_flow);
+                    g.max_flow.observe(m.max_flow);
+                    g.flow_hist.observe(m.mean_flow);
+                    if m.ratio > 0.0 {
+                        g.ratio.observe(m.ratio);
+                        g.ratio_hist.observe(m.ratio);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plain-text summary table (one line per policy plus a total).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>6} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+            "policy", "cells", "fail", "mean flow", "max flow", "p50", "p95", "p99", "ratio"
+        ));
+        let fmt_group = |name: &str, g: &GroupStats| {
+            let q = |p: f64| {
+                g.flow_hist
+                    .quantile(p)
+                    .map(|v| format!("{v:.2}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            format!(
+                "{:<28} {:>6} {:>6} {:>10.3} {:>10.3} {:>8} {:>8} {:>8} {:>8.3}\n",
+                name,
+                g.cells,
+                g.failed,
+                g.mean_flow.mean(),
+                g.max_flow.max(),
+                q(0.50),
+                q(0.95),
+                q(0.99),
+                g.ratio.mean(),
+            )
+        };
+        for (policy, g) in &self.by_policy {
+            out.push_str(&fmt_group(policy, g));
+        }
+        out.push_str(&fmt_group("TOTAL", &self.overall));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::CellMetrics;
+
+    fn row(policy: &str, mean_flow: f64, ratio: f64) -> SweepRow {
+        SweepRow {
+            cell: 0,
+            topo: "star:2,2".into(),
+            workload: "n10".into(),
+            policy: policy.into(),
+            speeds: "uniform:1.5".into(),
+            replication: 0,
+            seed: 1,
+            attempts: 1,
+            outcome: RowOutcome::Ok(CellMetrics {
+                jobs: 10,
+                total_flow: mean_flow * 10.0,
+                mean_flow,
+                max_flow: mean_flow * 2.0,
+                makespan: 30.0,
+                events: 100,
+                lower_bound: mean_flow * 10.0 / ratio,
+                ratio,
+            }),
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = Histogram::default();
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 >= 50.0 && p50 <= 60.0, "p50 = {p50}");
+        assert!(p99 >= 99.0 && p99 <= 115.0, "p99 = {p99}");
+        assert!(h.quantile(1.0).unwrap() >= 100.0);
+    }
+
+    #[test]
+    fn histogram_is_order_independent() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let vals: Vec<f64> = (1..200).map(|i| (i as f64) * 0.37).collect();
+        for &v in &vals {
+            a.observe(v);
+        }
+        for &v in vals.iter().rev() {
+            b.observe(v);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
+    }
+
+    #[test]
+    fn groups_accumulate_failures_separately() {
+        let mut agg = StreamingAgg::default();
+        agg.observe(&row("sjf+greedy", 4.0, 1.5));
+        agg.observe(&row("sjf+closest", 9.0, 2.5));
+        let mut failed = row("sjf+closest", 0.0, 0.0);
+        failed.outcome = RowOutcome::Failed { panic_msg: "boom".into() };
+        agg.observe(&failed);
+        assert_eq!(agg.overall.cells, 3);
+        assert_eq!(agg.overall.failed, 1);
+        assert_eq!(agg.by_policy["sjf+closest"].failed, 1);
+        assert_eq!(agg.by_policy["sjf+greedy"].mean_flow.count(), 1);
+        let rendered = agg.render();
+        assert!(rendered.contains("sjf+greedy") && rendered.contains("TOTAL"));
+    }
+}

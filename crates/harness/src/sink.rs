@@ -1,0 +1,89 @@
+//! Row sinks: where completed sweep cells stream while workers race.
+
+use crate::sweep::SweepRow;
+use std::io::{self, Write};
+
+/// Receives rows in completion order (racy across workers).
+pub trait RowSink {
+    /// Persist or forward one row.
+    fn write_row(&mut self, row: &SweepRow) -> io::Result<()>;
+}
+
+/// Discards rows (aggregation-only sweeps, benches).
+pub struct NullSink;
+
+impl RowSink for NullSink {
+    fn write_row(&mut self, _row: &SweepRow) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Streams one JSON object per line to any writer.
+///
+/// Rows arrive in completion order, so a live tail of the file shows
+/// progress but is *not* sorted; [`crate::sweep::sorted_jsonl`]
+/// produces the canonical byte-deterministic form from a finished
+/// report.
+pub struct JsonlSink<W: Write> {
+    w: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap a writer.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w }
+    }
+
+    /// Recover the writer (flushes first).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> RowSink for JsonlSink<W> {
+    fn write_row(&mut self, row: &SweepRow) -> io::Result<()> {
+        let line = serde_json::to_string(row)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{CellMetrics, RowOutcome};
+
+    #[test]
+    fn jsonl_roundtrips_rows() {
+        let row = SweepRow {
+            cell: 3,
+            topo: "star:2,2".into(),
+            workload: "n10-load0.8-pow:2,4".into(),
+            policy: "sjf+greedy:0.5".into(),
+            speeds: "uniform:1.5".into(),
+            replication: 1,
+            seed: 99,
+            attempts: 1,
+            outcome: RowOutcome::Ok(CellMetrics {
+                jobs: 10,
+                total_flow: 40.0,
+                mean_flow: 4.0,
+                max_flow: 9.5,
+                makespan: 21.0,
+                events: 123,
+                lower_bound: 20.0,
+                ratio: 2.0,
+            }),
+        };
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.write_row(&row).unwrap();
+        sink.write_row(&row).unwrap();
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back: SweepRow = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(back, row);
+    }
+}

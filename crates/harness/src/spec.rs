@@ -1,6 +1,6 @@
 //! Textual specs for topologies, size distributions, speeds and
-//! policies, so the CLI (and scripts driving it) can name every
-//! configuration on one line.
+//! policies, so sweep files, the CLI, and scripts driving it can name
+//! every configuration on one line.
 //!
 //! Grammar (everything after `:` is comma-separated numbers):
 //!
@@ -13,9 +13,10 @@
 //!   `paper-identical:EPS`, `paper-unrelated:EPS`.
 //! * policy — `NODE+ASSIGN` with nodes `sjf|sjf-classes:EPS|fifo|srpt|ljf|hdf`
 //!   and assignments `greedy:EPS|greedy-unrel:EPS|greedy-no-dist:EPS|`
-//!   `closest|random:SEED|round-robin|least-volume|min-eta`.
+//!   `closest|random:SEED|round-robin|least-volume|min-eta|chaos`
+//!   (`chaos` deliberately panics — fault-injection only).
 
-use bct_analysis::runner::{AssignKind, NodePolicyKind, PolicyCombo};
+use crate::registry::{AssignKind, NodePolicyKind, PolicyCombo};
 use bct_core::{SpeedProfile, Tree};
 use bct_workloads::jobs::SizeDist;
 use bct_workloads::topo;
@@ -129,6 +130,7 @@ pub fn parse_policy(spec: &str) -> Result<PolicyCombo, String> {
         "round-robin" => AssignKind::RoundRobin,
         "least-volume" => AssignKind::LeastVolume,
         "min-eta" => AssignKind::MinEta,
+        "chaos" => AssignKind::Chaos,
         other => return Err(format!("unknown assignment policy '{other}'")),
     };
     Ok(PolicyCombo { node, assign })
@@ -183,6 +185,8 @@ mod tests {
         assert_eq!(c.label(), "fifo+round-robin");
         let c = parse_policy("sjf-classes:0.5+least-volume").unwrap();
         assert_eq!(c.label(), "sjf-classes+least-volume");
+        let c = parse_policy("sjf+chaos").unwrap();
+        assert_eq!(c.label(), "sjf+chaos");
         assert!(parse_policy("sjf").is_err());
         assert!(parse_policy("sjf+warp").is_err());
     }

@@ -1,0 +1,569 @@
+//! Declarative sweep specs and the engine that runs them.
+//!
+//! A [`SweepSpec`] names a grid — topologies × workloads × policies ×
+//! speed profiles × replications — as plain strings in the crate's spec
+//! grammar (see [`crate::spec`]). [`expand`] turns it into a flat,
+//! stably-indexed task list; [`run_sweep`] executes the tasks on the
+//! worker pool, streams every finished cell to a [`RowSink`] and the
+//! [`StreamingAgg`], and returns an index-sorted [`SweepReport`].
+//!
+//! **Seeding.** Each cell's RNG seed is `splitmix64` of the spec's
+//! `root_seed` and the cell's grid index — never of worker identity —
+//! so results are bit-identical at any worker count, and a single
+//! failing cell can be replayed from its row's `seed` alone.
+
+use crate::agg::StreamingAgg;
+use crate::exec::{self, ExecOptions, TaskStatus};
+use crate::sink::RowSink;
+use crate::spec;
+use bct_lp::bounds::combined_bound;
+use bct_workloads::jobs::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+fn default_load() -> f64 {
+    0.8
+}
+
+fn default_sizes() -> String {
+    "pow:2,4".to_string()
+}
+
+fn default_replications() -> usize {
+    1
+}
+
+fn default_root_seed() -> u64 {
+    1
+}
+
+/// One workload generator configuration (Poisson arrivals at a target
+/// load over a size distribution, as everywhere else in the repo).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadCfg {
+    /// Jobs per generated instance.
+    pub jobs: usize,
+    /// Offered load ρ (fraction of the bottleneck bandwidth).
+    #[serde(default = "default_load")]
+    pub load: f64,
+    /// Size-distribution spec, e.g. `"pow:2,4"`.
+    #[serde(default = "default_sizes")]
+    pub sizes: String,
+}
+
+impl WorkloadCfg {
+    /// Stable display label used in rows.
+    pub fn label(&self) -> String {
+        format!("n{}-load{}-{}", self.jobs, self.load, self.sizes)
+    }
+}
+
+/// A declarative sweep: the full grid plus execution knobs.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name (reports, default output file names).
+    pub name: String,
+    /// Root of the per-cell seed derivation.
+    #[serde(default = "default_root_seed")]
+    pub root_seed: u64,
+    /// Replications per grid point (distinct derived seeds).
+    #[serde(default = "default_replications")]
+    pub replications: usize,
+    /// Extra attempts for failed cells (same seed; catches transient
+    /// faults, deterministic panics still fail).
+    #[serde(default)]
+    pub max_retries: u32,
+    /// Topology specs (`crate::spec::parse_topology` grammar).
+    pub topologies: Vec<String>,
+    /// Workload generator configurations.
+    pub workloads: Vec<WorkloadCfg>,
+    /// Policy specs (`NODE+ASSIGN` grammar).
+    pub policies: Vec<String>,
+    /// Speed-profile specs.
+    pub speeds: Vec<String>,
+}
+
+impl SweepSpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(s: &str) -> Result<SweepSpec, String> {
+        let spec: SweepSpec =
+            serde_json::from_str(s).map_err(|e| format!("sweep spec: {e}"))?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Read and parse a spec file.
+    pub fn load(path: &std::path::Path) -> Result<SweepSpec, String> {
+        let s = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::from_json(&s)
+    }
+
+    /// Check every axis is non-empty and every spec string parses, so a
+    /// sweep fails before the pool spins up rather than cell by cell.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.topologies.is_empty()
+            || self.workloads.is_empty()
+            || self.policies.is_empty()
+            || self.speeds.is_empty()
+            || self.replications == 0
+        {
+            return Err("sweep spec: every grid axis must be non-empty".into());
+        }
+        for t in &self.topologies {
+            spec::parse_topology(t, 0).map_err(|e| format!("topology '{t}': {e}"))?;
+        }
+        for w in &self.workloads {
+            if w.jobs == 0 {
+                return Err(format!("workload '{}': jobs must be ≥ 1", w.label()));
+            }
+            spec::parse_sizes(&w.sizes).map_err(|e| format!("workload '{}': {e}", w.label()))?;
+        }
+        for p in &self.policies {
+            spec::parse_policy(p).map_err(|e| format!("policy '{p}': {e}"))?;
+        }
+        for s in &self.speeds {
+            spec::parse_speeds(s).map_err(|e| format!("speeds '{s}': {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Total grid size.
+    pub fn num_cells(&self) -> usize {
+        self.topologies.len()
+            * self.workloads.len()
+            * self.policies.len()
+            * self.speeds.len()
+            * self.replications
+    }
+}
+
+/// `splitmix64` — the standard 64-bit mixer; bijective, so distinct
+/// cell indices can never collide onto one seed.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of cell `index` under `root_seed` — a pure function of the
+/// grid position, independent of workers, retries, and wall clock.
+pub fn cell_seed(root_seed: u64, index: usize) -> u64 {
+    splitmix64(root_seed ^ splitmix64(index as u64))
+}
+
+/// One expanded grid cell, self-contained and replayable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellTask {
+    /// Stable grid index (row order of the sorted JSONL).
+    pub cell: usize,
+    /// Topology spec string.
+    pub topo: String,
+    /// Workload configuration.
+    pub workload: WorkloadCfg,
+    /// Policy spec string.
+    pub policy: String,
+    /// Speed-profile spec string.
+    pub speeds: String,
+    /// Replication number within the grid point.
+    pub replication: usize,
+    /// Derived RNG seed (drives topology randomness and job generation).
+    pub seed: u64,
+}
+
+/// Expand a spec into its stably-indexed task list (topology-major,
+/// replication-minor nesting; the order is part of the format).
+pub fn expand(spec: &SweepSpec) -> Vec<CellTask> {
+    let mut tasks = Vec::with_capacity(spec.num_cells());
+    for topo in &spec.topologies {
+        for workload in &spec.workloads {
+            for policy in &spec.policies {
+                for speeds in &spec.speeds {
+                    for replication in 0..spec.replications {
+                        let cell = tasks.len();
+                        tasks.push(CellTask {
+                            cell,
+                            topo: topo.clone(),
+                            workload: workload.clone(),
+                            policy: policy.clone(),
+                            speeds: speeds.clone(),
+                            replication,
+                            seed: cell_seed(spec.root_seed, cell),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    tasks
+}
+
+/// Metrics of one completed cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellMetrics {
+    /// Jobs simulated.
+    pub jobs: usize,
+    /// Total flow time `Σ (C_j − r_j)`.
+    pub total_flow: f64,
+    /// Mean flow time.
+    pub mean_flow: f64,
+    /// Max flow time.
+    pub max_flow: f64,
+    /// Final simulation time.
+    pub makespan: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Combinatorial OPT lower bound (`max(η, pooled-SRPT)` at unit
+    /// adversary speed; the exact LP is only tractable for ≤ 8 jobs).
+    pub lower_bound: f64,
+    /// `total_flow / lower_bound` — an upper estimate of the
+    /// competitive ratio (`0` when the bound degenerates to `0`).
+    pub ratio: f64,
+}
+
+/// Terminal state of a cell, as serialized into JSONL.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// Completed with metrics.
+    Ok(CellMetrics),
+    /// Every attempt panicked or errored.
+    Failed {
+        /// The panic message / error of the last attempt. Together with
+        /// the row's `seed` this is a complete reproducer.
+        panic_msg: String,
+    },
+}
+
+/// One JSONL row: the cell coordinates, its reproducer seed, and the
+/// outcome.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepRow {
+    /// Stable grid index.
+    pub cell: usize,
+    /// Topology spec.
+    pub topo: String,
+    /// Workload label (`WorkloadCfg::label`).
+    pub workload: String,
+    /// Policy spec.
+    pub policy: String,
+    /// Speed-profile spec.
+    pub speeds: String,
+    /// Replication number.
+    pub replication: usize,
+    /// The cell's derived seed (replay: same spec strings + this seed).
+    pub seed: u64,
+    /// Attempts consumed (> 1 ⇒ retries happened).
+    pub attempts: u32,
+    /// Result.
+    pub outcome: RowOutcome,
+}
+
+/// Run one cell: parse its specs, generate the instance from the cell
+/// seed, simulate, and measure. Pure in `(task)` — this is the
+/// determinism anchor.
+pub fn run_cell(task: &CellTask) -> Result<CellMetrics, String> {
+    let tree = spec::parse_topology(&task.topo, task.seed)?;
+    let sizes = spec::parse_sizes(&task.workload.sizes)?;
+    let combo = spec::parse_policy(&task.policy)?;
+    let speeds = spec::parse_speeds(&task.speeds)?;
+    let w = WorkloadSpec::poisson_identical(task.workload.jobs, task.workload.load, sizes, &tree);
+    let inst = w
+        .instance(&tree, task.seed)
+        .map_err(|e| format!("instance generation: {e}"))?;
+    let out = combo.run(&inst, &speeds).map_err(|e| format!("simulation: {e}"))?;
+    if out.unfinished > 0 {
+        return Err(format!("{} jobs unfinished at horizon", out.unfinished));
+    }
+    let releases: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
+    let total_flow = out.total_flow(&releases);
+    let lower_bound = combined_bound(&inst, 1.0);
+    Ok(CellMetrics {
+        jobs: inst.n(),
+        total_flow,
+        mean_flow: total_flow / inst.n().max(1) as f64,
+        max_flow: out.max_flow(&releases),
+        makespan: out.makespan,
+        events: out.events,
+        lower_bound,
+        ratio: if lower_bound > 0.0 { total_flow / lower_bound } else { 0.0 },
+    })
+}
+
+/// Where progress lines go.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum ProgressMode {
+    /// No progress output (tests, benches).
+    #[default]
+    Silent,
+    /// Periodic `cells done/total, rate, ETA` lines on stderr.
+    Stderr,
+}
+
+/// Execution knobs for [`run_sweep`].
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Worker threads.
+    pub workers: usize,
+    /// Progress reporting.
+    pub progress: ProgressMode,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { workers: exec::available_workers(), progress: ProgressMode::Silent }
+    }
+}
+
+/// Everything a finished sweep produced.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Sweep name (from the spec).
+    pub name: String,
+    /// All rows, sorted by cell index (deterministic at any worker
+    /// count).
+    pub rows: Vec<SweepRow>,
+    /// The streaming aggregate.
+    pub agg: StreamingAgg,
+    /// Completed cells.
+    pub ok: usize,
+    /// Failed cells.
+    pub failed: usize,
+    /// Wall-clock duration of the pool phase.
+    pub elapsed: Duration,
+}
+
+impl SweepReport {
+    /// `true` iff every cell completed.
+    pub fn all_ok(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// The canonical byte-deterministic serialization: one JSON object
+    /// per line, sorted by cell index.
+    pub fn sorted_jsonl(&self) -> String {
+        sorted_jsonl(&self.rows)
+    }
+}
+
+/// Serialize rows as sorted JSONL (rows are cloned into index order;
+/// the input need not be sorted).
+pub fn sorted_jsonl(rows: &[SweepRow]) -> String {
+    let mut sorted: Vec<&SweepRow> = rows.iter().collect();
+    sorted.sort_by_key(|r| r.cell);
+    let mut out = String::new();
+    for row in sorted {
+        out.push_str(&serde_json::to_string(row).expect("rows always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Emit a progress line to stderr.
+fn progress_line(name: &str, done: usize, total: usize, failed: usize, started: Instant) {
+    let secs = started.elapsed().as_secs_f64();
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let eta = if rate > 0.0 { (total - done) as f64 / rate } else { f64::INFINITY };
+    eprintln!(
+        "[sweep {name}] {done}/{total} cells ({:.0}%), {rate:.1} cells/s, ETA {:.1}s{}",
+        100.0 * done as f64 / total.max(1) as f64,
+        eta,
+        if failed > 0 { format!(", {failed} FAILED") } else { String::new() },
+    );
+}
+
+/// Execute a sweep: expand, run on the pool, stream rows to `sink` and
+/// the aggregator, return the sorted report.
+///
+/// Failures never abort the sweep — a panicking cell becomes a
+/// [`RowOutcome::Failed`] row carrying its panic message and reproducer
+/// seed, and the remaining cells keep running.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+    sink: &mut dyn RowSink,
+) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let tasks = expand(spec);
+    let total = tasks.len();
+    // Progress cadence: ~20 updates per sweep, at least every 64 cells.
+    let every = (total / 20).clamp(1, 64);
+    let started = Instant::now();
+    let mut agg = StreamingAgg::default();
+    let mut sink_error: Option<String> = None;
+    let mut done = 0usize;
+    let mut failed = 0usize;
+
+    let exec_opts = ExecOptions { workers: opts.workers, max_retries: spec.max_retries };
+    let results = exec::execute(&tasks, &exec_opts, |_, task| run_cell(task), |result| {
+        let task = &tasks[result.index];
+        let outcome = match &result.status {
+            TaskStatus::Done(metrics) => RowOutcome::Ok(metrics.clone()),
+            TaskStatus::Failed { error } => RowOutcome::Failed { panic_msg: error.clone() },
+        };
+        let row = SweepRow {
+            cell: task.cell,
+            topo: task.topo.clone(),
+            workload: task.workload.label(),
+            policy: task.policy.clone(),
+            speeds: task.speeds.clone(),
+            replication: task.replication,
+            seed: task.seed,
+            attempts: result.attempts,
+            outcome,
+        };
+        if matches!(row.outcome, RowOutcome::Failed { .. }) {
+            failed += 1;
+        }
+        agg.observe(&row);
+        if let Err(e) = sink.write_row(&row) {
+            sink_error.get_or_insert_with(|| format!("sink: {e}"));
+        }
+        done += 1;
+        if opts.progress == ProgressMode::Stderr && (done.is_multiple_of(every) || done == total) {
+            progress_line(&spec.name, done, total, failed, started);
+        }
+    });
+    if let Some(e) = sink_error {
+        return Err(e);
+    }
+
+    // Rebuild rows index-sorted from the pool's sorted results.
+    let rows: Vec<SweepRow> = results
+        .into_iter()
+        .map(|result| {
+            let task = &tasks[result.index];
+            let outcome = match result.status {
+                TaskStatus::Done(metrics) => RowOutcome::Ok(metrics),
+                TaskStatus::Failed { error } => RowOutcome::Failed { panic_msg: error },
+            };
+            SweepRow {
+                cell: task.cell,
+                topo: task.topo.clone(),
+                workload: task.workload.label(),
+                policy: task.policy.clone(),
+                speeds: task.speeds.clone(),
+                replication: task.replication,
+                seed: task.seed,
+                attempts: result.attempts,
+                outcome,
+            }
+        })
+        .collect();
+    let ok = rows.iter().filter(|r| matches!(r.outcome, RowOutcome::Ok(_))).count();
+    let failed = rows.len() - ok;
+    Ok(SweepReport {
+        name: spec.name.clone(),
+        rows,
+        agg,
+        ok,
+        failed,
+        elapsed: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::NullSink;
+
+    pub(crate) fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            name: "tiny".into(),
+            root_seed: 7,
+            replications: 2,
+            max_retries: 0,
+            topologies: vec!["star:3,2".into(), "fat-tree:2,2,2".into()],
+            workloads: vec![WorkloadCfg { jobs: 12, load: 0.7, sizes: "pow:2,3".into() }],
+            policies: vec!["sjf+greedy:0.5".into(), "sjf+closest".into()],
+            speeds: vec!["uniform:1.5".into()],
+        }
+    }
+
+    #[test]
+    fn expansion_is_stable_and_seeded_by_index() {
+        let spec = tiny_spec();
+        let tasks = expand(&spec);
+        assert_eq!(tasks.len(), spec.num_cells());
+        assert_eq!(tasks.len(), 8);
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.cell, i);
+            assert_eq!(t.seed, cell_seed(7, i));
+        }
+        // Seeds are all distinct (splitmix64 is a bijection).
+        let mut seeds: Vec<u64> = tasks.iter().map(|t| t.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), tasks.len());
+    }
+
+    #[test]
+    fn spec_json_roundtrip_and_defaults() {
+        let spec = tiny_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        // Minimal spec exercises the serde defaults.
+        let minimal = r#"{
+            "name": "m",
+            "topologies": ["star:2,2"],
+            "workloads": [{"jobs": 5}],
+            "policies": ["sjf+closest"],
+            "speeds": ["uniform:2"]
+        }"#;
+        let m = SweepSpec::from_json(minimal).unwrap();
+        assert_eq!(m.root_seed, 1);
+        assert_eq!(m.replications, 1);
+        assert_eq!(m.max_retries, 0);
+        assert_eq!(m.workloads[0].load, 0.8);
+        assert_eq!(m.workloads[0].sizes, "pow:2,4");
+    }
+
+    #[test]
+    fn invalid_specs_fail_before_running() {
+        let mut spec = tiny_spec();
+        spec.policies = vec!["sjf+warp".into()];
+        let err = run_sweep(&spec, &SweepOptions::default(), &mut NullSink).unwrap_err();
+        assert!(err.contains("sjf+warp"), "{err}");
+        let mut spec = tiny_spec();
+        spec.speeds.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_runs_and_reports() {
+        let spec = tiny_spec();
+        let report =
+            run_sweep(&spec, &SweepOptions { workers: 2, ..Default::default() }, &mut NullSink)
+                .unwrap();
+        assert_eq!(report.rows.len(), 8);
+        assert!(report.all_ok());
+        assert_eq!(report.ok, 8);
+        assert_eq!(report.agg.overall.cells, 8);
+        for (i, row) in report.rows.iter().enumerate() {
+            assert_eq!(row.cell, i);
+            match &row.outcome {
+                RowOutcome::Ok(m) => {
+                    assert!(m.total_flow > 0.0 && m.ratio > 0.0, "cell {i}: {m:?}");
+                }
+                RowOutcome::Failed { panic_msg } => panic!("cell {i} failed: {panic_msg}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ratio_is_consistent_with_its_parts() {
+        // Ratios compare ALG at the cell's (possibly augmented) speed
+        // to the unit-speed lower bound, matching experiment E1; they
+        // can dip below 1 under augmentation but must stay positive
+        // and equal total_flow / lower_bound.
+        let spec = tiny_spec();
+        let report = run_sweep(&spec, &SweepOptions::default(), &mut NullSink).unwrap();
+        for row in &report.rows {
+            if let RowOutcome::Ok(m) = &row.outcome {
+                assert!(m.lower_bound > 0.0);
+                assert!((m.ratio - m.total_flow / m.lower_bound).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Fault isolation: a policy that panics mid-sweep must cost exactly
+//! its own cells — every other cell completes, the failed rows carry
+//! the panic message and the reproducer seed, and retries re-run the
+//! same cell with the same seed.
+
+use bct_harness::sweep::{ProgressMode, RowOutcome, SweepOptions};
+use bct_harness::{run_sweep, NullSink, SweepSpec};
+
+fn chaos_spec(max_retries: u32) -> SweepSpec {
+    SweepSpec::from_json(&format!(
+        r#"{{
+            "name": "fault-grid",
+            "root_seed": 7,
+            "max_retries": {max_retries},
+            "topologies": ["star:3,2"],
+            "workloads": [{{"jobs": 15}}],
+            "policies": ["sjf+greedy:0.5", "sjf+chaos", "fifo+closest"],
+            "speeds": ["uniform:1.5", "uniform:2"]
+        }}"#,
+    ))
+    .unwrap()
+}
+
+#[test]
+fn panicking_cells_fail_without_taking_the_sweep_down() {
+    let spec = chaos_spec(0);
+    let opts = SweepOptions { workers: 4, progress: ProgressMode::Silent };
+    let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
+    assert_eq!(report.rows.len(), 6);
+    assert_eq!(report.failed, 2, "one chaos cell per speed profile");
+    assert_eq!(report.ok, 4);
+    assert!(!report.all_ok());
+    for row in &report.rows {
+        if row.policy == "sjf+chaos" {
+            let RowOutcome::Failed { panic_msg } = &row.outcome else {
+                panic!("chaos cell {} did not fail", row.cell);
+            };
+            assert!(
+                panic_msg.contains("chaos policy: deliberate fault"),
+                "panic message lost: {panic_msg}"
+            );
+            // The row must be replayable: the seed is the cell's
+            // deterministic seed, present even though the cell failed.
+            assert_eq!(row.seed, bct_harness::sweep::cell_seed(7, row.cell));
+            assert_eq!(row.attempts, 1);
+        } else {
+            assert!(matches!(row.outcome, RowOutcome::Ok(_)), "cell {} failed", row.cell);
+        }
+    }
+}
+
+#[test]
+fn retries_rerun_deterministic_panics_to_exhaustion() {
+    let spec = chaos_spec(2);
+    let opts = SweepOptions { workers: 2, progress: ProgressMode::Silent };
+    let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
+    for row in &report.rows {
+        if row.policy == "sjf+chaos" {
+            assert!(matches!(row.outcome, RowOutcome::Failed { .. }));
+            assert_eq!(row.attempts, 3, "1 try + 2 retries, same seed each time");
+        } else {
+            assert_eq!(row.attempts, 1);
+        }
+    }
+    // Aggregation counts the failures per policy.
+    assert_eq!(report.agg.by_policy["sjf+chaos"].failed, 2);
+    assert_eq!(report.agg.overall.failed, 2);
+}
+
+#[test]
+fn failed_rows_survive_the_jsonl_roundtrip() {
+    use bct_harness::sweep::SweepRow;
+    let spec = chaos_spec(0);
+    let opts = SweepOptions { workers: 1, progress: ProgressMode::Silent };
+    let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
+    for line in report.sorted_jsonl().lines() {
+        let row: SweepRow = serde_json::from_str(line).unwrap();
+        assert_eq!(
+            matches!(row.outcome, RowOutcome::Failed { .. }),
+            row.policy == "sjf+chaos"
+        );
+    }
+}

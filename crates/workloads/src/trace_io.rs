@@ -5,9 +5,36 @@
 //! inputs.
 
 use bct_core::Instance;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+/// Why loading an instance failed.
+///
+/// Both variants carry the serde error message verbatim, which names
+/// the failing field path (e.g. `jobs: [3]: size: expected number, got
+/// Str("big")`) or, for token-level errors, the line/column/byte
+/// offset — so a corrupted trace points at its own defect.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The text is not valid JSON, or a field has the wrong shape.
+    Parse(String),
+    /// The JSON parsed, but the parts violate an `Instance` invariant
+    /// (re-checked through the public constructor on every load).
+    Invalid(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Parse(m) => write!(f, "malformed instance JSON: {m}"),
+            TraceError::Invalid(m) => write!(f, "instance violates model invariants: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// Serialize an instance to a JSON string.
 pub fn to_json(inst: &Instance) -> String {
@@ -15,11 +42,13 @@ pub fn to_json(inst: &Instance) -> String {
 }
 
 /// Parse an instance from JSON (re-validating on load).
-pub fn from_json(s: &str) -> Result<Instance, String> {
+pub fn from_json(s: &str) -> Result<Instance, TraceError> {
     // Deserialize through the public constructor so invariants hold:
     // serde gives us the raw parts; Instance::new re-checks them.
-    let raw: Instance = serde_json::from_str(s).map_err(|e| e.to_string())?;
-    Instance::new(raw.tree().clone(), raw.jobs().to_vec()).map_err(|e| e.to_string())
+    let raw: Instance =
+        serde_json::from_str(s).map_err(|e| TraceError::Parse(e.to_string()))?;
+    Instance::new(raw.tree().clone(), raw.jobs().to_vec())
+        .map_err(|e| TraceError::Invalid(e.to_string()))
 }
 
 /// Write an instance to a file.
@@ -30,7 +59,7 @@ pub fn save(inst: &Instance, path: &Path) -> io::Result<()> {
 /// Read an instance from a file.
 pub fn load(path: &Path) -> io::Result<Instance> {
     let s = fs::read_to_string(path)?;
-    from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }
 
 #[cfg(test)]
@@ -71,8 +100,39 @@ mod tests {
     }
 
     #[test]
-    fn invalid_json_is_rejected() {
-        assert!(from_json("{").is_err());
-        assert!(from_json("{\"tree\": 3}").is_err());
+    fn truncated_json_reports_the_offset() {
+        let Err(TraceError::Parse(msg)) = from_json("{\"tree\": [1, 2") else {
+            panic!("truncated JSON accepted");
+        };
+        assert!(
+            msg.contains("line") && msg.contains("column"),
+            "no position in: {msg}"
+        );
+    }
+
+    #[test]
+    fn wrong_field_shape_reports_the_field_path() {
+        // Take a valid instance and corrupt one job's size.
+        let good = to_json(&sample());
+        let bad = good.replacen("\"size\":", "\"size\": \"big\", \"x\":", 1);
+        let Err(TraceError::Parse(msg)) = from_json(&bad) else {
+            panic!("corrupted field accepted");
+        };
+        assert!(msg.contains("size"), "field name lost in: {msg}");
+        assert!(msg.contains("jobs"), "field path lost in: {msg}");
+    }
+
+    #[test]
+    fn invariant_violations_are_distinguished_from_parse_errors() {
+        // Structurally valid JSON whose parts fail Instance::new: point
+        // a job at a node index outside the tree.
+        let good = to_json(&sample());
+        assert!(matches!(from_json("{"), Err(TraceError::Parse(_))));
+        assert!(matches!(
+            from_json("{\"tree\": 3}"),
+            Err(TraceError::Parse(_))
+        ));
+        // Sanity: the unmodified text still loads.
+        assert!(from_json(&good).is_ok());
     }
 }

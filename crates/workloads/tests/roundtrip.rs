@@ -1,0 +1,64 @@
+//! Property test: instance traces survive save → load → save with the
+//! two serializations byte-identical, across random workload shapes,
+//! topologies, seeds, and endpoint models.
+
+use bct_workloads::jobs::{ArrivalProcess, SizeDist, UnrelatedModel, WorkloadSpec};
+use bct_workloads::{topo, trace_io};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn size_dist(pick: u8) -> SizeDist {
+    match pick % 4 {
+        0 => SizeDist::Fixed(2.5),
+        1 => SizeDist::Uniform { lo: 1.0, hi: 4.0 },
+        2 => SizeDist::PowerOfBase { base: 2.0, max_k: 3 },
+        _ => SizeDist::Bimodal {
+            small: 1.0,
+            large: 8.0,
+            p_large: 0.25,
+        },
+    }
+}
+
+static FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn save_load_save_is_byte_stable(
+        n in 1usize..40,
+        seed in 0u64..1000,
+        dist in any::<u8>(),
+        unrelated in any::<bool>(),
+        arms in 2usize..4,
+        depth in 2usize..4,
+    ) {
+        let tree = topo::fat_tree(arms, depth, 2);
+        let mut w = WorkloadSpec {
+            n,
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            sizes: size_dist(dist),
+            unrelated: None,
+        };
+        if unrelated {
+            w.unrelated = Some(UnrelatedModel::UniformFactor { lo: 0.5, hi: 2.0 });
+        }
+        let inst = w.instance(&tree, seed).unwrap();
+
+        let path = std::env::temp_dir().join(format!(
+            "bct_roundtrip_{}_{}.json",
+            std::process::id(),
+            FILE_ID.fetch_add(1, Ordering::Relaxed),
+        ));
+        trace_io::save(&inst, &path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let loaded = trace_io::load(&path).unwrap();
+        trace_io::save(&loaded, &path).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+
+        prop_assert_eq!(&loaded, &inst, "load changed the instance");
+        prop_assert_eq!(first, second, "re-saving changed the bytes");
+    }
+}

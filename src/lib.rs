@@ -16,6 +16,8 @@
 //!   and the Lemma 5–7 dual-fitting verifier.
 //! * [`workloads`] — workload and topology generators.
 //! * [`analysis`] — metrics and the E1–E18 experiment harness.
+//! * [`harness`] — the parallel, fault-isolated sweep engine (worker
+//!   pool, declarative sweep specs, streaming JSONL + aggregation).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
@@ -26,6 +28,7 @@ pub struct ReadmeDoctests;
 
 pub use bct_analysis as analysis;
 pub use bct_core as core;
+pub use bct_harness as harness;
 pub use bct_lp as lp;
 pub use bct_policies as policies;
 pub use bct_sched as sched;

@@ -10,7 +10,9 @@ macro_rules! int_impls {
             fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
                 match i64::try_from(*self) {
                     Ok(v) => serializer.serialize_value(Value::Int(v)),
-                    Err(_) => Err(S::Error::custom("integer out of i64 range")),
+                    // Only u64/usize can overflow i64; widening to u64
+                    // is lossless there (`as` never truncates).
+                    Err(_) => serializer.serialize_value(Value::Uint(*self as u64)),
                 }
             }
         }
@@ -19,6 +21,8 @@ macro_rules! int_impls {
             fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
                 match deserializer.deserialize_value()? {
                     Value::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom("integer out of range")),
+                    Value::Uint(v) => <$t>::try_from(v)
                         .map_err(|_| D::Error::custom("integer out of range")),
                     other => Err(D::Error::custom(format!(
                         "expected integer, got {other:?}"
@@ -44,6 +48,7 @@ macro_rules! float_impls {
                 match deserializer.deserialize_value()? {
                     Value::Float(v) => Ok(v as $t),
                     Value::Int(v) => Ok(v as $t),
+                    Value::Uint(v) => Ok(v as $t),
                     other => Err(D::Error::custom(format!(
                         "expected number, got {other:?}"
                     ))),
@@ -130,7 +135,10 @@ impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
         match deserializer.deserialize_value()? {
             Value::Seq(items) => items
                 .into_iter()
-                .map(|v| from_value(v).map_err(D::Error::custom))
+                .enumerate()
+                .map(|(i, v)| {
+                    from_value(v).map_err(|e| D::Error::custom(format!("[{i}]: {e}")))
+                })
                 .collect(),
             other => Err(D::Error::custom(format!(
                 "expected sequence, got {other:?}"

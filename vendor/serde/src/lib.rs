@@ -25,6 +25,8 @@ pub enum Value {
     Bool(bool),
     /// Any integer that fits `i64` (covers every id/count in the repo).
     Int(i64),
+    /// An unsigned integer above `i64::MAX` (full-range `u64` seeds).
+    Uint(u64),
     /// A floating-point number.
     Float(f64),
     /// A string (also the encoding of unit enum variants).
@@ -127,9 +129,14 @@ pub mod de {
     impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
 
     /// Extract and convert a required struct field (derive support).
+    ///
+    /// Nested errors are prefixed with the field name, so a deep
+    /// failure surfaces with its full path (`jobs: [3]: size: …`).
     pub fn req_field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<T, SerdeError> {
         match v.get(name) {
-            Some(field) => crate::from_value(field.clone()),
+            Some(field) => {
+                crate::from_value(field.clone()).map_err(|e| SerdeError(format!("{name}: {}", e.0)))
+            }
             None => Err(SerdeError(format!("missing field `{name}`"))),
         }
     }
@@ -138,7 +145,9 @@ pub mod de {
     /// `#[serde(default)]` / `#[serde(default = "...")]`).
     pub fn opt_field<T: DeserializeOwned>(v: &Value, name: &str) -> Result<Option<T>, SerdeError> {
         match v.get(name) {
-            Some(field) => crate::from_value(field.clone()).map(Some),
+            Some(field) => crate::from_value(field.clone())
+                .map(Some)
+                .map_err(|e| SerdeError(format!("{name}: {}", e.0))),
             None => Ok(None),
         }
     }

@@ -43,7 +43,7 @@ pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
     let v = p.parse_value()?;
     p.skip_ws();
     if p.i != p.s.len() {
-        return Err(Error(format!("trailing characters at byte {}", p.i)));
+        return Err(p.err_at("trailing characters", p.i));
     }
     serde::from_value(v).map_err(|e| Error(e.to_string()))
 }
@@ -91,6 +91,7 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Uint(n) => out.push_str(&n.to_string()),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_str(out, s),
         Value::Seq(items) => {
@@ -139,6 +140,27 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
+    /// Render a byte offset as `line L column C (byte B)` so parse
+    /// errors point into the document instead of naming a raw index.
+    fn locate(&self, at: usize) -> String {
+        let at = at.min(self.s.len());
+        let mut line = 1usize;
+        let mut col = 1usize;
+        for &b in &self.s[..at] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        format!("line {line} column {col} (byte {at})")
+    }
+
+    fn err_at(&self, what: &str, at: usize) -> Error {
+        Error(format!("{what} at {}", self.locate(at)))
+    }
+
     fn skip_ws(&mut self) {
         while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
             self.i += 1;
@@ -154,10 +176,7 @@ impl<'a> Parser<'a> {
             self.i += 1;
             Ok(())
         } else {
-            Err(Error(format!(
-                "expected `{}` at byte {}",
-                b as char, self.i
-            )))
+            Err(self.err_at(&format!("expected `{}`", b as char), self.i))
         }
     }
 
@@ -173,26 +192,26 @@ impl<'a> Parser<'a> {
     fn parse_value(&mut self) -> Result<Value, Error> {
         self.skip_ws();
         match self.peek() {
-            None => Err(Error("unexpected end of input".into())),
+            None => Err(self.err_at("unexpected end of input", self.i)),
             Some(b'n') => {
                 if self.eat_keyword("null") {
                     Ok(Value::Null)
                 } else {
-                    Err(Error(format!("invalid token at byte {}", self.i)))
+                    Err(self.err_at("invalid token", self.i))
                 }
             }
             Some(b't') => {
                 if self.eat_keyword("true") {
                     Ok(Value::Bool(true))
                 } else {
-                    Err(Error(format!("invalid token at byte {}", self.i)))
+                    Err(self.err_at("invalid token", self.i))
                 }
             }
             Some(b'f') => {
                 if self.eat_keyword("false") {
                     Ok(Value::Bool(false))
                 } else {
-                    Err(Error(format!("invalid token at byte {}", self.i)))
+                    Err(self.err_at("invalid token", self.i))
                 }
             }
             Some(b'"') => self.parse_string().map(Value::Str),
@@ -213,7 +232,7 @@ impl<'a> Parser<'a> {
                             self.i += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("bad array at byte {}", self.i))),
+                        _ => return Err(self.err_at("expected `,` or `]` in array", self.i)),
                     }
                 }
             }
@@ -239,7 +258,7 @@ impl<'a> Parser<'a> {
                             self.i += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("bad object at byte {}", self.i))),
+                        _ => return Err(self.err_at("expected `,` or `}` in object", self.i)),
                     }
                 }
             }
@@ -311,11 +330,14 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.s[start..self.i])
             .map_err(|_| Error("invalid number".into()))?;
         if text.is_empty() {
-            return Err(Error(format!("invalid token at byte {start}")));
+            return Err(self.err_at("invalid token", start));
         }
         if !text.contains(['.', 'e', 'E']) {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Value::Int(n));
+            }
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Uint(n));
             }
         }
         text.parse::<f64>()
