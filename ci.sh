@@ -20,3 +20,10 @@ diff specs/golden_sweep.expected.jsonl "$golden_out"
 # Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
 # scaling at 4 workers only on machines with >=4 cores.
 cargo bench -q -p bct-bench --bench sweep_throughput
+
+# Simulator-core throughput: emits target/BENCH_sim.json (jobs/s fresh
+# vs. scratch-reuse) and asserts the zero-allocation steady state
+# inside the bench itself. Fail loudly here if the JSON is missing or
+# malformed so downstream tooling can rely on it.
+cargo bench -q -p bct-bench --bench sim_throughput
+python3 -c 'import json; d = json.load(open("target/BENCH_sim.json")); print("sim bench:", d["jobs_per_s_scratch"], "jobs/s with scratch")'

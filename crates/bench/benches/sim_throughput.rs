@@ -1,0 +1,160 @@
+//! Simulator-core throughput benchmark: jobs/second on a 1024-leaf fat
+//! tree at near-saturation load, fresh-buffers vs. scratch-reuse, plus
+//! steady-state heap traffic measured by a counting global allocator.
+//!
+//! Emits `target/BENCH_sim.json` with both rates, the reuse speedup,
+//! and bytes allocated per job on a warm scratch (the zero-allocation
+//! contract: this must be 0 in steady state). The two variants are also
+//! cross-checked for bit-identical outcomes — buffer reuse must never
+//! change results.
+
+use bct_policies::{RoundRobin, Sjf};
+use bct_sim::policy::NoProbe;
+use bct_sim::{SimConfig, SimOutcome, SimScratch, Simulation};
+use bct_workloads::jobs::{SizeDist, WorkloadSpec};
+use bct_workloads::topo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// `System` wrapped with an allocation-byte counter, so the bench can
+/// report exact heap traffic for a simulation run.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const JOBS: usize = 50_000;
+// Best-of-REPS: the min is the noise filter, so on shared/loaded boxes
+// more reps = more chances to catch an unloaded scheduler window.
+const REPS: usize = 15;
+
+fn acceptance_cell() -> (bct_core::Instance, SimConfig) {
+    // 1024 leaves (16 pods x 8 racks x 8 machines), 50k jobs at rho =
+    // 0.95 of the root bottleneck, power-of-two sizes.
+    let tree = topo::fat_tree(16, 8, 8);
+    let spec = WorkloadSpec::poisson_identical(
+        JOBS,
+        0.95,
+        SizeDist::PowerOfBase { base: 2.0, max_k: 4 },
+        &tree,
+    );
+    let inst = spec.instance(&tree, 17).expect("bench instance generates");
+    (inst, SimConfig::unit())
+}
+
+fn run_fresh(inst: &bct_core::Instance, cfg: &SimConfig) -> SimOutcome {
+    Simulation::run(inst, &Sjf::new(), &mut RoundRobin::default(), &mut NoProbe, cfg)
+        .expect("bench run succeeds")
+}
+
+fn run_reused(scratch: &mut SimScratch, inst: &bct_core::Instance, cfg: &SimConfig) -> SimOutcome {
+    Simulation::run_with_scratch(
+        scratch,
+        inst,
+        &Sjf::new(),
+        &mut RoundRobin::default(),
+        &mut NoProbe,
+        cfg,
+    )
+    .expect("bench run succeeds")
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let (inst, cfg) = acceptance_cell();
+
+    // Warm-up + cross-check: scratch reuse must not change results.
+    let reference = run_fresh(&inst, &cfg);
+    assert_eq!(reference.unfinished, 0, "bench cell must drain");
+    let mut scratch = SimScratch::new();
+    let warm = run_reused(&mut scratch, &inst, &cfg);
+    assert_eq!(warm.events, reference.events, "reuse changed event count");
+    assert_eq!(warm.makespan, reference.makespan, "reuse changed makespan");
+    assert_eq!(warm.completions, reference.completions, "reuse changed completions");
+    scratch.recycle(warm);
+
+    // Steady-state heap traffic: with a warm scratch and a recycled
+    // outcome, a run must not touch the allocator at all.
+    let bytes_before = ALLOCATED.load(Ordering::SeqCst);
+    let allocs_before = ALLOCATIONS.load(Ordering::SeqCst);
+    let steady = run_reused(&mut scratch, &inst, &cfg);
+    let bytes_run = ALLOCATED.load(Ordering::SeqCst) - bytes_before;
+    let allocs_run = ALLOCATIONS.load(Ordering::SeqCst) - allocs_before;
+    let bytes_per_job = bytes_run as f64 / JOBS as f64;
+    scratch.recycle(steady);
+
+    // Throughput, best-of-REPS per variant (min filters scheduler noise).
+    let mut t_fresh = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let out = run_fresh(&inst, &cfg);
+        t_fresh = t_fresh.min(start.elapsed());
+        assert_eq!(out.events, reference.events);
+    }
+    let mut t_reused = Duration::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let out = run_reused(&mut scratch, &inst, &cfg);
+        t_reused = t_reused.min(start.elapsed());
+        assert_eq!(out.events, reference.events);
+        scratch.recycle(out);
+    }
+
+    let rate_fresh = JOBS as f64 / t_fresh.as_secs_f64();
+    let rate_reused = JOBS as f64 / t_reused.as_secs_f64();
+    let speedup = t_fresh.as_secs_f64() / t_reused.as_secs_f64();
+
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    g.bench_function(format!("{JOBS}-jobs/fresh"), |b| b.iter_custom(|_| t_fresh));
+    g.bench_function(format!("{JOBS}-jobs/scratch-reuse"), |b| b.iter_custom(|_| t_reused));
+    g.finish();
+
+    let json = format!(
+        "{{\"bench\": \"sim_throughput\", \"leaves\": 1024, \"jobs\": {JOBS}, \
+         \"events\": {events}, \
+         \"jobs_per_s_fresh\": {rate_fresh:.0}, \"jobs_per_s_scratch\": {rate_reused:.0}, \
+         \"speedup_scratch_over_fresh\": {speedup:.3}, \
+         \"steady_state_bytes_per_job\": {bytes_per_job:.3}, \
+         \"steady_state_allocations\": {allocs_run}}}\n",
+        events = reference.events,
+    );
+    // Cargo runs benches with cwd = the package dir; anchor the output
+    // in the workspace target/ regardless.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_sim.json");
+    std::fs::write(out, &json).expect("write BENCH_sim.json");
+    println!(
+        "sim_throughput: {rate_fresh:.0} jobs/s fresh, {rate_reused:.0} jobs/s with scratch \
+         ({speedup:.2}x), {bytes_run} heap bytes in {allocs_run} allocations on a warm scratch"
+    );
+
+    assert_eq!(
+        bytes_run, 0,
+        "steady-state runs on a warm scratch must not allocate ({bytes_run} bytes in {allocs_run} allocations)"
+    );
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

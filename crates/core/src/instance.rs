@@ -39,6 +39,10 @@ struct PathCache {
     /// First processing node per `(row, leaf_index)`.
     entries: Vec<NodeId>,
     arena: Vec<NodeId>,
+    /// Node-sorted `(node, hop)` pairs per span — the dispatch table the
+    /// simulator binary-searches instead of sorting a per-job index.
+    /// Shares `spans` with `arena`.
+    hops_arena: Vec<(NodeId, u32)>,
 }
 
 impl PathCache {
@@ -64,6 +68,11 @@ impl PathCache {
                 cache
                     .spans
                     .push((cache.arena.len() as u32, path.len() as u32));
+                let start = cache.hops_arena.len();
+                cache
+                    .hops_arena
+                    .extend(path.iter().enumerate().map(|(h, &v)| (v, h as u32)));
+                cache.hops_arena[start..].sort_unstable_by_key(|&(v, _)| v);
                 cache.arena.extend_from_slice(&path);
             }
         }
@@ -251,6 +260,23 @@ impl Instance {
                 let cell = self.cache_cell(o, leaf);
                 let (off, len) = self.paths.spans[cell];
                 &self.paths.arena[off as usize..(off + len) as usize]
+            }
+        }
+    }
+
+    /// The node-sorted `(node, hop)` dispatch table for job `j`'s path
+    /// to `leaf`: the same nodes as [`Instance::path_of`], ordered by
+    /// node id with each node's hop position on the path. `O(1)`
+    /// borrowed; lets the simulator binary-search "which hop is `v`?"
+    /// without copying or re-sorting the path per job.
+    #[inline]
+    pub fn node_hops_of(&self, j: JobId, leaf: NodeId) -> &[(NodeId, u32)] {
+        match self.jobs[j.as_usize()].origin {
+            None => self.tree.leaf_hops(leaf),
+            Some(o) => {
+                let cell = self.cache_cell(o, leaf);
+                let (off, len) = self.paths.spans[cell];
+                &self.paths.hops_arena[off as usize..(off + len) as usize]
             }
         }
     }
@@ -454,6 +480,29 @@ mod tests {
         assert_eq!(inst.path_of(JobId(1), NodeId(4)), inst.tree().path_from_root(NodeId(4)));
         assert_eq!(inst.eta_via(JobId(1), NodeId(4)), inst.eta(JobId(1), NodeId(4)));
         assert_eq!(inst.entry_node(JobId(1), NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    fn node_hops_match_paths_for_all_origins() {
+        let inst = Instance::new(
+            tree(),
+            vec![
+                Job::identical(0u32, 0.0, 2.0).with_origin(NodeId(3)),
+                Job::identical(1u32, 1.0, 2.0),
+            ],
+        )
+        .unwrap();
+        for j in [JobId(0), JobId(1)] {
+            for &l in inst.tree().leaves() {
+                let path = inst.path_of(j, l);
+                let hops = inst.node_hops_of(j, l);
+                assert_eq!(hops.len(), path.len());
+                assert!(hops.windows(2).all(|w| w[0].0 < w[1].0));
+                for &(v, h) in hops {
+                    assert_eq!(path[h as usize], v);
+                }
+            }
+        }
     }
 
     #[test]

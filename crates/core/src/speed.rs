@@ -73,20 +73,30 @@ impl SpeedProfile {
 
     /// Expand to a dense per-node table, validating positivity/arity.
     pub fn materialize(&self, t: &Tree) -> Result<Vec<f64>, CoreError> {
+        let mut table = Vec::new();
+        self.materialize_into(t, &mut table)?;
+        Ok(table)
+    }
+
+    /// [`SpeedProfile::materialize`] into a caller-provided buffer
+    /// (cleared first), so repeated runs reuse its capacity instead of
+    /// allocating a fresh table each time.
+    pub fn materialize_into(&self, t: &Tree, out: &mut Vec<f64>) -> Result<(), CoreError> {
+        out.clear();
         match self {
             SpeedProfile::Explicit(v) if v.len() != t.len() => Err(CoreError::SpeedArity {
                 got: v.len(),
                 want: t.len(),
             }),
             _ => {
-                let table: Vec<f64> = t.nodes().map(|v| self.speed_of(t, v)).collect();
+                out.extend(t.nodes().map(|v| self.speed_of(t, v)));
                 for v in t.nodes() {
-                    let s = table[v.as_usize()];
+                    let s = out[v.as_usize()];
                     if !(s > 0.0 && s.is_finite()) {
                         return Err(CoreError::NonPositiveSpeed(v));
                     }
                 }
-                Ok(table)
+                Ok(())
             }
         }
     }

@@ -44,6 +44,11 @@ pub struct Tree {
     /// line topologies don't blow the memory up quadratically.
     leaf_path_arena: Vec<NodeId>,
     leaf_path_offsets: Vec<u32>,
+    /// Per-leaf dispatch table: the same spans as `leaf_path_arena`, but
+    /// each span holds `(node, hop)` pairs sorted by node id, so the
+    /// simulator can binary-search "which hop is node v on this path?"
+    /// without building and sorting a per-job index.
+    leaf_hops_arena: Vec<(NodeId, u32)>,
 }
 
 /// Incremental builder for [`Tree`]; ids are handed out in topological
@@ -190,6 +195,13 @@ impl Tree {
             }
             leaf_path_offsets.push(leaf_path_arena.len() as u32);
         }
+        let mut leaf_hops_arena = Vec::with_capacity(leaf_path_arena.len());
+        for w in leaf_path_offsets.windows(2) {
+            let span = &leaf_path_arena[w[0] as usize..w[1] as usize];
+            let start = leaf_hops_arena.len();
+            leaf_hops_arena.extend(span.iter().enumerate().map(|(h, &v)| (v, h as u32)));
+            leaf_hops_arena[start..].sort_unstable_by_key(|&(v, _)| v);
+        }
         Ok(Tree {
             parent,
             children,
@@ -199,6 +211,7 @@ impl Tree {
             leaf_index,
             leaf_path_arena,
             leaf_path_offsets,
+            leaf_hops_arena,
         })
     }
 
@@ -333,6 +346,23 @@ impl Tree {
             as usize;
         let (lo, hi) = (self.leaf_path_offsets[i], self.leaf_path_offsets[i + 1]);
         &self.leaf_path_arena[lo as usize..hi as usize]
+    }
+
+    /// The node-sorted `(node, hop)` index of a leaf's cached root→leaf
+    /// path: same span as [`Tree::leaf_path`], but ordered by node id so
+    /// "is `v` on the path, and at which hop?" is a binary search over a
+    /// borrowed slice instead of a per-job allocation.
+    ///
+    /// # Panics
+    /// Panics if `leaf` is not a leaf.
+    #[inline]
+    pub fn leaf_hops(&self, leaf: NodeId) -> &[(NodeId, u32)] {
+        let i = self
+            .leaf_index[leaf.as_usize()]
+            .unwrap_or_else(|| panic!("leaf_hops({leaf}): not a leaf"))
+            as usize;
+        let (lo, hi) = (self.leaf_path_offsets[i], self.leaf_path_offsets[i + 1]);
+        &self.leaf_hops_arena[lo as usize..hi as usize]
     }
 
     /// Lowest common ancestor of `a` and `b`.
@@ -615,6 +645,20 @@ mod tests {
     #[should_panic(expected = "not a leaf")]
     fn leaf_path_rejects_routers() {
         figure1_tree().leaf_path(NodeId(1));
+    }
+
+    #[test]
+    fn leaf_hops_is_node_sorted_path_index() {
+        let t = figure1_tree();
+        for &l in t.leaves() {
+            let path = t.leaf_path(l);
+            let hops = t.leaf_hops(l);
+            assert_eq!(hops.len(), path.len());
+            assert!(hops.windows(2).all(|w| w[0].0 < w[1].0));
+            for &(v, h) in hops {
+                assert_eq!(path[h as usize], v);
+            }
+        }
     }
 
     #[test]

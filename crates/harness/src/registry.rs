@@ -11,7 +11,9 @@ use bct_policies::{ClosestLeaf, Fifo, Hdf, LeastVolume, Ljf, MinEta, RandomLeaf,
 use bct_sched::{GreedyIdentical, GreedyUnrelated};
 use bct_sim::engine::SimError;
 use bct_sim::policy::NoProbe;
-use bct_sim::{AssignmentPolicy, NodePolicy, Probe, SimConfig, SimOutcome, SimView, Simulation};
+use bct_sim::{
+    AssignmentPolicy, NodePolicy, Probe, SimConfig, SimOutcome, SimScratch, SimView, Simulation,
+};
 use bct_core::{JobId, NodeId};
 
 /// Per-node scheduling policy selector.
@@ -157,10 +159,23 @@ impl PolicyCombo {
         speeds: &SpeedProfile,
         probe: &mut dyn Probe,
     ) -> Result<SimOutcome, SimError> {
+        self.run_with_scratch(&mut SimScratch::new(), inst, speeds, probe)
+    }
+
+    /// [`PolicyCombo::run_probed`] reusing a [`SimScratch`]'s buffers —
+    /// the path sweep workers take, giving each worker thread one
+    /// long-lived arena instead of a fresh allocation storm per cell.
+    pub fn run_with_scratch(
+        &self,
+        scratch: &mut SimScratch,
+        inst: &Instance,
+        speeds: &SpeedProfile,
+        probe: &mut dyn Probe,
+    ) -> Result<SimOutcome, SimError> {
         let node = self.node.build();
         let mut assign = self.assign.build();
         let cfg = SimConfig::with_speeds(speeds.clone());
-        Simulation::run(inst, node.as_ref(), assign.as_mut(), probe, &cfg)
+        Simulation::run_with_scratch(scratch, inst, node.as_ref(), assign.as_mut(), probe, &cfg)
     }
 
     /// Total flow time of a run (panics on unfinished jobs).

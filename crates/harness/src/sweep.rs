@@ -17,8 +17,11 @@ use crate::exec::{self, ExecOptions, TaskStatus};
 use crate::sink::RowSink;
 use crate::spec;
 use bct_lp::bounds::combined_bound;
+use bct_sim::policy::NoProbe;
+use bct_sim::SimScratch;
 use bct_workloads::jobs::WorkloadSpec;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 fn default_load() -> f64 {
@@ -259,9 +262,21 @@ pub struct SweepRow {
     pub outcome: RowOutcome,
 }
 
+thread_local! {
+    /// One long-lived simulation arena per worker thread: every cell a
+    /// worker runs reuses the same buffers, so a sweep's steady state
+    /// allocates per instance, not per simulation. Safe across cells of
+    /// any shape — the scratch resizes itself — and sound across panics:
+    /// a poisoned cell's buffers are simply dropped with the thread's
+    /// `RefCell` contents intact (scratch state never carries results).
+    static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
 /// Run one cell: parse its specs, generate the instance from the cell
 /// seed, simulate, and measure. Pure in `(task)` — this is the
-/// determinism anchor.
+/// determinism anchor. Buffer reuse does not weaken it: scratch-backed
+/// runs are bit-identical to fresh ones (the engine's reset contract,
+/// asserted end to end by the golden-sweep CI diff).
 pub fn run_cell(task: &CellTask) -> Result<CellMetrics, String> {
     let tree = spec::parse_topology(&task.topo, task.seed)?;
     let sizes = spec::parse_sizes(&task.workload.sizes)?;
@@ -271,23 +286,32 @@ pub fn run_cell(task: &CellTask) -> Result<CellMetrics, String> {
     let inst = w
         .instance(&tree, task.seed)
         .map_err(|e| format!("instance generation: {e}"))?;
-    let out = combo.run(&inst, &speeds).map_err(|e| format!("simulation: {e}"))?;
+    let out = SCRATCH
+        .with(|s| combo.run_with_scratch(&mut s.borrow_mut(), &inst, &speeds, &mut NoProbe))
+        .map_err(|e| format!("simulation: {e}"))?;
     if out.unfinished > 0 {
         return Err(format!("{} jobs unfinished at horizon", out.unfinished));
     }
-    let releases: Vec<f64> = inst.jobs().iter().map(|j| j.release).collect();
-    let total_flow = out.total_flow(&releases);
+    let mut total_flow = 0.0f64;
+    let mut max_flow = 0.0f64;
+    for (c, j) in out.completions.iter().zip(inst.jobs()) {
+        let f = c.expect("checked finished") - j.release;
+        total_flow += f;
+        max_flow = max_flow.max(f);
+    }
     let lower_bound = combined_bound(&inst, 1.0);
-    Ok(CellMetrics {
+    let metrics = CellMetrics {
         jobs: inst.n(),
         total_flow,
         mean_flow: total_flow / inst.n().max(1) as f64,
-        max_flow: out.max_flow(&releases),
+        max_flow,
         makespan: out.makespan,
         events: out.events,
         lower_bound,
         ratio: if lower_bound > 0.0 { total_flow / lower_bound } else { 0.0 },
-    })
+    };
+    SCRATCH.with(|s| s.borrow_mut().recycle(out));
+    Ok(metrics)
 }
 
 /// Where progress lines go.

@@ -3,8 +3,10 @@
 //! seed derives from the root seed and the cell's stable grid index —
 //! never from worker identity or scheduling order.
 
-use bct_harness::sweep::{cell_seed, expand, ProgressMode, SweepOptions};
+use bct_harness::spec;
+use bct_harness::sweep::{cell_seed, expand, CellMetrics, ProgressMode, RowOutcome, SweepOptions};
 use bct_harness::{run_sweep, JsonlSink, NullSink, SweepSpec};
+use bct_workloads::jobs::WorkloadSpec;
 
 fn grid_spec() -> SweepSpec {
     SweepSpec::from_json(
@@ -53,6 +55,68 @@ fn streamed_rows_equal_sorted_rows_up_to_order() {
     streamed_lines.sort_unstable();
     sorted_lines.sort_unstable();
     assert_eq!(streamed_lines, sorted_lines);
+}
+
+#[test]
+fn warm_scratch_rows_match_fresh_buffer_runs() {
+    // Sweep workers keep one long-lived SimScratch across every cell
+    // they run. Rebuild each cell here with brand-new buffers and check
+    // that the sweep's rows — at 1, 4, and 8 workers, i.e. any scratch
+    // warm-up history — serialize to the same bytes.
+    let sweep_spec = grid_spec();
+    let tasks = expand(&sweep_spec);
+    let fresh: Vec<String> = tasks
+        .iter()
+        .map(|task| {
+            let tree = spec::parse_topology(&task.topo, task.seed).unwrap();
+            let sizes = spec::parse_sizes(&task.workload.sizes).unwrap();
+            let combo = spec::parse_policy(&task.policy).unwrap();
+            let speeds = spec::parse_speeds(&task.speeds).unwrap();
+            let w = WorkloadSpec::poisson_identical(
+                task.workload.jobs,
+                task.workload.load,
+                sizes,
+                &tree,
+            );
+            let inst = w.instance(&tree, task.seed).unwrap();
+            let out = combo.run(&inst, &speeds).unwrap();
+            let mut total_flow = 0.0f64;
+            let mut max_flow = 0.0f64;
+            for (c, j) in out.completions.iter().zip(inst.jobs()) {
+                let f = c.expect("finished") - j.release;
+                total_flow += f;
+                max_flow = max_flow.max(f);
+            }
+            let lower_bound = bct_lp::bounds::combined_bound(&inst, 1.0);
+            let metrics = CellMetrics {
+                jobs: inst.n(),
+                total_flow,
+                mean_flow: total_flow / inst.n().max(1) as f64,
+                max_flow,
+                makespan: out.makespan,
+                events: out.events,
+                lower_bound,
+                ratio: if lower_bound > 0.0 { total_flow / lower_bound } else { 0.0 },
+            };
+            serde_json::to_string(&metrics).unwrap()
+        })
+        .collect();
+
+    for workers in [1, 4, 8] {
+        let opts = SweepOptions { workers, progress: ProgressMode::Silent };
+        let report = run_sweep(&sweep_spec, &opts, &mut NullSink).unwrap();
+        for (task, row) in tasks.iter().zip(&report.rows) {
+            let RowOutcome::Ok(m) = &row.outcome else {
+                panic!("cell {} failed", row.cell)
+            };
+            assert_eq!(
+                serde_json::to_string(m).unwrap(),
+                fresh[task.cell],
+                "workers={workers} cell={} diverged from its fresh-buffer run",
+                task.cell
+            );
+        }
+    }
 }
 
 #[test]

@@ -24,6 +24,10 @@ impl AssignmentPolicy for FixedAssignment {
     fn assign(&mut self, _view: &SimView<'_>, job: JobId) -> NodeId {
         self.0[job.as_usize()]
     }
+
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
 }
 
 /// Always pick the shallowest leaf (fewest hops), ties by id — the
@@ -44,6 +48,10 @@ impl AssignmentPolicy for ClosestLeaf {
             .iter()
             .min_by_key(|&&v| (inst.path_of(job, v).len(), v))
             .expect("tree has leaves")
+    }
+
+    fn needs_aggregates(&self) -> bool {
+        false
     }
 }
 
@@ -71,6 +79,10 @@ impl AssignmentPolicy for RandomLeaf {
         let leaves = view.instance().tree().leaves();
         leaves[self.rng.gen_range(0..leaves.len())]
     }
+
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
 }
 
 /// Cycle through the leaves in order.
@@ -89,6 +101,10 @@ impl AssignmentPolicy for RoundRobin {
         let v = leaves[self.next % leaves.len()];
         self.next += 1;
         v
+    }
+
+    fn needs_aggregates(&self) -> bool {
+        false
     }
 }
 
@@ -120,6 +136,10 @@ impl AssignmentPolicy for LeastVolume {
             })
             .expect("tree has leaves")
     }
+
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
 }
 
 /// Pick the leaf with the smallest total path work `η_{j,v}` — in the
@@ -145,6 +165,10 @@ impl AssignmentPolicy for MinEta {
                     .then(a.cmp(&b))
             })
             .expect("tree has leaves")
+    }
+
+    fn needs_aggregates(&self) -> bool {
+        false
     }
 }
 

@@ -9,7 +9,7 @@
 
 use bct_core::{ClassRounding, Instance, JobId, NodeId, Setting, Time};
 use bct_policies::prio;
-use bct_sim::SimView;
+use bct_sim::{HopFinishes, SimView};
 
 /// Lemma 2, measured side: the remaining volume of higher-priority jobs
 /// **currently available to schedule** on `v` (excluding jobs still held
@@ -162,7 +162,7 @@ pub fn lemma1_pairs(
     inst: &Instance,
     epsilon: f64,
     assignments: &[Option<NodeId>],
-    hop_finishes: &[Vec<Time>],
+    hop_finishes: &HopFinishes,
 ) -> Vec<(Time, Time)> {
     let mut out = Vec::new();
     for j in 0..inst.n() {

@@ -110,23 +110,44 @@ struct Entry {
     sums: AggSums,
 }
 
+/// Seed of the deterministic priority stream; reset to this on every
+/// [`QueueAggregates::reset`] so reused scratch produces bit-identical
+/// treap shapes to a fresh simulation.
+const PRIO_SEED: u64 = 0x853C_49E6_748F_EA9B;
+
 /// One treap per tree node, all sharing an arena.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub(crate) struct QueueAggregates {
     entries: Vec<Entry>,
     free: Vec<u32>,
     roots: Vec<u32>,
     rng: u64,
+    /// Scratch stacks for the iterative treap walks (descent path /
+    /// merge path); cleared per operation, capacity reused.
+    path: Vec<u32>,
+    path2: Vec<u32>,
 }
 
 impl QueueAggregates {
+    /// Fresh aggregates over `num_nodes` queues (test convenience;
+    /// production code resets a pooled instance).
+    #[cfg(test)]
     pub fn new(num_nodes: usize) -> QueueAggregates {
-        QueueAggregates {
-            entries: Vec::new(),
-            free: Vec::new(),
-            roots: vec![NIL; num_nodes],
-            rng: 0x853C_49E6_748F_EA9B,
-        }
+        let mut agg = QueueAggregates::default();
+        agg.reset(num_nodes);
+        agg
+    }
+
+    /// Clear all queues and re-seed the priority stream, keeping every
+    /// buffer's capacity. A reset aggregate is indistinguishable from a
+    /// freshly constructed one — including treap shapes, which depend on
+    /// the priority stream position.
+    pub fn reset(&mut self, num_nodes: usize) {
+        self.entries.clear();
+        self.free.clear();
+        self.roots.clear();
+        self.roots.resize(num_nodes, NIL);
+        self.rng = PRIO_SEED;
     }
 
     fn next_prio(&mut self) -> u64 {
@@ -141,6 +162,10 @@ impl QueueAggregates {
 
     fn alloc(&mut self, key: QueueKey, rem: f64, p: f64) -> u32 {
         let prio = self.next_prio();
+        self.alloc_with_prio(key, rem, p, prio)
+    }
+
+    fn alloc_with_prio(&mut self, key: QueueKey, rem: f64, p: f64, prio: u64) -> u32 {
         let entry = Entry {
             key,
             prio,
@@ -187,30 +212,52 @@ impl QueueAggregates {
         self.entries[t as usize].sums = sums;
     }
 
-    /// Split into (keys < `key`, keys ≥ `key`).
+    /// Split into (keys < `key`, keys ≥ `key`). Iterative — treap depth
+    /// is unbounded in the worst case, so no walk here may recurse.
     fn split_lt(&mut self, t: u32, key: &QueueKey) -> (u32, u32) {
-        if t == NIL {
-            return (NIL, NIL);
+        let (mut lroot, mut rroot) = (NIL, NIL);
+        // Nodes whose right (resp. left) child slot awaits the next
+        // piece of the left (resp. right) split.
+        let (mut lhook, mut rhook) = (NIL, NIL);
+        self.path.clear();
+        let mut t = t;
+        while t != NIL {
+            self.path.push(t);
+            if self.entries[t as usize].key.cmp(key) == Ordering::Less {
+                if lhook == NIL {
+                    lroot = t;
+                } else {
+                    self.entries[lhook as usize].right = t;
+                }
+                lhook = t;
+                t = self.entries[t as usize].right;
+            } else {
+                if rhook == NIL {
+                    rroot = t;
+                } else {
+                    self.entries[rhook as usize].left = t;
+                }
+                rhook = t;
+                t = self.entries[t as usize].left;
+            }
         }
-        if self.entries[t as usize].key.cmp(key) == Ordering::Less {
-            let (a, b) = {
-                let r = self.entries[t as usize].right;
-                self.split_lt(r, key)
-            };
-            self.entries[t as usize].right = a;
-            self.pull(t);
-            (t, b)
-        } else {
-            let (a, b) = {
-                let l = self.entries[t as usize].left;
-                self.split_lt(l, key)
-            };
-            self.entries[t as usize].left = b;
-            self.pull(t);
-            (a, t)
+        if lhook != NIL {
+            self.entries[lhook as usize].right = NIL;
         }
+        if rhook != NIL {
+            self.entries[rhook as usize].left = NIL;
+        }
+        // The descent path lists each modified node before its altered
+        // child, so pulling in reverse rebuilds sums bottom-up.
+        for i in (0..self.path.len()).rev() {
+            let u = self.path[i];
+            self.pull(u);
+        }
+        (lroot, rroot)
     }
 
+    /// Iterative top-down merge; same priority tie-break (`a` wins on
+    /// equal priorities) as the textbook recursive form.
     fn merge(&mut self, a: u32, b: u32) -> u32 {
         if a == NIL {
             return b;
@@ -218,19 +265,47 @@ impl QueueAggregates {
         if b == NIL {
             return a;
         }
-        if self.entries[a as usize].prio >= self.entries[b as usize].prio {
-            let ar = self.entries[a as usize].right;
-            let m = self.merge(ar, b);
-            self.entries[a as usize].right = m;
-            self.pull(a);
-            a
-        } else {
-            let bl = self.entries[b as usize].left;
-            let m = self.merge(a, bl);
-            self.entries[b as usize].left = m;
-            self.pull(b);
-            b
+        let (mut a, mut b) = (a, b);
+        let mut root = NIL;
+        // Node whose child slot (right if `hook_right`) awaits the rest.
+        let mut hook = NIL;
+        let mut hook_right = false;
+        self.path2.clear();
+        loop {
+            if a == NIL || b == NIL {
+                let rest = if a == NIL { b } else { a };
+                if hook == NIL {
+                    root = rest;
+                } else if hook_right {
+                    self.entries[hook as usize].right = rest;
+                } else {
+                    self.entries[hook as usize].left = rest;
+                }
+                break;
+            }
+            let take_a = self.entries[a as usize].prio >= self.entries[b as usize].prio;
+            let t = if take_a { a } else { b };
+            if hook == NIL {
+                root = t;
+            } else if hook_right {
+                self.entries[hook as usize].right = t;
+            } else {
+                self.entries[hook as usize].left = t;
+            }
+            hook = t;
+            hook_right = take_a;
+            self.path2.push(t);
+            if take_a {
+                a = self.entries[t as usize].right;
+            } else {
+                b = self.entries[t as usize].left;
+            }
         }
+        for i in (0..self.path2.len()).rev() {
+            let u = self.path2[i];
+            self.pull(u);
+        }
+        root
     }
 
     /// Insert a job entering `Q_v` with full requirement `p` remaining.
@@ -241,47 +316,66 @@ impl QueueAggregates {
         self.roots[v] = self.merge(ab, b);
     }
 
-    /// Remove the entry with exactly `key` from `Q_v`.
-    pub fn remove(&mut self, v: usize, key: &QueueKey) {
-        let root = self.roots[v];
-        self.roots[v] = self.remove_rec(root, key);
+    /// Test-only insert with a forced priority, so tests can build
+    /// degenerate path-shaped treaps far deeper than the random stream
+    /// would ever produce.
+    #[cfg(test)]
+    fn insert_with_prio(&mut self, v: usize, key: QueueKey, p: f64, prio: u64) {
+        let idx = self.alloc_with_prio(key, p, p, prio);
+        let (a, b) = self.split_lt(self.roots[v], &key);
+        let ab = self.merge(a, idx);
+        self.roots[v] = self.merge(ab, b);
     }
 
-    fn remove_rec(&mut self, t: u32, key: &QueueKey) -> u32 {
-        assert!(t != NIL, "removing a job that is not in the queue");
-        match key.cmp(&self.entries[t as usize].key) {
-            Ordering::Less => {
-                let l = self.entries[t as usize].left;
-                let nl = self.remove_rec(l, key);
-                self.entries[t as usize].left = nl;
-                self.pull(t);
-                t
+    /// Remove the entry with exactly `key` from `Q_v`. Iterative:
+    /// descend to the entry, merge its children into its slot, rebuild
+    /// sums along the descent.
+    pub fn remove(&mut self, v: usize, key: &QueueKey) {
+        let mut t = self.roots[v];
+        self.path.clear();
+        loop {
+            assert!(t != NIL, "removing a job that is not in the queue");
+            match key.cmp(&self.entries[t as usize].key) {
+                Ordering::Less => {
+                    self.path.push(t);
+                    t = self.entries[t as usize].left;
+                }
+                Ordering::Greater => {
+                    self.path.push(t);
+                    t = self.entries[t as usize].right;
+                }
+                Ordering::Equal => break,
             }
-            Ordering::Greater => {
-                let r = self.entries[t as usize].right;
-                let nr = self.remove_rec(r, key);
-                self.entries[t as usize].right = nr;
-                self.pull(t);
-                t
+        }
+        let (l, r) = (self.entries[t as usize].left, self.entries[t as usize].right);
+        self.free.push(t);
+        let merged = self.merge(l, r); // uses `path2`, leaves `path` intact
+        match self.path.last() {
+            None => self.roots[v] = merged,
+            Some(&parent) => {
+                if self.entries[parent as usize].left == t {
+                    self.entries[parent as usize].left = merged;
+                } else {
+                    self.entries[parent as usize].right = merged;
+                }
             }
-            Ordering::Equal => {
-                let (l, r) = (self.entries[t as usize].left, self.entries[t as usize].right);
-                self.free.push(t);
-                self.merge(l, r)
-            }
+        }
+        for i in (0..self.path.len()).rev() {
+            let u = self.path[i];
+            self.pull(u);
         }
     }
 
     /// Update the stored remainder of the entry with `key` in `Q_v`.
+    /// The search path lives in a growable scratch stack — a fixed-size
+    /// array here once made deep treaps an out-of-bounds panic.
     pub fn set_rem(&mut self, v: usize, key: &QueueKey, rem: f64) {
         let mut t = self.roots[v];
         // Collect the search path, then rebuild sums bottom-up.
-        let mut path = [NIL; 64];
-        let mut depth = 0;
+        self.path.clear();
         loop {
             assert!(t != NIL, "updating a job that is not in the queue");
-            path[depth] = t;
-            depth += 1;
+            self.path.push(t);
             match key.cmp(&self.entries[t as usize].key) {
                 Ordering::Less => t = self.entries[t as usize].left,
                 Ordering::Greater => t = self.entries[t as usize].right,
@@ -289,7 +383,8 @@ impl QueueAggregates {
             }
         }
         self.entries[t as usize].rem = rem;
-        for &u in path[..depth].iter().rev() {
+        for i in (0..self.path.len()).rev() {
+            let u = self.path[i];
             self.pull(u);
         }
     }
@@ -437,6 +532,61 @@ mod tests {
         let mut agg = QueueAggregates::new(1);
         agg.insert(0, key(1.0, 0), 1.0);
         agg.remove(0, &key(2.0, 1));
+    }
+
+    #[test]
+    fn deep_path_treap_survives_all_operations() {
+        // Strictly descending priorities by key order force a pure right
+        // spine — depth == n. With the old fixed [NIL; 64] search-path
+        // array, set_rem beyond depth 64 was an out-of-bounds panic, and
+        // recursive split/merge/remove risked stack overflow.
+        const N: u32 = 3000;
+        let mut agg = QueueAggregates::new(1);
+        for i in 0..N {
+            agg.insert_with_prio(0, key(i as f64, i), 2.0, u64::MAX - i as u64);
+        }
+        assert_eq!(agg.totals(0).cnt, N);
+        // Touch the deepest entry.
+        agg.set_rem(0, &key((N - 1) as f64, N - 1), 0.5);
+        assert_eq!(agg.totals(0).sum_rem, 2.0 * (N - 1) as f64 + 0.5);
+        // Split the spine near the bottom (insert lands deep).
+        agg.insert_with_prio(0, key((N - 1) as f64 - 0.5, N), 4.0, 0);
+        assert_eq!(agg.before(0, &key((N - 1) as f64, N - 1)).cnt, N);
+        // Remove from the deep end, then the shallow end.
+        agg.remove(0, &key((N - 1) as f64, N - 1));
+        agg.remove(0, &key(0.0, 0));
+        assert_eq!(agg.totals(0).cnt, N - 1);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        let mut used = QueueAggregates::new(2);
+        for i in 0..100 {
+            used.insert(0, key((i % 7) as f64, i), 1.0);
+            used.insert(1, key((i % 3) as f64, i), 2.0);
+        }
+        for i in 0..50 {
+            used.remove(0, &key((i % 7) as f64, i));
+        }
+        used.reset(2);
+        let mut fresh = QueueAggregates::new(2);
+        // Same operation sequence after reset must produce identical
+        // queries — the priority stream restarts, so treap shapes (and
+        // thus float summation order) match a fresh aggregate exactly.
+        for agg in [&mut used, &mut fresh] {
+            for i in 0..200 {
+                agg.insert(0, key((i % 13) as f64, i), f64::from(i + 1));
+            }
+            for i in (0..200).step_by(3) {
+                agg.remove(0, &key((i % 13) as f64, i));
+            }
+        }
+        for probe in 0..13 {
+            let k = key(probe as f64, 1000);
+            assert_eq!(used.before(0, &k), fresh.before(0, &k));
+            assert_eq!(used.above_eff(0, probe as f64), fresh.above_eff(0, probe as f64));
+        }
+        assert_eq!(used.totals(0), fresh.totals(0));
     }
 
     #[test]

@@ -1,14 +1,16 @@
 //! The event-driven engine.
 
-use crate::outcome::SimOutcome;
+use crate::outcome::{HopFinishes, SimOutcome};
 use crate::policy::{AssignmentPolicy, NodePolicy, Probe};
+use crate::scratch::SimScratch;
 use crate::state::SimState;
 use crate::trace::{Trace, TraceKind};
 use bct_core::time::OrderedTime;
 use bct_core::{ClassRounding, CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::mem;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -87,57 +89,71 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Heap ordering: earlier time first; at equal times, hop completions
-/// before arrivals (dispatch decisions see settled queues); then FIFO by
-/// sequence for determinism.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct EvKey {
+/// A scheduled hop-finish event. Only the `(t, seq)` pair participates
+/// in the heap order — earlier time first, then FIFO by push sequence
+/// for determinism; `node`/`version` ride along as payload. (The
+/// sequence is `u64`, not `u32`: `max_events` defaults to `2^34`, so a
+/// 32-bit counter could wrap within one run.)
+#[derive(Clone, Copy, Debug)]
+struct FinishEv {
     t: OrderedTime,
-    kind_rank: u8,
     seq: u64,
+    node: NodeId,
+    version: u64,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-enum Ev {
-    Finish { node: NodeId, version: u64 },
-    Arrival { job: JobId },
+impl PartialEq for FinishEv {
+    fn eq(&self, other: &FinishEv) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
 }
 
-struct EventQueue {
-    heap: BinaryHeap<Reverse<(EvKey, Ev)>>,
+impl Eq for FinishEv {}
+
+impl PartialOrd for FinishEv {
+    fn partial_cmp(&self, other: &FinishEv) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FinishEv {
+    fn cmp(&self, other: &FinishEv) -> Ordering {
+        (self.t, self.seq).cmp(&(other.t, other.seq))
+    }
+}
+
+/// Min-heap of pending hop-finishes. Arrivals never enter the heap:
+/// instances validate release-sorted jobs, so the engine walks them
+/// with a cursor and merges the two streams at pop time.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<FinishEv>>,
     seq: u64,
 }
 
 impl EventQueue {
-    fn new() -> EventQueue {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
+    /// Empty the heap and restart the sequence counter, keeping capacity.
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
     }
 
-    fn push(&mut self, t: Time, ev: Ev) {
-        let kind_rank = match ev {
-            Ev::Finish { .. } => 0,
-            Ev::Arrival { .. } => 1,
-        };
-        self.heap.push(Reverse((
-            EvKey {
-                t: OrderedTime(t),
-                kind_rank,
-                seq: self.seq,
-            },
-            ev,
-        )));
+    fn push(&mut self, t: Time, node: NodeId, version: u64) {
+        self.heap.push(Reverse(FinishEv {
+            t: OrderedTime(t),
+            seq: self.seq,
+            node,
+            version,
+        }));
         self.seq += 1;
     }
 
     fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse((k, _))| k.t.0)
+        self.heap.peek().map(|Reverse(ev)| ev.t.0)
     }
 
-    fn pop(&mut self) -> Option<(Time, Ev)> {
-        self.heap.pop().map(|Reverse((k, ev))| (k.t.0, ev))
+    fn pop(&mut self) -> Option<FinishEv> {
+        self.heap.pop().map(|Reverse(ev)| ev)
     }
 }
 
@@ -179,6 +195,9 @@ pub struct Simulation;
 impl Simulation {
     /// Simulate `instance` under the given node policy and assignment
     /// policy, observing with `probe`.
+    ///
+    /// One-shot convenience over [`Simulation::run_with_scratch`] with a
+    /// throwaway [`SimScratch`].
     pub fn run(
         instance: &Instance,
         node_policy: &dyn NodePolicy,
@@ -186,63 +205,98 @@ impl Simulation {
         probe: &mut dyn Probe,
         cfg: &SimConfig,
     ) -> Result<SimOutcome, SimError> {
-        let speeds = cfg
-            .speeds
-            .materialize(instance.tree())
-            .map_err(SimError::BadSpeeds)?;
-        let mut st = SimState::new(instance, speeds, cfg.dispatch_rounding);
-        let mut trace = cfg.record_trace.then(Trace::default);
-        let mut evq = EventQueue::new();
+        let mut scratch = SimScratch::new();
+        Self::run_with_scratch(&mut scratch, instance, node_policy, assignment, probe, cfg)
+    }
 
-        for job in instance.jobs() {
-            evq.push(job.release, Ev::Arrival { job: job.id });
-        }
+    /// [`Simulation::run`], reusing `scratch`'s buffers. Repeated runs
+    /// over the same topology shape are allocation-free in steady state
+    /// (pair with [`SimScratch::recycle`] to also reuse the outcome
+    /// vectors). Results are bit-identical to a fresh run — the
+    /// aggregate treap re-seeds its priority stream on reset.
+    pub fn run_with_scratch(
+        scratch: &mut SimScratch,
+        instance: &Instance,
+        node_policy: &dyn NodePolicy,
+        assignment: &mut dyn AssignmentPolicy,
+        probe: &mut dyn Probe,
+        cfg: &SimConfig,
+    ) -> Result<SimOutcome, SimError> {
+        cfg.speeds
+            .materialize_into(instance.tree(), &mut scratch.speeds)
+            .map_err(SimError::BadSpeeds)?;
+        // Queue aggregates only answer view queries; skip maintaining
+        // them when nobody in this run will ask.
+        let track_aggs = assignment.needs_aggregates() || probe.needs_aggregates();
+        let mut st = SimState::from_scratch(instance, cfg.dispatch_rounding, track_aggs, scratch);
+        let mut trace = cfg.record_trace.then(Trace::default);
+        let mut evq = mem::take(&mut scratch.evq);
+        evq.reset();
+
+        // Instances validate non-decreasing releases, so arrivals come
+        // from a cursor over the job list rather than the heap.
+        let jobs_list = instance.jobs();
+        let mut next_arrival = 0usize;
 
         let mut events: u64 = 0;
-        while let Some(t) = evq.peek_time() {
+        loop {
+            let fin_t = evq.peek_time();
+            let arr_t = jobs_list.get(next_arrival).map(|j| j.release);
+            // At equal times, hop completions run before arrivals so
+            // dispatch decisions see settled queues.
+            let take_finish = match (fin_t, arr_t) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(ft), Some(at)) => ft <= at,
+            };
+            let t = if take_finish { fin_t.unwrap() } else { arr_t.unwrap() };
             if cfg.horizon.is_some_and(|h| t > h) {
                 break;
             }
-            let (t, ev) = evq.pop().expect("peeked");
             events += 1;
             if events > cfg.max_events {
+                st.release_into(scratch);
+                scratch.evq = evq;
                 return Err(SimError::EventBudgetExceeded(cfg.max_events));
             }
             st.advance(t);
-            match ev {
-                Ev::Arrival { job } => {
-                    let leaf = assignment.assign(&st.view(), job);
-                    if !instance.tree().is_leaf(leaf) {
-                        return Err(SimError::AssignmentNotALeaf { job, node: leaf });
-                    }
-                    st.admit(job, leaf);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(t, leaf, job, TraceKind::Arrive);
-                    }
-                    let first = st.view().path(job)[0];
-                    Self::offer(&mut st, first, job, node_policy, &mut trace, &mut evq);
-                    probe.on_arrival(&st.view(), job, leaf);
+            if take_finish {
+                let FinishEv { node, version, .. } = evq.pop().expect("peeked");
+                if st.node_version(node) != version {
+                    continue; // stale: the node's job changed since scheduling
                 }
-                Ev::Finish { node, version } => {
-                    if st.node_version(node) != version {
-                        continue; // stale: the node's job changed since scheduling
+                let job = st.finish_current_hop(node);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(t, node, job, TraceKind::FinishHop);
+                    if st.view().completion(job).is_some() {
+                        tr.push(t, node, job, TraceKind::Complete);
                     }
-                    let job = st.finish_current_hop(node);
-                    if let Some(tr) = trace.as_mut() {
-                        tr.push(t, node, job, TraceKind::FinishHop);
-                        if st.view().completion(job).is_some() {
-                            tr.push(t, node, job, TraceKind::Complete);
-                        }
-                    }
-                    if st.view().completion(job).is_none() {
-                        let next = st.view().current_node_of(job).expect("in flight");
-                        Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq);
-                    }
-                    if st.pick_next(node) {
-                        Self::schedule_current(&mut st, node, &mut trace, &mut evq);
-                    }
-                    probe.on_hop_complete(&st.view(), job, node);
                 }
+                if st.view().completion(job).is_none() {
+                    let next = st.view().current_node_of(job).expect("in flight");
+                    Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq);
+                }
+                if st.pick_next(node) {
+                    Self::schedule_current(&mut st, node, &mut trace, &mut evq);
+                }
+                probe.on_hop_complete(&st.view(), job, node);
+            } else {
+                let job = jobs_list[next_arrival].id;
+                next_arrival += 1;
+                let leaf = assignment.assign(&st.view(), job);
+                if !instance.tree().is_leaf(leaf) {
+                    st.release_into(scratch);
+                    scratch.evq = evq;
+                    return Err(SimError::AssignmentNotALeaf { job, node: leaf });
+                }
+                st.admit(job, leaf);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(t, leaf, job, TraceKind::Arrive);
+                }
+                let first = st.view().path(job)[0];
+                Self::offer(&mut st, first, job, node_policy, &mut trace, &mut evq);
+                probe.on_arrival(&st.view(), job, leaf);
             }
             probe.on_event(&st.view());
         }
@@ -255,7 +309,9 @@ impl Simulation {
             }
         }
 
-        Ok(Self::collect(st, trace, events))
+        let out = Self::collect(st, scratch, trace, events);
+        scratch.evq = evq;
+        Ok(out)
     }
 
     /// Offer `job` to `node`; if the node's current job changed,
@@ -292,30 +348,50 @@ impl Simulation {
         }
         let t_fin = st.predicted_finish(node).expect("busy node");
         let version = st.node_version(node);
-        evq.push(t_fin.max(now), Ev::Finish { node, version });
+        evq.push(t_fin.max(now), node, version);
     }
 
-    fn collect(st: SimState<'_>, trace: Option<Trace>, events: u64) -> SimOutcome {
+    /// Assemble the outcome from the pooled buffers, then hand the
+    /// state's buffers back to `scratch`.
+    fn collect(
+        st: SimState<'_>,
+        scratch: &mut SimScratch,
+        trace: Option<Trace>,
+        events: u64,
+    ) -> SimOutcome {
         let n = st.view().instance().n();
-        let mut completions = Vec::with_capacity(n);
-        let mut assignments = Vec::with_capacity(n);
-        let mut hop_finishes = Vec::with_capacity(n);
+        let mut completions = mem::take(&mut scratch.completions);
+        completions.clear();
+        let mut assignments = mem::take(&mut scratch.assignments);
+        assignments.clear();
+        let mut offsets = mem::take(&mut scratch.hop_offsets);
+        offsets.clear();
+        let mut times = mem::take(&mut scratch.hop_times);
+        times.clear();
+        offsets.push(0);
         for j in 0..n as u32 {
             let j = JobId(j);
             completions.push(st.view().completion(j));
             assignments.push(st.view().assigned_leaf(j));
-            hop_finishes.push(st.hop_finishes_of(j).to_vec());
+            times.extend_from_slice(st.hop_finishes_of(j));
+            offsets.push(times.len() as u32);
         }
+        let mut node_busy = mem::take(&mut scratch.node_busy);
+        st.node_busy_into(&mut node_busy);
         let unfinished = completions.iter().filter(|c| c.is_none()).count();
+        let fractional_flow = st.frac_integral();
+        let count_integral = st.count_integral();
+        let makespan = st.view().now();
+        st.release_into(scratch);
         SimOutcome {
             completions,
             assignments,
-            hop_finishes,
-            fractional_flow: st.frac_integral(),
-            count_integral: st.count_integral(),
-            node_busy: st.node_busy(),
+            hop_finishes: HopFinishes::from_parts(offsets, times),
+            fractional_flow,
+            count_integral,
+            node_busy,
             events,
-            makespan: st.view().now(),
+            makespan,
             unfinished,
             trace,
         }

@@ -41,11 +41,13 @@ pub mod outcome;
 pub mod packet;
 pub mod policy;
 pub mod reference;
+pub mod scratch;
 pub mod state;
 pub mod trace;
 
 pub use engine::{SimConfig, Simulation};
-pub use outcome::SimOutcome;
+pub use outcome::{HopFinishes, SimOutcome};
+pub use scratch::SimScratch;
 pub use policy::{AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, Probe};
 pub use state::SimView;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -3,6 +3,90 @@
 use crate::trace::Trace;
 use bct_core::{JobId, NodeId, Time};
 use serde::{Deserialize, Serialize};
+use std::ops::Index;
+
+/// Per-job hop finish times in CSR layout: one flat `times` arena plus
+/// `n + 1` offsets. Row `j` (`finishes[j]` or [`HopFinishes::row`]) is
+/// the finish time at each hop of job `j`'s root→leaf path, same
+/// indexing as the path, truncated to the hops actually completed.
+///
+/// Serializes as the two flat vectors (the engine's golden artifacts
+/// store rows separately, so this never appears in checked-in JSON).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HopFinishes {
+    /// `offsets[j]..offsets[j + 1]` spans job `j`'s row in `times`.
+    offsets: Vec<u32>,
+    /// All rows, concatenated in job-id order.
+    times: Vec<Time>,
+}
+
+impl Default for HopFinishes {
+    fn default() -> HopFinishes {
+        HopFinishes {
+            offsets: vec![0],
+            times: Vec::new(),
+        }
+    }
+}
+
+impl HopFinishes {
+    /// Build from raw CSR parts. `offsets` must be non-decreasing,
+    /// start at 0, and end at `times.len()`.
+    pub(crate) fn from_parts(offsets: Vec<u32>, times: Vec<Time>) -> HopFinishes {
+        debug_assert_eq!(offsets.first(), Some(&0));
+        debug_assert_eq!(offsets.last().copied(), Some(times.len() as u32));
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        HopFinishes { offsets, times }
+    }
+
+    /// Disassemble into the raw CSR vectors (for buffer recycling).
+    pub(crate) fn into_parts(self) -> (Vec<u32>, Vec<Time>) {
+        (self.offsets, self.times)
+    }
+
+    /// Build from one row per job (test/fixture convenience).
+    pub fn from_rows<I, R>(rows: I) -> HopFinishes
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[Time]>,
+    {
+        let mut out = HopFinishes::default();
+        for row in rows {
+            out.times.extend_from_slice(row.as_ref());
+            out.offsets.push(out.times.len() as u32);
+        }
+        out
+    }
+
+    /// Number of jobs (rows).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Job `j`'s hop finish times (empty if it never started).
+    #[inline]
+    pub fn row(&self, j: usize) -> &[Time] {
+        &self.times[self.offsets[j] as usize..self.offsets[j + 1] as usize]
+    }
+
+    /// Iterate rows in job-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Time]> + '_ {
+        (0..self.len()).map(|j| self.row(j))
+    }
+}
+
+impl Index<usize> for HopFinishes {
+    type Output = [Time];
+
+    fn index(&self, j: usize) -> &[Time] {
+        self.row(j)
+    }
+}
 
 /// Everything measured during a run.
 ///
@@ -17,7 +101,7 @@ pub struct SimOutcome {
     pub assignments: Vec<Option<NodeId>>,
     /// Per job, the finish time at each hop of its root→leaf path
     /// (same indexing as the path; last entry equals `C_j`).
-    pub hop_finishes: Vec<Vec<Time>>,
+    pub hop_finishes: HopFinishes,
     /// Exact fractional flow time (§2): `∫ Σ_j p^A_{j,leaf}(t)/p_{j,leaf} dt`.
     pub fractional_flow: Time,
     /// Exact `∫ #unfinished(t) dt`; equals total flow time when all
@@ -108,7 +192,7 @@ mod tests {
         SimOutcome {
             completions: vec![Some(4.0), Some(10.0)],
             assignments: vec![Some(NodeId(2)), Some(NodeId(2))],
-            hop_finishes: vec![vec![2.0, 4.0], vec![6.0, 10.0]],
+            hop_finishes: HopFinishes::from_rows([[2.0, 4.0], [6.0, 10.0]]),
             fractional_flow: 7.0,
             count_integral: 13.0,
             node_busy: vec![0.0, 8.0, 8.0],

@@ -66,14 +66,13 @@ pub fn run_packetized(
     let n = inst.n();
 
     // Router paths (leaf excluded) and per-job leaf work.
-    let paths: Vec<Vec<NodeId>> = assignments
+    let paths: Vec<&[NodeId]> = assignments
         .iter()
         .enumerate()
         .map(|(id, &leaf)| {
             assert!(tree.is_leaf(leaf));
-            let mut p = inst.path_of(JobId(id as u32), leaf).to_vec();
-            p.pop(); // the leaf hop is handled at job granularity
-            p
+            let p = inst.path_of(JobId(id as u32), leaf);
+            &p[..p.len() - 1] // the leaf hop is handled at job granularity
         })
         .collect();
 

@@ -95,6 +95,16 @@ pub trait AssignmentPolicy {
     /// Pick the leaf that `job` (released exactly now) is dispatched to.
     /// Must return a leaf of `view.instance().tree()`.
     fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId;
+
+    /// Whether this policy uses the view's `O(log)` aggregate queries
+    /// (`volume_before`, `count_larger`, `frac_volume_larger`). The
+    /// engine maintains the per-node queue aggregates only when the
+    /// assignment policy or the probe asks for them — they never affect
+    /// the schedule itself, only query answers. Override to `false` for
+    /// policies that don't query; querying anyway then panics.
+    fn needs_aggregates(&self) -> bool {
+        true
+    }
 }
 
 /// Optional observer invoked by the engine at semantically meaningful
@@ -111,12 +121,22 @@ pub trait Probe {
 
     /// Called after every processed event, with the post-event state.
     fn on_event(&mut self, view: &SimView<'_>) {}
+
+    /// Whether this probe uses the view's aggregate queries; see
+    /// [`AssignmentPolicy::needs_aggregates`].
+    fn needs_aggregates(&self) -> bool {
+        true
+    }
 }
 
 /// A no-op probe for runs that don't need observation.
 pub struct NoProbe;
 
-impl Probe for NoProbe {}
+impl Probe for NoProbe {
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
+}
 
 #[cfg(test)]
 mod tests {

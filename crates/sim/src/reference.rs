@@ -29,8 +29,8 @@ pub struct RefOutcome {
     pub count_integral: Time,
 }
 
-struct RJob {
-    path: Vec<NodeId>,
+struct RJob<'a> {
+    path: &'a [NodeId],
     hop: usize,
     rem: Time,
     hop_arrival: Time,
@@ -53,13 +53,13 @@ pub fn run_reference(
     assert_eq!(assignments.len(), instance.n());
     let tree = instance.tree();
     let speed = speeds.materialize(tree).expect("valid speeds");
-    let mut jobs: Vec<RJob> = assignments
+    let mut jobs: Vec<RJob<'_>> = assignments
         .iter()
         .enumerate()
         .map(|(id, &leaf)| {
             assert!(tree.is_leaf(leaf), "assignment must be a leaf");
             RJob {
-                path: instance.path_of(JobId(id as u32), leaf).to_vec(),
+                path: instance.path_of(JobId(id as u32), leaf),
                 hop: 0,
                 rem: 0.0,
                 hop_arrival: 0.0,
@@ -78,7 +78,7 @@ pub fn run_reference(
 
     // Fractional mass at `now`: sum over released unfinished jobs of
     // remaining-at-leaf fraction.
-    let frac_mass = |jobs: &[RJob]| -> f64 {
+    let frac_mass = |jobs: &[RJob<'_>]| -> f64 {
         jobs.iter()
             .enumerate()
             .filter(|(_, j)| j.released && !j.done)

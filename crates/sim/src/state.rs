@@ -7,6 +7,14 @@
 //! touched until the node's state changes, so the engine never pays
 //! `O(m)` per event.
 //!
+//! Job state is struct-of-arrays: scalar columns indexed by job id plus
+//! two CSR arenas (`q_pos`, `hop_finish`) spanned per job at admission.
+//! Paths are never copied — a job stores only its assigned leaf, and
+//! every path/hop lookup borrows the instance's precomputed per-leaf
+//! dispatch tables ([`Instance::path_of`], [`Instance::node_hops_of`]).
+//! Together with [`crate::scratch::SimScratch`] this makes a steady-state
+//! run allocation-free.
+//!
 //! The paper's queue notation maps onto this module as follows, for an
 //! algorithm `A` at time `t`:
 //!
@@ -20,74 +28,96 @@
 
 use crate::agg::{QueueAggregates, QueueKey};
 use crate::policy::{KeyCtx, NodePolicy, PolicyKey};
+use crate::scratch::SimScratch;
+use bct_core::instance::Setting;
 use bct_core::time::{approx_le, snap_nonneg};
-use bct_core::{ClassRounding, Instance, JobId, NodeId, Time};
+use bct_core::{ClassRounding, Instance, Job, JobId, NodeId, Time};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
+use std::mem;
 
-/// Per-job dynamic state.
-#[derive(Clone, Debug)]
-pub(crate) struct JobRun {
-    /// Root→leaf path (starting at the root-adjacent node). Empty until
-    /// the job is released and assigned.
-    pub path: Vec<NodeId>,
-    /// Index into `path` of the node the job currently needs; equals
-    /// `path.len()` once complete.
-    pub hop: usize,
+/// Sentinel leaf id marking a job as not yet released/assigned.
+const UNASSIGNED: NodeId = NodeId(u32::MAX);
+
+/// Struct-of-arrays job state: one column per scalar, indexed by job id,
+/// plus CSR arenas for the per-hop values. Shrinking `JobRun` from a
+/// struct of three Vecs to a row across these columns removed all
+/// per-admit allocations.
+#[derive(Debug, Default)]
+pub(crate) struct JobTable {
+    /// Assigned leaf; [`UNASSIGNED`] until admitted.
+    leaf: Vec<NodeId>,
+    /// Node of the current hop (valid while released and incomplete).
+    cur_node: Vec<NodeId>,
+    /// Index into the path of the node the job currently needs; equals
+    /// the path length once complete.
+    hop: Vec<u32>,
     /// Remaining work at the current hop, as of `rem_as_of`.
-    pub rem: Time,
+    rem: Vec<Time>,
     /// Timestamp at which `rem` was last materialized.
-    pub rem_as_of: Time,
-    /// True while the current hop's node is actively processing it.
-    pub working: bool,
+    rem_as_of: Vec<Time>,
+    /// True while the current hop's node is actively processing the job.
+    working: Vec<bool>,
     /// When the job became available at its current hop.
-    pub hop_arrival: Time,
-    /// Completion time, once finished at the leaf.
-    pub completion: Option<Time>,
-    /// Finish time at each hop, filled as the job advances.
-    pub hop_finishes: Vec<Time>,
-    /// Position of this job inside `q_members[path[h]]` for each hop
-    /// index `h` (kept in sync by swap-removal).
-    pub q_pos: Vec<u32>,
-    /// `(node, hop index)` pairs of `path`, sorted by node — maps a node
-    /// to the job's hop there in `O(log depth)`.
-    pub node_hop: Vec<(NodeId, u32)>,
+    hop_arrival: Vec<Time>,
+    /// Completion time; `+∞` until finished at the leaf.
+    completion: Vec<Time>,
+    /// Release times copied from the instance (hot in queue keys; one
+    /// cache line of column beats a pointer chase into `Job`).
+    release: Vec<Time>,
+    /// Job sizes copied from the instance (identical-setting `p_{j,v}`).
+    size: Vec<Time>,
+    /// `(offset, len)` per job into the CSR arenas below, assigned at
+    /// admission; `len` equals the job's path length.
+    span: Vec<(u32, u32)>,
+    /// Position of the job inside `q_members[path[h]]` per hop `h`
+    /// (kept in sync by swap-removal).
+    q_pos: Vec<u32>,
+    /// Finish time per hop; `hop_finish[off + h]` is valid for `h < hop`.
+    hop_finish: Vec<Time>,
 }
 
-impl JobRun {
-    fn unreleased() -> JobRun {
-        JobRun {
-            path: Vec::new(),
-            hop: 0,
-            rem: 0.0,
-            rem_as_of: 0.0,
-            working: false,
-            hop_arrival: 0.0,
-            completion: None,
-            hop_finishes: Vec::new(),
-            q_pos: Vec::new(),
-            node_hop: Vec::new(),
-        }
+impl JobTable {
+    /// Size every column for `jobs`, clearing previous contents but
+    /// keeping capacity.
+    pub(crate) fn reset(&mut self, jobs: &[Job]) {
+        let n = jobs.len();
+        self.leaf.clear();
+        self.leaf.resize(n, UNASSIGNED);
+        self.cur_node.clear();
+        self.cur_node.resize(n, UNASSIGNED);
+        self.hop.clear();
+        self.hop.resize(n, 0);
+        self.rem.clear();
+        self.rem.resize(n, 0.0);
+        self.rem_as_of.clear();
+        self.rem_as_of.resize(n, 0.0);
+        self.working.clear();
+        self.working.resize(n, false);
+        self.hop_arrival.clear();
+        self.hop_arrival.resize(n, 0.0);
+        self.completion.clear();
+        self.completion.resize(n, f64::INFINITY);
+        self.release.clear();
+        self.release.extend(jobs.iter().map(|j| j.release));
+        self.size.clear();
+        self.size.extend(jobs.iter().map(|j| j.size));
+        self.span.clear();
+        self.span.resize(n, (0, 0));
+        self.q_pos.clear();
+        self.hop_finish.clear();
     }
 
-    /// The job's hop index at node `v`, if `v` is on its path.
     #[inline]
-    fn hop_at(&self, v: NodeId) -> Option<usize> {
-        self.node_hop
-            .binary_search_by_key(&v, |&(u, _)| u)
-            .ok()
-            .map(|i| self.node_hop[i].1 as usize)
+    fn released(&self, j: usize) -> bool {
+        self.leaf[j] != UNASSIGNED
     }
 
-    /// True once the job has been released and dispatched.
-    pub fn released(&self) -> bool {
-        !self.path.is_empty()
+    #[inline]
+    fn completed(&self, j: usize) -> bool {
+        self.completion[j].is_finite()
     }
 
-    /// True once the job finished at its leaf.
-    pub fn completed(&self) -> bool {
-        self.completion.is_some()
-    }
 }
 
 /// Per-node dynamic state.
@@ -116,6 +146,15 @@ impl NodeState {
             busy_since: 0.0,
         }
     }
+
+    /// Back to the initial state, keeping the heap's capacity.
+    fn reset(&mut self) {
+        self.heap.clear();
+        self.current = None;
+        self.version = 0;
+        self.busy = 0.0;
+        self.busy_since = 0.0;
+    }
 }
 
 /// The complete mutable simulation state.
@@ -124,7 +163,7 @@ pub struct SimState<'a> {
     pub(crate) speeds: Vec<f64>,
     pub(crate) now: Time,
     pub(crate) nodes: Vec<NodeState>,
-    pub(crate) jobs: Vec<JobRun>,
+    pub(crate) jobs: JobTable,
     /// `Q_v(t)` membership: `(job, hop index of v in the job's path)`.
     pub(crate) q_members: Vec<Vec<(JobId, u32)>>,
     /// Order-statistic aggregates over each `Q_v(t)`, keyed by SJF
@@ -134,6 +173,14 @@ pub struct SimState<'a> {
     /// sizes); dispatch policies with a matching configuration get
     /// `O(log)` scoring queries.
     pub(crate) rounding: Option<ClassRounding>,
+    /// Whether the aggregates are maintained this run. They only serve
+    /// [`SimView`]'s range queries, so when neither the assignment
+    /// policy nor the probe declares a need for them, every treap
+    /// update is skipped — outputs are bit-identical either way.
+    track_aggs: bool,
+    /// Identical-node setting: `p_{j,v} = p_j` everywhere, so the size
+    /// column answers every requirement lookup.
+    identical: bool,
     // --- exact objective accounting ---
     pub(crate) frac_sum: f64,
     pub(crate) frac_rate: f64,
@@ -144,21 +191,69 @@ pub struct SimState<'a> {
 }
 
 impl<'a> SimState<'a> {
+    /// Fresh state with owned buffers (unit-test convenience);
+    /// [`SimState::from_scratch`] is the reusable-buffer path.
+    #[cfg(test)]
     pub(crate) fn new(
         instance: &'a Instance,
         speeds: Vec<f64>,
         rounding: Option<ClassRounding>,
     ) -> SimState<'a> {
+        let mut scratch = SimScratch::new();
+        scratch.speeds = speeds;
+        SimState::from_scratch(instance, rounding, true, &mut scratch)
+    }
+
+    /// Build state for a run by *taking* the buffers out of `scratch`
+    /// and resetting them to fit `instance` — `clear()`/`resize()` only,
+    /// so a scratch warmed on the same topology shape reallocates
+    /// nothing. `scratch.speeds` must already hold the materialized
+    /// per-node speed table. [`SimState::release_into`] returns the
+    /// buffers when the run is over.
+    ///
+    /// `track_aggs` controls whether the per-node queue aggregates are
+    /// maintained; aggregates only serve the three [`SimView`] range
+    /// queries (they never influence the schedule itself), so runs
+    /// whose policies and probe declare they won't query can skip every
+    /// treap update without changing a single output bit.
+    pub(crate) fn from_scratch(
+        instance: &'a Instance,
+        rounding: Option<ClassRounding>,
+        track_aggs: bool,
+        scratch: &mut SimScratch,
+    ) -> SimState<'a> {
         let m = instance.tree().len();
+        let mut nodes = mem::take(&mut scratch.nodes);
+        nodes.truncate(m);
+        for ns in &mut nodes {
+            ns.reset();
+        }
+        while nodes.len() < m {
+            nodes.push(NodeState::new());
+        }
+        let mut q_members = mem::take(&mut scratch.q_members);
+        q_members.truncate(m);
+        for q in &mut q_members {
+            q.clear();
+        }
+        while q_members.len() < m {
+            q_members.push(Vec::new());
+        }
+        let mut aggs = mem::take(&mut scratch.aggs);
+        aggs.reset(m);
+        let mut jobs = mem::take(&mut scratch.jobs);
+        jobs.reset(instance.jobs());
         SimState {
             instance,
-            speeds,
+            speeds: mem::take(&mut scratch.speeds),
             now: 0.0,
-            nodes: (0..m).map(|_| NodeState::new()).collect(),
-            jobs: (0..instance.n()).map(|_| JobRun::unreleased()).collect(),
-            q_members: vec![Vec::new(); m],
-            aggs: QueueAggregates::new(m),
+            nodes,
+            jobs,
+            q_members,
+            aggs,
             rounding,
+            track_aggs,
+            identical: instance.setting() == Setting::Identical,
             frac_sum: 0.0,
             frac_rate: 0.0,
             frac_integral: 0.0,
@@ -166,6 +261,15 @@ impl<'a> SimState<'a> {
             unfinished: 0,
             completed: 0,
         }
+    }
+
+    /// Hand every buffer back to `scratch` for the next run.
+    pub(crate) fn release_into(self, scratch: &mut SimScratch) {
+        scratch.nodes = self.nodes;
+        scratch.q_members = self.q_members;
+        scratch.aggs = self.aggs;
+        scratch.jobs = self.jobs;
+        scratch.speeds = self.speeds;
     }
 
     /// Advance the clock to `t`, integrating both objectives exactly
@@ -188,19 +292,56 @@ impl<'a> SimState<'a> {
         self.speeds[v.as_usize()]
     }
 
+    /// `p_{j,v}` through the identical-setting fast path (one column
+    /// load) or the instance's full lookup.
+    #[inline]
+    pub(crate) fn p_at(&self, j: JobId, v: NodeId) -> Time {
+        if self.identical {
+            self.jobs.size[j.as_usize()]
+        } else {
+            self.instance.p(j, v)
+        }
+    }
+
+    /// The job's processing path, borrowed from the instance's per-leaf
+    /// tables; empty until released.
+    #[inline]
+    pub(crate) fn path_of(&self, j: JobId) -> &'a [NodeId] {
+        let leaf = self.jobs.leaf[j.as_usize()];
+        if leaf == UNASSIGNED {
+            &[]
+        } else {
+            self.instance.path_of(j, leaf)
+        }
+    }
+
+    /// The job's hop index at node `v`, if `v` is on its path — a binary
+    /// search of the instance's node-sorted dispatch table.
+    #[inline]
+    fn hop_at(&self, j: JobId, v: NodeId) -> Option<usize> {
+        let leaf = self.jobs.leaf[j.as_usize()];
+        debug_assert!(leaf != UNASSIGNED);
+        let hops = self.instance.node_hops_of(j, leaf);
+        hops.binary_search_by_key(&v, |&(u, _)| u)
+            .ok()
+            .map(|i| hops[i].1 as usize)
+    }
+
     /// Bring the node's in-flight job's `rem` up to `now`, keeping the
     /// node's queue aggregate in sync.
     pub(crate) fn materialize_current(&mut self, v: NodeId) {
         if let Some((j, _)) = self.nodes[v.as_usize()].current {
             let s = self.speed(v);
-            let jr = &mut self.jobs[j.as_usize()];
-            debug_assert!(jr.working);
-            if self.now > jr.rem_as_of {
-                jr.rem = snap_nonneg(jr.rem - s * (self.now - jr.rem_as_of));
-                jr.rem_as_of = self.now;
-                let rem = jr.rem;
-                let key = self.queue_key(v, j);
-                self.aggs.set_rem(v.as_usize(), &key, rem);
+            let ji = j.as_usize();
+            debug_assert!(self.jobs.working[ji]);
+            if self.now > self.jobs.rem_as_of[ji] {
+                let rem = snap_nonneg(self.jobs.rem[ji] - s * (self.now - self.jobs.rem_as_of[ji]));
+                self.jobs.rem[ji] = rem;
+                self.jobs.rem_as_of[ji] = self.now;
+                if self.track_aggs {
+                    let key = self.queue_key(v, j);
+                    self.aggs.set_rem(v.as_usize(), &key, rem);
+                }
             }
         }
     }
@@ -210,58 +351,59 @@ impl<'a> SimState<'a> {
     /// tie-breaks — the exact order of `sjf_precedes_or_eq`.
     #[inline]
     pub(crate) fn queue_key(&self, v: NodeId, j: JobId) -> QueueKey {
-        let p = self.instance.p(j, v);
+        let p = self.p_at(j, v);
         QueueKey {
             eff: match &self.rounding {
                 Some(r) => f64::from(r.class_of(p)),
                 None => p,
             },
-            release: self.instance.job(j).release,
+            release: self.jobs.release[j.as_usize()],
             id: j.0,
         }
     }
 
     /// Live remaining work of job `j` at its current hop.
     pub(crate) fn live_rem(&self, j: JobId) -> Time {
-        let jr = &self.jobs[j.as_usize()];
-        if jr.working {
-            let v = jr.path[jr.hop];
-            snap_nonneg(jr.rem - self.speed(v) * (self.now - jr.rem_as_of))
+        let ji = j.as_usize();
+        if self.jobs.working[ji] {
+            let v = self.jobs.cur_node[ji];
+            snap_nonneg(self.jobs.rem[ji] - self.speed(v) * (self.now - self.jobs.rem_as_of[ji]))
         } else {
-            jr.rem
+            self.jobs.rem[ji]
         }
     }
 
-    /// Register a freshly released job: record its path and enter it
-    /// into `Q_v` for every hop. Does not enqueue it anywhere yet.
+    /// Register a freshly released job: record its leaf, span the CSR
+    /// arenas, and enter it into `Q_v` for every hop. Does not enqueue
+    /// it anywhere yet. Allocation-free once the arenas are warm.
     pub(crate) fn admit(&mut self, j: JobId, leaf: NodeId) {
-        let path = self.instance.path_of(j, leaf);
+        let inst = self.instance;
+        let path = inst.path_of(j, leaf);
         debug_assert!(!path.is_empty());
-        let jr = &mut self.jobs[j.as_usize()];
-        debug_assert!(!jr.released(), "job admitted twice");
-        jr.q_pos = Vec::with_capacity(path.len());
-        jr.node_hop = path
-            .iter()
-            .enumerate()
-            .map(|(h, &v)| (v, h as u32))
-            .collect();
-        jr.node_hop.sort_unstable_by_key(|&(v, _)| v);
+        let ji = j.as_usize();
+        debug_assert!(!self.jobs.released(ji), "job admitted twice");
+        let off = self.jobs.q_pos.len() as u32;
+        self.jobs.span[ji] = (off, path.len() as u32);
+        self.jobs.leaf[ji] = leaf;
         for (h, &v) in path.iter().enumerate() {
-            jr.q_pos.push(self.q_members[v.as_usize()].len() as u32);
+            self.jobs.q_pos.push(self.q_members[v.as_usize()].len() as u32);
             self.q_members[v.as_usize()].push((j, h as u32));
         }
-        for &v in path {
-            let key = self.queue_key(v, j);
-            self.aggs.insert(v.as_usize(), key, self.instance.p(j, v));
+        self.jobs
+            .hop_finish
+            .resize(self.jobs.hop_finish.len() + path.len(), 0.0);
+        if self.track_aggs {
+            for &v in path {
+                let key = self.queue_key(v, j);
+                self.aggs.insert(v.as_usize(), key, self.p_at(j, v));
+            }
         }
-        let jr = &mut self.jobs[j.as_usize()];
-        jr.hop = 0;
-        jr.rem = self.instance.p(j, path[0]);
-        jr.rem_as_of = self.now;
-        jr.hop_arrival = self.now;
-        jr.working = false;
-        jr.hop_finishes = Vec::with_capacity(path.len());
-        jr.path = path.to_vec();
+        self.jobs.hop[ji] = 0;
+        self.jobs.cur_node[ji] = path[0];
+        self.jobs.rem[ji] = self.p_at(j, path[0]);
+        self.jobs.rem_as_of[ji] = self.now;
+        self.jobs.hop_arrival[ji] = self.now;
+        self.jobs.working[ji] = false;
         self.frac_sum += 1.0;
         self.unfinished += 1;
     }
@@ -281,7 +423,7 @@ impl<'a> SimState<'a> {
                 // Recompute the incumbent's key on its live remaining so
                 // dynamic policies (SRPT) compare fairly.
                 self.materialize_current(v);
-                let cur_rem = self.jobs[cur.as_usize()].rem;
+                let cur_rem = self.jobs.rem[cur.as_usize()];
                 let cur_key = self.key_of(policy, v, cur, cur_rem);
                 self.nodes[vi].current = Some((cur, cur_key));
                 if key < cur_key {
@@ -304,7 +446,7 @@ impl<'a> SimState<'a> {
             job: j,
             now: self.now,
             remaining,
-            arrived_at_node: self.jobs[j.as_usize()].hop_arrival,
+            arrived_at_node: self.jobs.hop_arrival[j.as_usize()],
         })
     }
 
@@ -315,12 +457,12 @@ impl<'a> SimState<'a> {
         self.nodes[vi].current = Some((j, key));
         self.nodes[vi].version += 1;
         self.nodes[vi].busy_since = self.now;
-        let jr = &mut self.jobs[j.as_usize()];
-        debug_assert!(!jr.working && jr.path[jr.hop] == v);
-        jr.working = true;
-        jr.rem_as_of = self.now;
-        if self.instance.tree().is_leaf(v) {
-            self.frac_rate += self.speed(v) / self.instance.p(j, v);
+        let ji = j.as_usize();
+        debug_assert!(!self.jobs.working[ji] && self.jobs.cur_node[ji] == v);
+        self.jobs.working[ji] = true;
+        self.jobs.rem_as_of[ji] = self.now;
+        if self.instance.tree().leaf_index(v).is_some() {
+            self.frac_rate += self.speed(v) / self.p_at(j, v);
         }
     }
 
@@ -332,11 +474,11 @@ impl<'a> SimState<'a> {
         let (j, _) = self.nodes[vi].current.take().expect("stopping an idle node");
         self.nodes[vi].version += 1;
         self.nodes[vi].busy += self.now - self.nodes[vi].busy_since;
-        let jr = &mut self.jobs[j.as_usize()];
-        debug_assert!(jr.working);
-        jr.working = false;
-        if self.instance.tree().is_leaf(v) {
-            self.frac_rate = snap_nonneg(self.frac_rate - self.speed(v) / self.instance.p(j, v));
+        let ji = j.as_usize();
+        debug_assert!(self.jobs.working[ji]);
+        self.jobs.working[ji] = false;
+        if self.instance.tree().leaf_index(v).is_some() {
+            self.frac_rate = snap_nonneg(self.frac_rate - self.speed(v) / self.p_at(j, v));
         }
     }
 
@@ -344,28 +486,37 @@ impl<'a> SimState<'a> {
     /// afterwards either complete or waiting to be enqueued at the next
     /// hop by the caller.
     pub(crate) fn finish_current_hop(&mut self, v: NodeId) -> JobId {
-        self.materialize_current(v);
+        // Materialize the scalar columns only: the aggregate entry is
+        // removed below, and removal rebuilds ancestor sums from the
+        // surviving entries, so writing the (dead) entry's remainder
+        // first would be a wasted treap walk.
         let (j, _) = self.nodes[v.as_usize()].current.expect("finishing an idle node");
+        let ji = j.as_usize();
+        debug_assert!(self.jobs.working[ji]);
         debug_assert!(
-            self.jobs[j.as_usize()].rem < 1e-4,
+            snap_nonneg(self.jobs.rem[ji] - self.speed(v) * (self.now - self.jobs.rem_as_of[ji]))
+                < 1e-4,
             "finish fired with {} work left",
-            self.jobs[j.as_usize()].rem
+            snap_nonneg(self.jobs.rem[ji] - self.speed(v) * (self.now - self.jobs.rem_as_of[ji]))
         );
-        self.jobs[j.as_usize()].rem = 0.0;
+        self.jobs.rem[ji] = 0.0;
+        self.jobs.rem_as_of[ji] = self.now;
         self.stop_current(v);
         self.remove_from_q(v, j);
-        let jr = &mut self.jobs[j.as_usize()];
-        jr.hop_finishes.push(self.now);
-        jr.hop += 1;
-        if jr.hop == jr.path.len() {
-            jr.completion = Some(self.now);
+        let (off, len) = self.jobs.span[ji];
+        let hop = self.jobs.hop[ji] as usize;
+        self.jobs.hop_finish[off as usize + hop] = self.now;
+        self.jobs.hop[ji] = (hop + 1) as u32;
+        if hop + 1 == len as usize {
+            self.jobs.completion[ji] = self.now;
             self.unfinished -= 1;
             self.completed += 1;
         } else {
-            let next = jr.path[jr.hop];
-            jr.hop_arrival = self.now;
-            jr.rem = self.instance.p(j, next);
-            jr.rem_as_of = self.now;
+            let next = self.path_of(j)[hop + 1];
+            self.jobs.cur_node[ji] = next;
+            self.jobs.hop_arrival[ji] = self.now;
+            self.jobs.rem[ji] = self.p_at(j, next);
+            self.jobs.rem_as_of[ji] = self.now;
         }
         j
     }
@@ -386,30 +537,34 @@ impl<'a> SimState<'a> {
     /// Drop `j` from `Q_v` with position-tracked swap removal, and from
     /// the node's aggregate.
     fn remove_from_q(&mut self, v: NodeId, j: JobId) {
-        let jr = &self.jobs[j.as_usize()];
-        let h = jr.hop_at(v).expect("job routed through node");
-        let pos = jr.q_pos[h] as usize;
+        let ji = j.as_usize();
+        let h = self.hop_at(j, v).expect("job routed through node");
+        let off = self.jobs.span[ji].0 as usize;
+        let pos = self.jobs.q_pos[off + h] as usize;
         let q = &mut self.q_members[v.as_usize()];
         debug_assert_eq!(q[pos].0, j);
         q.swap_remove(pos);
         if pos < q.len() {
             let (moved, moved_hop) = q[pos];
-            self.jobs[moved.as_usize()].q_pos[moved_hop as usize] = pos as u32;
+            let moved_off = self.jobs.span[moved.as_usize()].0 as usize;
+            self.jobs.q_pos[moved_off + moved_hop as usize] = pos as u32;
         }
-        let key = self.queue_key(v, j);
-        self.aggs.remove(v.as_usize(), &key);
-        debug_assert_eq!(
-            self.aggs.totals(v.as_usize()).cnt as usize,
-            self.q_members[v.as_usize()].len(),
-            "aggregate and queue membership diverged at {v}"
-        );
+        if self.track_aggs {
+            let key = self.queue_key(v, j);
+            self.aggs.remove(v.as_usize(), &key);
+            debug_assert_eq!(
+                self.aggs.totals(v.as_usize()).cnt as usize,
+                self.q_members[v.as_usize()].len(),
+                "aggregate and queue membership diverged at {v}"
+            );
+        }
     }
 
     /// Predicted finish time of `v`'s current job at its speed.
     pub(crate) fn predicted_finish(&self, v: NodeId) -> Option<Time> {
         let (j, _) = self.nodes[v.as_usize()].current?;
-        let jr = &self.jobs[j.as_usize()];
-        Some(jr.rem_as_of + jr.rem / self.speed(v))
+        let ji = j.as_usize();
+        Some(self.jobs.rem_as_of[ji] + self.jobs.rem[ji] / self.speed(v))
     }
 
     /// Read-only view for policies and probes.
@@ -424,7 +579,9 @@ impl<'a> SimState<'a> {
 
     /// Hop finish times recorded for a job so far.
     pub(crate) fn hop_finishes_of(&self, j: JobId) -> &[Time] {
-        &self.jobs[j.as_usize()].hop_finishes
+        let ji = j.as_usize();
+        let off = self.jobs.span[ji].0 as usize;
+        &self.jobs.hop_finish[off..off + self.jobs.hop[ji] as usize]
     }
 
     /// Accumulated fractional-flow integral.
@@ -437,18 +594,17 @@ impl<'a> SimState<'a> {
         self.count_integral
     }
 
-    /// Busy time per node, counting in-progress stretches up to `now`.
-    pub(crate) fn node_busy(&self) -> Vec<Time> {
-        self.nodes
-            .iter()
-            .map(|ns| {
-                if ns.current.is_some() {
-                    ns.busy + (self.now - ns.busy_since)
-                } else {
-                    ns.busy
-                }
-            })
-            .collect()
+    /// Busy time per node into `out` (cleared first), counting
+    /// in-progress stretches up to `now`.
+    pub(crate) fn node_busy_into(&self, out: &mut Vec<Time>) {
+        out.clear();
+        out.extend(self.nodes.iter().map(|ns| {
+            if ns.current.is_some() {
+                ns.busy + (self.now - ns.busy_since)
+            } else {
+                ns.busy
+            }
+        }));
     }
 }
 
@@ -495,39 +651,41 @@ impl<'s> SimView<'s> {
     /// is at `v`, and 0 if it already finished there (or isn't routed
     /// through `v` / isn't released).
     pub fn remaining_at(&self, j: JobId, v: NodeId) -> Time {
-        let jr = &self.state.jobs[j.as_usize()];
-        if !jr.released() {
+        let ji = j.as_usize();
+        if !self.state.jobs.released(ji) {
             return 0.0;
         }
-        match jr.hop_at(v) {
+        let hop = self.state.jobs.hop[ji] as usize;
+        match self.state.hop_at(j, v) {
             None => 0.0,
-            Some(h) if h < jr.hop => 0.0,
-            Some(h) if h == jr.hop => self.state.live_rem(j),
-            Some(_) => self.state.instance.p(j, v),
+            Some(h) if h < hop => 0.0,
+            Some(h) if h == hop => self.state.live_rem(j),
+            Some(_) => self.state.p_at(j, v),
         }
     }
 
     /// The leaf `j` was dispatched to, if released.
     pub fn assigned_leaf(&self, j: JobId) -> Option<NodeId> {
-        let jr = &self.state.jobs[j.as_usize()];
-        jr.path.last().copied()
+        let leaf = self.state.jobs.leaf[j.as_usize()];
+        (leaf != UNASSIGNED).then_some(leaf)
     }
 
-    /// The job's root→leaf path (empty if unreleased).
+    /// The job's root→leaf path (empty if unreleased), borrowed from the
+    /// instance's per-leaf path tables.
     pub fn path(&self, j: JobId) -> &'s [NodeId] {
-        &self.state.jobs[j.as_usize()].path
+        self.state.path_of(j)
     }
 
     /// Index of the hop the job currently needs (== path len if done).
     pub fn hop(&self, j: JobId) -> usize {
-        self.state.jobs[j.as_usize()].hop
+        self.state.jobs.hop[j.as_usize()] as usize
     }
 
     /// The node the job is currently available at, if in flight.
     pub fn current_node_of(&self, j: JobId) -> Option<NodeId> {
-        let jr = &self.state.jobs[j.as_usize()];
-        if jr.released() && !jr.completed() {
-            Some(jr.path[jr.hop])
+        let ji = j.as_usize();
+        if self.state.jobs.released(ji) && !self.state.jobs.completed(ji) {
+            Some(self.state.jobs.cur_node[ji])
         } else {
             None
         }
@@ -535,17 +693,18 @@ impl<'s> SimView<'s> {
 
     /// When the job became available at its current hop.
     pub fn hop_arrival(&self, j: JobId) -> Time {
-        self.state.jobs[j.as_usize()].hop_arrival
+        self.state.jobs.hop_arrival[j.as_usize()]
     }
 
     /// True once released and dispatched.
     pub fn released(&self, j: JobId) -> bool {
-        self.state.jobs[j.as_usize()].released()
+        self.state.jobs.released(j.as_usize())
     }
 
     /// Completion time, if finished.
     pub fn completion(&self, j: JobId) -> Option<Time> {
-        self.state.jobs[j.as_usize()].completion
+        let c = self.state.jobs.completion[j.as_usize()];
+        c.is_finite().then_some(c)
     }
 
     /// The job a node is processing right now.
@@ -586,17 +745,30 @@ impl<'s> SimView<'s> {
         self.state.rounding
     }
 
+    /// The aggregate queries below are only valid when the run is
+    /// maintaining aggregates; a policy/probe that queries despite
+    /// declaring `needs_aggregates() == false` is a contract bug, and
+    /// silently returning empty-treap answers would corrupt schedules.
+    #[inline]
+    fn assert_aggs(&self) {
+        assert!(
+            self.state.track_aggs,
+            "aggregate query on a run whose policies declared needs_aggregates() == false"
+        );
+    }
+
     /// `Σ p^A_{i,v}(t)` over queued jobs `i` whose SJF key
     /// `(eff, release, id)` is strictly before the probe key — the
     /// higher-priority volume a job with that key would wait behind at
     /// `v`. A queued job with the probe's exact id is excluded.
     pub fn volume_before(&self, v: NodeId, eff: f64, release: Time, id: u32) -> Time {
+        self.assert_aggs();
         let bound = QueueKey { eff, release, id };
         let vi = v.as_usize();
         let mut sum = self.state.aggs.before(vi, &bound).sum_rem;
         if let Some((c, _)) = self.state.nodes[vi].current {
             if self.state.queue_key(v, c).cmp(&bound) == Ordering::Less {
-                let stored = self.state.jobs[c.as_usize()].rem;
+                let stored = self.state.jobs.rem[c.as_usize()];
                 sum += self.state.live_rem(c) - stored;
             }
         }
@@ -606,18 +778,20 @@ impl<'s> SimView<'s> {
     /// `|{i ∈ Q_v(t) : eff_i > eff}|` — queued jobs of strictly larger
     /// effective size.
     pub fn count_larger(&self, v: NodeId, eff: f64) -> usize {
+        self.assert_aggs();
         self.state.aggs.above_eff(v.as_usize(), eff).cnt as usize
     }
 
     /// `Σ p^A_{i,v}(t)/p_{i,v}` over queued jobs of strictly larger
     /// effective size — the fractional analogue of [`Self::count_larger`].
     pub fn frac_volume_larger(&self, v: NodeId, eff: f64) -> f64 {
+        self.assert_aggs();
         let vi = v.as_usize();
         let mut sum = self.state.aggs.above_eff(vi, eff).sum_frac;
         if let Some((c, _)) = self.state.nodes[vi].current {
             if self.state.queue_key(v, c).eff > eff {
-                let stored = self.state.jobs[c.as_usize()].rem;
-                sum += (self.state.live_rem(c) - stored) / self.state.instance.p(c, v);
+                let stored = self.state.jobs.rem[c.as_usize()];
+                sum += (self.state.live_rem(c) - stored) / self.state.p_at(c, v);
             }
         }
         sum
@@ -759,5 +933,27 @@ mod tests {
         st.admit(JobId(1), NodeId(2));
         st.enqueue(NodeId(1), JobId(1), &SizeOrder);
         assert!(st.node_version(NodeId(1)) > v1, "preemption bumps twice");
+    }
+
+    #[test]
+    fn scratch_round_trip_resets_cleanly() {
+        let inst = fixture();
+        let mut scratch = SimScratch::new();
+        scratch.speeds = vec![1.0; inst.tree().len()];
+        let mut st = SimState::from_scratch(&inst, None, true, &mut scratch);
+        st.admit(JobId(0), NodeId(2));
+        st.enqueue(NodeId(1), JobId(0), &SizeOrder);
+        st.advance(4.0);
+        st.finish_current_hop(NodeId(1));
+        st.release_into(&mut scratch);
+        // A state rebuilt from the used scratch starts pristine.
+        scratch.speeds = vec![1.0; inst.tree().len()];
+        let st2 = SimState::from_scratch(&inst, None, true, &mut scratch);
+        assert_eq!(st2.now, 0.0);
+        assert_eq!(st2.view().q_len(NodeId(1)), 0);
+        assert!(!st2.view().released(JobId(0)));
+        assert_eq!(st2.view().completion(JobId(0)), None);
+        assert_eq!(st2.view().unfinished(), 0);
+        assert_eq!(st2.node_version(NodeId(1)), 0);
     }
 }

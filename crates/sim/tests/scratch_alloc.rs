@@ -1,0 +1,161 @@
+//! The zero-allocation contract of `Simulation::run_with_scratch`:
+//! once a `SimScratch` has been warmed by one run over a topology
+//! shape (and the outcome recycled), the next run must not touch the
+//! global allocator at all — and must produce byte-identical results
+//! to a fresh-buffer run.
+//!
+//! This lives in its own integration binary with exactly one `#[test]`
+//! so the counting global allocator sees no interference from parallel
+//! tests in the same process.
+
+use bct_core::tree::TreeBuilder;
+use bct_core::{Instance, Job, JobId, NodeId};
+use bct_sim::policy::NoProbe;
+use bct_sim::{
+    AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, SimConfig, SimScratch, SimView, Simulation,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED.fetch_add(new_size.saturating_sub(layout.size()) as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// SJF on original size — the paper's node rule.
+struct Sjf;
+
+impl NodePolicy for Sjf {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+    fn key(&self, ctx: &KeyCtx<'_>) -> PolicyKey {
+        let p = ctx.instance.p(ctx.job, ctx.node);
+        let r = ctx.instance.job(ctx.job).release;
+        PolicyKey::new(p, r, ctx.job.0)
+    }
+}
+
+/// Cycle through the leaves.
+struct RoundRobin {
+    leaves: Vec<NodeId>,
+    next: usize,
+}
+
+impl AssignmentPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+    fn assign(&mut self, _view: &SimView<'_>, _job: JobId) -> NodeId {
+        let leaf = self.leaves[self.next % self.leaves.len()];
+        self.next += 1;
+        leaf
+    }
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
+}
+
+/// 8 routers x 8 leaves under the root, 2000 jobs with staggered
+/// releases and power-of-two sizes — enough traffic to exercise
+/// preemption, treap churn, and multi-hop queues.
+fn fixture() -> Instance {
+    let mut b = TreeBuilder::new();
+    for _ in 0..8 {
+        let r = b.add_child(NodeId::ROOT);
+        for _ in 0..8 {
+            b.add_child(r);
+        }
+    }
+    let tree = b.build().unwrap();
+    let jobs: Vec<Job> = (0..2000u32)
+        .map(|i| {
+            // Deterministic pseudo-random sizes/gaps from a splitmix walk.
+            let mut z = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z ^= z >> 31;
+            let size = [1.0, 2.0, 4.0, 8.0][(z % 4) as usize];
+            let release = i as f64 * 0.11;
+            Job::identical(i, release, size)
+        })
+        .collect();
+    Instance::new(tree, jobs).unwrap()
+}
+
+fn leaves(inst: &Instance) -> Vec<NodeId> {
+    inst.tree().leaves().to_vec()
+}
+
+#[test]
+fn second_scratch_run_allocates_nothing_and_matches_fresh() {
+    let inst = fixture();
+    let cfg = SimConfig::unit();
+
+    // Fresh-buffer baseline.
+    let fresh = Simulation::run(
+        &inst,
+        &Sjf,
+        &mut RoundRobin { leaves: leaves(&inst), next: 0 },
+        &mut NoProbe,
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(fresh.unfinished, 0);
+    let fresh_json = serde_json::to_string(&fresh).unwrap();
+
+    // Run 1 warms the scratch; recycling the outcome returns its
+    // buffers to the pool.
+    let mut scratch = SimScratch::new();
+    let warm = Simulation::run_with_scratch(
+        &mut scratch,
+        &inst,
+        &Sjf,
+        &mut RoundRobin { leaves: leaves(&inst), next: 0 },
+        &mut NoProbe,
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(
+        serde_json::to_string(&warm).unwrap(),
+        fresh_json,
+        "scratch-backed run diverged from fresh buffers"
+    );
+    scratch.recycle(warm);
+
+    // Run 2 on the warm scratch: zero heap allocations, same bytes out.
+    // (The policy is built outside the measured region — its leaf list
+    // is its own allocation, not the simulator's.)
+    let mut rr = RoundRobin { leaves: leaves(&inst), next: 0 };
+    let before = ALLOCATED.load(Ordering::SeqCst);
+    let steady =
+        Simulation::run_with_scratch(&mut scratch, &inst, &Sjf, &mut rr, &mut NoProbe, &cfg)
+            .unwrap();
+    let allocated = ALLOCATED.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        allocated, 0,
+        "steady-state run on a warm scratch allocated {allocated} bytes"
+    );
+    assert_eq!(
+        serde_json::to_string(&steady).unwrap(),
+        fresh_json,
+        "steady-state run diverged from fresh buffers"
+    );
+}
