@@ -6,7 +6,18 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q --workspace
-cargo clippy --all-targets -- -D warnings
+
+# Determinism/zero-alloc contract lint: fails on any unbaselined
+# violation (see DESIGN.md §11). Runs before clippy so contract breaks
+# surface with bct-lint's spans, not clippy's generic diagnostics.
+cargo run -q --release -p bct-lint -- --machine target/LINT.json
+
+# float_cmp and unwrap_used stay advisory under -D warnings (force-warn
+# outranks the blanket deny): each production site is already audited
+# with a justification by bct-lint's d3/p1 rules, which are the
+# enforced gate above.
+cargo clippy --all-targets -- -D warnings \
+    --force-warn clippy::float-cmp --force-warn clippy::unwrap-used
 
 # Golden sweep: a 2-worker run must reproduce the checked-in JSONL byte
 # for byte (the harness's determinism contract, end to end through the

@@ -77,6 +77,7 @@ pub fn e11_engine_scaling(scale: Scale) -> Table {
             node: NodePolicyKind::Sjf,
             assign: AssignKind::GreedyIdentical(0.5),
         };
+        // bct-lint: allow(d2) -- E11 reports wall-clock throughput in a display table; no simulated output depends on it
         let t0 = Instant::now();
         let out = combo.run(&inst, &SpeedProfile::Uniform(1.5)).unwrap();
         let wall = t0.elapsed().as_secs_f64();

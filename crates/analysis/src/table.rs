@@ -92,6 +92,7 @@ impl fmt::Display for Table {
 
 /// Format a float to a fixed number of significant-looking decimals.
 pub fn num(x: f64) -> String {
+    // bct-lint: allow(d3) -- exact-zero display check: formats `0` instead of `0.0e0`; no tolerance is wanted
     if x == 0.0 {
         "0".into()
     } else if x.abs() >= 1000.0 {

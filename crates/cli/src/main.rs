@@ -7,7 +7,7 @@
 //!                 [--policy sjf+greedy:0.5] [--speeds uniform:1.5] [--seed 1]
 //!                 [--unrelated uniform-factor:0.5,2]
 //! bct sweep       --spec specs/golden_sweep.json [--workers 4]
-//!                 [--out rows.jsonl] [--quiet]
+//!                 [--out rows.jsonl] [--summary-out summary.json] [--quiet]
 //! bct sweep       --topo fat-tree:3,2,2 --speeds-list 1,1.5,2
 //!                 [--policies sjf+greedy:0.5,sjf+closest,fifo+greedy:0.5]
 //! bct bound       --topo star:2,2 --jobs 4 [--lp-steps 24]
@@ -76,7 +76,8 @@ fn usage() -> String {
      run          simulate one policy on one workload; print flow statistics\n  \
      sweep        with --spec FILE: parallel sweep over a declarative grid\n               \
      (topologies × workloads × policies × speeds × replications) with\n               \
-     [--workers N] [--out rows.jsonl] [--quiet]; exits 3 if cells failed.\n               \
+     [--workers N] [--out rows.jsonl] [--summary-out FILE] [--quiet];\n               \
+     exits 3 if cells failed.\n               \
      without --spec: inline policies × speeds table on one workload\n  \
      bound        OPT lower bounds (LP-certified + combinatorial)\n  \
      verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
@@ -293,6 +294,11 @@ fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
         workers,
     );
     println!("rows written to {out_path}");
+    if let Some(summary_path) = opts.try_get("summary-out") {
+        std::fs::write(&summary_path, report.agg.summary_json())
+            .map_err(|e| format!("writing {summary_path}: {e}"))?;
+        println!("summary written to {summary_path}");
+    }
     println!("\n{}", report.agg.render());
     if !report.all_ok() {
         for row in &report.rows {

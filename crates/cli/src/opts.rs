@@ -57,6 +57,11 @@ impl Opts {
         self.flags.contains_key(key)
     }
 
+    /// String flag without a default (`None` when absent).
+    pub fn try_get(&self, key: &str) -> Option<String> {
+        self.flags.get(key).cloned()
+    }
+
     /// Comma-separated list flag.
     pub fn get_list(&self, key: &str, default: &str) -> Vec<String> {
         self.get(key, default)

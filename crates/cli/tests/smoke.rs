@@ -90,6 +90,37 @@ fn sweep_spec_writes_deterministic_jsonl() {
 }
 
 #[test]
+fn sweep_summary_out_writes_deterministic_json() {
+    let spec = write_spec("summary.json", TINY_SPEC);
+    let rows = tmp("summary_rows.jsonl");
+    let sum1 = tmp("summary1.json");
+    let sum2 = tmp("summary2.json");
+    for sum in [&sum1, &sum2] {
+        let out = bct(&[
+            "sweep", "--spec", spec.to_str().unwrap(), "--out", rows.to_str().unwrap(),
+            "--summary-out", sum.to_str().unwrap(), "--quiet",
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("summary written to"), "stdout: {stdout}");
+    }
+    let json1 = std::fs::read_to_string(&sum1).unwrap();
+    let json2 = std::fs::read_to_string(&sum2).unwrap();
+    assert_eq!(json1, json2, "summary JSON is not run-to-run deterministic");
+    assert!(json1.contains("\"tool\":\"bct-harness\""), "{json1}");
+    assert!(json1.contains("\"by_policy\""), "{json1}");
+    assert!(json1.contains("\"fifo+closest\""), "{json1}");
+    for path in [&spec, &rows, &sum1, &sum2] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
 fn sweep_with_failing_cells_exits_3() {
     let spec = write_spec(
         "chaos.json",

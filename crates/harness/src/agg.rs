@@ -115,6 +115,11 @@ impl Scalar {
     pub fn count(&self) -> u64 {
         self.n
     }
+
+    /// Minimum observation (`0` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 { 0.0 } else { self.min }
+    }
 }
 
 /// Per-policy accumulators.
@@ -199,6 +204,83 @@ impl StreamingAgg {
         out.push_str(&fmt_group("TOTAL", &self.overall));
         out
     }
+
+    /// Machine-readable summary: the same statistics as [`render`],
+    /// as one JSON object. Emission is deterministic — groups iterate
+    /// in `BTreeMap` key order, fields in a fixed order, and floats
+    /// print via Rust's shortest-roundtrip `Display` — so two
+    /// aggregations over the same rows produce identical bytes.
+    ///
+    /// [`render`]: StreamingAgg::render
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\"tool\":\"bct-harness\",\"version\":1,\"overall\":");
+        out.push_str(&group_json(&self.overall));
+        out.push_str(",\"by_policy\":{");
+        for (i, (policy, g)) in self.by_policy.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", escape_json(policy), group_json(g)));
+        }
+        out.push_str("}}\n");
+        out
+    }
+}
+
+/// One group as a JSON object with a fixed field order.
+fn group_json(g: &GroupStats) -> String {
+    let scalar = |s: &Scalar| {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{}}}",
+            s.count(),
+            json_num(s.mean()),
+            json_num(s.min()),
+            json_num(s.max())
+        )
+    };
+    let quants = |h: &Histogram| {
+        format!(
+            "{{\"p50\":{},\"p95\":{},\"p99\":{}}}",
+            json_opt(h.quantile(0.50)),
+            json_opt(h.quantile(0.95)),
+            json_opt(h.quantile(0.99))
+        )
+    };
+    format!(
+        "{{\"cells\":{},\"failed\":{},\"mean_flow\":{},\"max_flow\":{},\"ratio\":{},\"flow_quantiles\":{},\"ratio_quantiles\":{}}}",
+        g.cells,
+        g.failed,
+        scalar(&g.mean_flow),
+        scalar(&g.max_flow),
+        scalar(&g.ratio),
+        quants(&g.flow_hist),
+        quants(&g.ratio_hist)
+    )
+}
+
+/// A float as a JSON number; non-finite values become `null` rather
+/// than invalid JSON.
+fn json_num(v: f64) -> String {
+    if v.is_finite() { format!("{v}") } else { "null".into() }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map(json_num).unwrap_or_else(|| "null".into())
+}
+
+/// Minimal JSON string escaping for policy labels.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -272,5 +354,61 @@ mod tests {
         assert_eq!(agg.by_policy["sjf+greedy"].mean_flow.count(), 1);
         let rendered = agg.render();
         assert!(rendered.contains("sjf+greedy") && rendered.contains("TOTAL"));
+    }
+
+    #[test]
+    fn summary_json_is_deterministic_and_well_formed() {
+        let build = |order_swapped: bool| {
+            let mut agg = StreamingAgg::default();
+            let rows = [row("sjf+greedy", 4.0, 1.5), row("sjf+closest", 9.0, 2.5)];
+            if order_swapped {
+                for r in rows.iter().rev() {
+                    agg.observe(r);
+                }
+            } else {
+                for r in &rows {
+                    agg.observe(r);
+                }
+            }
+            agg.summary_json()
+        };
+        let a = build(false);
+        let b = build(true);
+        assert_eq!(a, b, "summary bytes must not depend on observation order");
+        // Keys come out sorted (BTreeMap order).
+        assert!(a.find("sjf+closest").unwrap() < a.find("sjf+greedy").unwrap());
+        // Parses under the workspace JSON parser.
+        let parsed: serde::Value = serde_json::from_str(&a).expect("valid JSON");
+        let overall = parsed.get("overall").expect("overall");
+        assert_eq!(overall.get("cells"), Some(&serde::Value::Int(2)));
+        let flow = overall.get("mean_flow").expect("mean_flow");
+        assert_eq!(flow.get("count"), Some(&serde::Value::Int(2)));
+        let p50 = overall.get("flow_quantiles").and_then(|q| q.get("p50"));
+        assert!(matches!(p50, Some(serde::Value::Float(v)) if *v > 0.0), "{p50:?}");
+    }
+
+    #[test]
+    fn summary_json_handles_empty_and_failed_groups() {
+        let empty = StreamingAgg::default().summary_json();
+        let parsed: serde::Value = serde_json::from_str(&empty).expect("valid JSON");
+        let p50 = parsed
+            .get("overall")
+            .and_then(|o| o.get("flow_quantiles"))
+            .and_then(|q| q.get("p50"));
+        assert_eq!(p50, Some(&serde::Value::Null));
+
+        let mut agg = StreamingAgg::default();
+        let mut failed = row("chaos", 0.0, 0.0);
+        failed.outcome = RowOutcome::Failed { panic_msg: "boom".into() };
+        agg.observe(&failed);
+        let parsed: serde::Value =
+            serde_json::from_str(&agg.summary_json()).expect("valid JSON");
+        let chaos = parsed
+            .get("by_policy")
+            .and_then(|m| m.get("chaos"))
+            .expect("chaos group");
+        assert_eq!(chaos.get("failed"), Some(&serde::Value::Int(1)));
+        let p99 = chaos.get("ratio_quantiles").and_then(|q| q.get("p99"));
+        assert_eq!(p99, Some(&serde::Value::Null));
     }
 }

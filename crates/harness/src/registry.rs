@@ -128,6 +128,7 @@ impl AssignmentPolicy for ChaosPolicy {
     }
 
     fn assign(&mut self, _view: &SimView<'_>, job: JobId) -> NodeId {
+        // bct-lint: allow(p1) -- the chaos policy exists to inject faults; the pool's catch_unwind is the system under test
         panic!("chaos policy: deliberate fault at job {}", job.as_usize());
     }
 }
@@ -180,6 +181,7 @@ impl PolicyCombo {
 
     /// Total flow time of a run (panics on unfinished jobs).
     pub fn total_flow(&self, inst: &Instance, speeds: &SpeedProfile) -> Time {
+        // bct-lint: allow(p1) -- documented panic: experiment convenience wrapper, not on the sweep path
         let out = self.run(inst, speeds).expect("run failed");
         let releases: Vec<Time> = inst.jobs().iter().map(|j| j.release).collect();
         out.total_flow(&releases)

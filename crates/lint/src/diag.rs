@@ -1,0 +1,180 @@
+//! Diagnostics: violation records, rule metadata, and rendering
+//! (human text and hand-rolled machine JSON — this crate is
+//! dependency-free by design).
+
+use std::fmt::Write as _;
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id (`d1`, `d2`, `d3`, `a1`, `p1`, `l1`).
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+    /// How to fix or suppress it.
+    pub help: &'static str,
+}
+
+/// Static description of a rule, used by `--help` and the docs test.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// Every rule the engine ships.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "d1",
+        summary: "no HashMap/HashSet in deterministic-output crates (default-hasher iteration order)",
+    },
+    RuleInfo {
+        id: "d2",
+        summary: "no Instant::now/SystemTime outside bct-bench/bct-cli (wall-clock reads)",
+    },
+    RuleInfo {
+        id: "d3",
+        summary: "no ==/!= against float literals outside bct_core::time (use approx_eq)",
+    },
+    RuleInfo {
+        id: "a1",
+        summary: "no allocating calls inside functions marked `// bct-lint: no_alloc`",
+    },
+    RuleInfo {
+        id: "p1",
+        summary: "unwrap/expect/panic! in non-test bct-sim/bct-harness code needs a justified allow",
+    },
+    RuleInfo {
+        id: "l1",
+        summary: "bct-lint directives themselves must be well-formed and justified",
+    },
+];
+
+/// Sort key: by file, then position, then rule — so output order is
+/// deterministic regardless of walk or check order.
+pub fn sort_violations(vs: &mut [Violation]) {
+    vs.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Human-readable rendering, one block per violation.
+pub fn render_text(vs: &[Violation]) -> String {
+    let mut out = String::new();
+    for v in vs {
+        let _ = writeln!(out, "{}:{}:{}: [{}] {}", v.file, v.line, v.col, v.rule, v.message);
+        let _ = writeln!(out, "    help: {}", v.help);
+    }
+    out
+}
+
+/// Machine JSON report. Field order is fixed and arrays are emitted in
+/// the (already sorted) input order, so the bytes are deterministic.
+pub fn render_machine(vs: &[Violation], files_scanned: usize, allows_used: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"tool\":\"bct-lint\",\"version\":1,");
+    let _ = write!(out, "\"files_scanned\":{files_scanned},");
+    let _ = write!(out, "\"allows_used\":{allows_used},");
+
+    // Per-rule counts, in RULES order (stable).
+    out.push_str("\"counts\":{");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let n = vs.iter().filter(|v| v.rule == r.id).count();
+        let _ = write!(out, "\"{}\":{}", r.id, n);
+    }
+    out.push_str("},");
+
+    out.push_str("\"violations\":[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"}}",
+            escape_json(&v.file),
+            v.line,
+            v.col,
+            v.rule,
+            escape_json(&v.message),
+            escape_json(v.help),
+        );
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &'static str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule,
+            message: format!("test {rule}"),
+            help: "h",
+        }
+    }
+
+    #[test]
+    fn sorting_is_total_and_stable() {
+        let mut vs = vec![v("b.rs", 1, "d1"), v("a.rs", 9, "p1"), v("a.rs", 2, "d3")];
+        sort_violations(&mut vs);
+        let order: Vec<_> = vs.iter().map(|x| (x.file.as_str(), x.line)).collect();
+        assert_eq!(order, [("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]);
+    }
+
+    #[test]
+    fn machine_json_escapes_and_counts() {
+        let mut bad = v("a.rs", 1, "d1");
+        bad.message = "quote \" backslash \\ newline \n".to_string();
+        let json = render_machine(&[bad], 3, 2);
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\"d1\":1"));
+        assert!(json.contains("\"p1\":0"));
+        assert!(json.contains("\"files_scanned\":3"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn text_rendering_has_clickable_spans() {
+        let out = render_text(&[v("crates/sim/src/engine.rs", 7, "p1")]);
+        assert!(out.starts_with("crates/sim/src/engine.rs:7:1: [p1]"));
+        assert!(out.contains("help:"));
+    }
+}

@@ -1,0 +1,582 @@
+//! A small Rust-token lexer, exactly deep enough for span-accurate
+//! source linting.
+//!
+//! The lexer understands everything that can *hide* a token from a
+//! naive substring scan — line and (nested) block comments, string and
+//! byte-string literals, raw strings with any number of `#` guards,
+//! raw identifiers, character literals vs. lifetimes — so rules that
+//! match identifiers see only real code. Comments are not discarded:
+//! `// bct-lint: …` directives are parsed into [`Directive`]s as they
+//! stream past.
+//!
+//! It does **not** build an AST. Rules pattern-match short token
+//! sequences (`Ident("HashMap")`, `.` + `unwrap`, `==` next to a float
+//! literal), which is precise enough for the repo's contracts and keeps
+//! the crate dependency-free.
+
+/// What a token is, as far as the rules care.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#match`, …).
+    Ident,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e9`, `3f64`, `1.`).
+    Float,
+    /// String or byte-string literal, raw or not.
+    Str,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char only for `==`, `!=`, and `::`.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokKind,
+    /// Byte range in the source.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in characters) of the first byte.
+    pub col: u32,
+}
+
+/// A parsed `// bct-lint: …` comment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `allow(<rules>) -- <justification>`: suppress the named rules on
+    /// this line and the next.
+    Allow {
+        /// Lower-cased rule ids named in the parentheses.
+        rules: Vec<String>,
+        /// Text after `--`; empty means the allow is malformed.
+        justification: String,
+    },
+    /// `no_alloc`: the next `fn` body must not contain allocating calls
+    /// (rule A1).
+    NoAlloc,
+    /// Unrecognized directive body (reported as a lint error — a typo
+    /// here would silently disable a suppression).
+    Unknown(String),
+}
+
+/// A directive plus where it sits.
+#[derive(Clone, Debug)]
+pub struct Directive {
+    /// Parsed form.
+    pub kind: DirectiveKind,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment opener.
+    pub col: u32,
+}
+
+/// Lexer output: the token stream plus any lint directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `bct-lint:` directives in source order.
+    pub directives: Vec<Directive>,
+}
+
+/// The directive marker inside a line comment.
+const MARKER: &str = "bct-lint:";
+
+/// Lex `src` completely. Never fails: unterminated constructs consume
+/// to end-of-file, which is the useful behavior for a linter (the
+/// compiler will produce the real error).
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Lexed {
+        while self.pos < self.bytes.len() {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            let c = self.cur_char();
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_byte(1) == Some(b'/') => self.line_comment(line, col),
+                '/' if self.peek_byte(1) == Some(b'*') => self.block_comment(),
+                '"' => {
+                    self.string(false, 0);
+                    self.push(TokKind::Str, start, line, col);
+                }
+                '\'' => self.char_or_lifetime(start, line, col),
+                'r' | 'b' if self.raw_or_byte_prefix() => {
+                    // One of r"…", r#"…"#, b"…", br#"…"#, b'…', or a raw
+                    // identifier r#ident — dispatched by the helper.
+                    self.lex_prefixed(start, line, col);
+                }
+                c if is_ident_start(c) => {
+                    self.ident();
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                c if c.is_ascii_digit() => {
+                    let kind = self.number();
+                    self.push(kind, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    // Two-char tokens the rules match on.
+                    let two = matches!(
+                        (c, self.peek_byte(0)),
+                        ('=', Some(b'=')) | ('!', Some(b'=')) | (':', Some(b':'))
+                    );
+                    if two {
+                        self.bump();
+                    }
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    // --- character access -------------------------------------------------
+
+    fn cur_char(&self) -> char {
+        self.src[self.pos..].chars().next().unwrap_or('\0')
+    }
+
+    fn peek_byte(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one character, tracking line/col.
+    fn bump(&mut self) {
+        let c = self.cur_char();
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, start, end: self.pos, line, col });
+    }
+
+    // --- comments ---------------------------------------------------------
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.bump();
+        }
+        let text = &self.src[start..self.pos];
+        // `// bct-lint: …` (also tolerated after `///` and `//!`).
+        let body = text.trim_start_matches(['/', '!']).trim_start();
+        if let Some(rest) = body.strip_prefix(MARKER) {
+            let kind = parse_directive(rest.trim());
+            self.out.directives.push(Directive { kind, line, col });
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Past the opening `/*`; block comments nest in Rust.
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek_byte(0) == Some(b'/') && self.peek_byte(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek_byte(0) == Some(b'*') && self.peek_byte(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    // --- literals ---------------------------------------------------------
+
+    /// String body, starting at the opening quote. In raw mode there
+    /// are no escapes and the closer is `"` followed by `hashes` `#`s.
+    fn string(&mut self, raw: bool, hashes: usize) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' if !raw => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump(); // the escaped character
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    if self.count_hashes() >= hashes {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Number of consecutive `#` at the cursor (not consumed).
+    fn count_hashes(&self) -> usize {
+        let mut n = 0;
+        while self.peek_byte(n) == Some(b'#') {
+            n += 1;
+        }
+        n
+    }
+
+    /// Does the cursor start one of the `r`/`b`-prefixed literal forms?
+    fn raw_or_byte_prefix(&self) -> bool {
+        let c = self.bytes[self.pos];
+        let rest = &self.bytes[self.pos + 1..];
+        match c {
+            b'r' => matches!(rest.first(), Some(b'"') | Some(b'#')),
+            b'b' => matches!(rest.first(), Some(b'"') | Some(b'\'') | Some(b'r')),
+            _ => false,
+        }
+    }
+
+    /// Lex a token starting with `r` or `b` that is not a plain
+    /// identifier: raw string, byte string, raw byte string, byte char,
+    /// or raw identifier.
+    fn lex_prefixed(&mut self, start: usize, line: u32, col: u32) {
+        // Consume the prefix letters (`r`, `b`, or `br`).
+        let byte_char = self.bytes[self.pos] == b'b' && self.peek_byte(1) == Some(b'\'');
+        let mut raw = self.bytes[self.pos] == b'r';
+        self.bump();
+        if byte_char {
+            self.char_literal();
+            self.push(TokKind::Char, start, line, col);
+            return;
+        }
+        if self.peek_byte(0) == Some(b'r') {
+            self.bump(); // `br` prefix
+            raw = true;
+        }
+        let hashes = self.count_hashes();
+        if hashes > 0 && self.peek_byte(hashes) != Some(b'"') {
+            // `r#ident`: a raw identifier, not a string.
+            for _ in 0..hashes {
+                self.bump();
+            }
+            self.ident();
+            self.push(TokKind::Ident, start, line, col);
+            return;
+        }
+        for _ in 0..hashes {
+            self.bump();
+        }
+        if self.peek_byte(0) == Some(b'"') {
+            self.string(raw, hashes);
+        }
+        self.push(TokKind::Str, start, line, col);
+    }
+
+    /// At a `'`: either a char literal or a lifetime/label.
+    fn char_or_lifetime(&mut self, start: usize, line: u32, col: u32) {
+        let mut chars = self.src[self.pos + 1..].chars();
+        let c1 = chars.next().unwrap_or('\0');
+        let c2 = chars.next().unwrap_or('\0');
+        if c1 == '\\' || c2 == '\'' {
+            self.char_literal();
+            self.push(TokKind::Char, start, line, col);
+        } else {
+            self.bump(); // the quote
+            self.ident();
+            self.push(TokKind::Lifetime, start, line, col);
+        }
+    }
+
+    /// Consume `'…'` with escapes (cursor on the opening quote).
+    fn char_literal(&mut self) {
+        self.bump();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.cur_char()) {
+            self.bump();
+        }
+    }
+
+    /// Numeric literal; decides int vs. float. Cursor on the first digit.
+    fn number(&mut self) -> TokKind {
+        let hex_or_bin = self.peek_byte(0) == Some(b'0')
+            && matches!(self.peek_byte(1), Some(b'x') | Some(b'o') | Some(b'b'));
+        if hex_or_bin {
+            self.bump();
+            self.bump();
+            while self
+                .peek_byte(0)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                self.bump();
+            }
+            return TokKind::Int;
+        }
+        let mut float = false;
+        self.digits();
+        // Fraction: `.` only counts when followed by a digit or by
+        // nothing numeric-ish (`1.` is a float; `1..2` and `1.max()` are
+        // an int plus more tokens).
+        if self.peek_byte(0) == Some(b'.') {
+            match self.peek_byte(1) {
+                Some(b) if b.is_ascii_digit() => {
+                    float = true;
+                    self.bump();
+                    self.digits();
+                }
+                Some(b'.') => {}
+                Some(b) if is_ident_start(b as char) => {}
+                _ => {
+                    float = true;
+                    self.bump();
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.peek_byte(0), Some(b'e') | Some(b'E')) {
+            let (sign, after_sign) = match self.peek_byte(1) {
+                Some(b'+') | Some(b'-') => (1, self.peek_byte(2)),
+                other => (0, other),
+            };
+            if after_sign.is_some_and(|b| b.is_ascii_digit()) {
+                float = true;
+                self.bump(); // e
+                for _ in 0..sign {
+                    self.bump();
+                }
+                self.digits();
+            }
+        }
+        // Type suffix (`u32`, `f64`, …).
+        let suffix_start = self.pos;
+        while self.pos < self.bytes.len() && is_ident_continue(self.cur_char()) {
+            self.bump();
+        }
+        match &self.src[suffix_start..self.pos] {
+            "f32" | "f64" => TokKind::Float,
+            _ if float => TokKind::Float,
+            _ => TokKind::Int,
+        }
+    }
+
+    fn digits(&mut self) {
+        while self
+            .peek_byte(0)
+            .is_some_and(|b| b.is_ascii_digit() || b == b'_')
+        {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parse the text after `bct-lint:` in a comment.
+fn parse_directive(body: &str) -> DirectiveKind {
+    if body == "no_alloc" || body.starts_with("no_alloc ") {
+        return DirectiveKind::NoAlloc;
+    }
+    if let Some(rest) = body.strip_prefix("allow(") {
+        if let Some(close) = rest.find(')') {
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_ascii_lowercase())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let tail = rest[close + 1..].trim();
+            let justification = tail.strip_prefix("--").unwrap_or("").trim().to_string();
+            return DirectiveKind::Allow { rules, justification };
+        }
+    }
+    DirectiveKind::Unknown(body.to_string())
+}
+
+/// The token's text within `src`.
+pub fn text<'a>(src: &'a str, t: &Token) -> &'a str {
+    &src[t.start..t.end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let lexed = lex(src);
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| text(src, t).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /* HashMap in /* a nested */ block comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap in a raw "quoted" string"#;
+            let b = b"HashMap bytes";
+            let real = HashMap::new();
+        "##;
+        let names = idents(src);
+        assert_eq!(
+            names.iter().filter(|n| *n == "HashMap").count(),
+            1,
+            "{names:?}"
+        );
+    }
+
+    #[test]
+    fn raw_string_with_backslash_quote_does_not_desync() {
+        // In a raw string `\"` is a backslash then a *closing* quote.
+        let src = r#"let p = r"tail\"; let x = HashMap::new();"#;
+        assert!(idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; let n = '\\n'; }";
+        let lexed = lex(src);
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes = lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 3);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn float_vs_int_classification() {
+        for (src, kind) in [
+            ("1.0", TokKind::Float),
+            ("2e9", TokKind::Float),
+            ("1e-3", TokKind::Float),
+            ("3f64", TokKind::Float),
+            ("1.", TokKind::Float),
+            ("42", TokKind::Int),
+            ("0xFF", TokKind::Int),
+            ("1_000u64", TokKind::Int),
+        ] {
+            let lexed = lex(src);
+            assert_eq!(lexed.tokens[0].kind, kind, "{src}");
+        }
+        // `1..2` is int, range, int; `1.max(2)` is int dot ident.
+        let lexed = lex("1..2");
+        assert_eq!(lexed.tokens[0].kind, TokKind::Int);
+        let lexed = lex("1.max(2)");
+        assert_eq!(lexed.tokens[0].kind, TokKind::Int);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn spans_are_line_and_col_accurate() {
+        let src = "let x = 1;\n  let y = HashMap::new();\n";
+        let lexed = lex(src);
+        let t = lexed
+            .tokens
+            .iter()
+            .find(|t| text(src, t) == "HashMap")
+            .unwrap();
+        assert_eq!((t.line, t.col), (2, 11));
+    }
+
+    #[test]
+    fn directives_parse() {
+        let src = "
+            // bct-lint: allow(p1, d3) -- treap invariant, fault-isolated
+            // bct-lint: no_alloc
+            // bct-lint: allow(p1)
+            // bct-lint: frobnicate
+        ";
+        let lexed = lex(src);
+        assert_eq!(lexed.directives.len(), 4);
+        match &lexed.directives[0].kind {
+            DirectiveKind::Allow { rules, justification } => {
+                assert_eq!(rules, &["p1", "d3"]);
+                assert_eq!(justification, "treap invariant, fault-isolated");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(lexed.directives[1].kind, DirectiveKind::NoAlloc);
+        match &lexed.directives[2].kind {
+            DirectiveKind::Allow { justification, .. } => assert!(justification.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(lexed.directives[3].kind, DirectiveKind::Unknown(_)));
+    }
+
+    #[test]
+    fn double_eq_and_neq_are_single_tokens() {
+        let src = "a == 1.0; b != 2.0; c = 3; d: :e";
+        let lexed = lex(src);
+        let puncts: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| text(src, t))
+            .collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"="));
+    }
+}

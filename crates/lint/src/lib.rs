@@ -1,0 +1,35 @@
+//! `bct-lint`: a workspace static-analysis pass that machine-checks
+//! the repo's determinism and zero-allocation contracts at the source
+//! level, on every build (DESIGN.md §11).
+//!
+//! The dynamic checks — the golden-sweep diff, the counting-allocator
+//! test (`crates/sim/tests/scratch_alloc.rs`), the `invariants.rs`
+//! runtime asserts — prove the contracts hold on the paths they
+//! exercise. This crate closes the gap for paths they don't: it walks
+//! every `.rs` file in `crates/*/src` and `src/`, lexes it with a
+//! comment/string/char-literal-aware token lexer, and enforces:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `d1` | no `HashMap`/`HashSet` in deterministic-output crates |
+//! | `d2` | no `Instant::now`/`SystemTime` outside bench/cli |
+//! | `d3` | no `==`/`!=` against float literals (use `approx_eq`) |
+//! | `a1` | no allocating calls in `// bct-lint: no_alloc` functions |
+//! | `p1` | `unwrap`/`expect`/`panic!` in sim/harness needs a justified allow |
+//! | `l1` | the directives themselves must be well-formed |
+//!
+//! Suppression is inline and justified:
+//! `// bct-lint: allow(p1) -- invariant: heap nonempty after peek`.
+//! The crate has no dependencies so the gate builds (and runs first in
+//! CI) even when the rest of the workspace is broken.
+
+pub mod diag;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+pub mod walk;
+
+pub use diag::{render_machine, render_text, Violation, RULES};
+pub use policy::{policy_for, Policy};
+pub use rules::{check_src, FileReport};
+pub use walk::{check_workspace, Baseline, WorkspaceReport};

@@ -1,0 +1,90 @@
+//! Per-crate rule policy.
+//!
+//! The policy table is code, not a config file: the set of crates with
+//! determinism obligations is an architectural fact of this workspace
+//! (DESIGN.md §11), and a lint whose teeth can be pulled by editing a
+//! dotfile is not a gate. The escape hatch is the inline
+//! `// bct-lint: allow(<rule>) -- <justification>` comment, which keeps
+//! the justification next to the code it excuses.
+
+/// Which rules apply to a file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// D1: forbid `HashMap`/`HashSet` (default-hasher iteration order).
+    pub d1: bool,
+    /// D2: forbid `Instant::now`/`SystemTime` (wall-clock reads).
+    pub d2: bool,
+    /// D3: forbid `==`/`!=` against float literals.
+    pub d3: bool,
+    /// P1: `unwrap`/`expect`/`panic!` outside tests need a justified allow.
+    pub p1: bool,
+}
+
+/// Crates whose outputs feed the byte-identical determinism contract
+/// (golden sweep, sorted JSONL, shard merges).
+const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "policies", "sched", "harness"];
+
+/// Crates allowed to read wall clocks (benchmarks; CLI progress/ETA).
+const CLOCK_CRATES: &[&str] = &["bench", "cli"];
+
+/// Crates whose panics must be enumerable: the harness worker pool's
+/// `catch_unwind` fault isolation turns them into `Failed` rows, so
+/// every possible origin needs a written justification.
+const PANIC_AUDITED_CRATES: &[&str] = &["sim", "harness"];
+
+/// Files exempt from D3 wholesale: the one place float comparison is
+/// the point.
+const D3_EXEMPT_FILES: &[&str] = &["crates/core/src/time.rs"];
+
+/// Map a workspace-relative file path (`crates/<name>/src/…` or
+/// `src/…`) to its crate directory name; top-level `src/` is `"root"`.
+pub fn crate_of(rel_path: &str) -> &str {
+    let p = rel_path.strip_prefix("./").unwrap_or(rel_path);
+    if let Some(rest) = p.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("root")
+    } else {
+        "root"
+    }
+}
+
+/// The rule set for one file.
+pub fn policy_for(rel_path: &str) -> Policy {
+    let krate = crate_of(rel_path);
+    let norm = rel_path.strip_prefix("./").unwrap_or(rel_path);
+    Policy {
+        d1: DETERMINISTIC_CRATES.contains(&krate),
+        d2: !CLOCK_CRATES.contains(&krate),
+        d3: !D3_EXEMPT_FILES.contains(&norm),
+        p1: PANIC_AUDITED_CRATES.contains(&krate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(crate_of("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(crate_of("./crates/core/src/lib.rs"), "core");
+        assert_eq!(crate_of("src/main.rs"), "root");
+    }
+
+    #[test]
+    fn policies_match_the_contract() {
+        let sim = policy_for("crates/sim/src/engine.rs");
+        assert!(sim.d1 && sim.d2 && sim.d3 && sim.p1);
+
+        let cli = policy_for("crates/cli/src/opts.rs");
+        assert!(!cli.d1 && !cli.d2 && cli.d3 && !cli.p1);
+
+        let bench = policy_for("crates/bench/src/lib.rs");
+        assert!(!bench.d2);
+
+        let time = policy_for("crates/core/src/time.rs");
+        assert!(!time.d3 && time.d1);
+
+        let lp = policy_for("crates/lp/src/simplex.rs");
+        assert!(!lp.d1 && lp.d2 && lp.d3 && !lp.p1);
+    }
+}

@@ -1,0 +1,518 @@
+//! The rule engine: runs every applicable rule over one file's token
+//! stream and applies `allow` suppressions.
+//!
+//! Region handling:
+//! - `#[test]` / `#[cfg(test)]` items are skipped by rules D2, D3 and
+//!   P1 (tests may time, compare and panic freely). D1 applies to test
+//!   code too: a nondeterministic test is still a flaky test.
+//! - `// bct-lint: no_alloc` marks the next `fn`'s body as an A1
+//!   region; A1 fires only inside such regions.
+//! - `// bct-lint: allow(<rules>) -- <why>` suppresses the named rules
+//!   on its own line and the next line.
+
+use crate::diag::{Violation, RULES};
+use crate::lexer::{self, DirectiveKind, Lexed, TokKind, Token};
+use crate::policy::Policy;
+
+/// Result of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed violations, in source order.
+    pub violations: Vec<Violation>,
+    /// How many allow directives suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+/// Check one file's source against `policy`.
+pub fn check_src(rel_path: &str, src: &str, policy: Policy) -> FileReport {
+    let lexed = lexer::lex(src);
+    let toks = &lexed.tokens;
+
+    let in_test = test_regions(src, toks);
+    let (in_no_alloc, orphan_no_allocs) = no_alloc_regions(src, toks, &lexed);
+    let mut allows = collect_allows(&lexed);
+
+    let mut out = FileReport::default();
+
+    // Directive hygiene (rule l1) — not suppressible.
+    directive_hygiene(rel_path, &lexed, &orphan_no_allocs, &mut out.violations);
+
+    // Candidate findings from the token scan.
+    let push = |vs: &mut Vec<Violation>,
+                    allows: &mut [AllowEntry],
+                    tok: &Token,
+                    rule: &'static str,
+                    message: String,
+                    help: &'static str| {
+        if suppressed(allows, tok.line, rule) {
+            return;
+        }
+        vs.push(Violation {
+            file: rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            rule,
+            message,
+            help,
+        });
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let txt = lexer::text(src, t);
+
+        // D1: default-hasher collections.
+        if policy.d1 && t.kind == TokKind::Ident && (txt == "HashMap" || txt == "HashSet") {
+            push(
+                &mut out.violations,
+                &mut allows,
+                t,
+                "d1",
+                format!("`{txt}` in a deterministic-output crate (default-hasher iteration order varies per process)"),
+                "use BTreeMap/BTreeSet (or a sorted Vec); if the map is never iterated, justify with `// bct-lint: allow(d1) -- <why>`",
+            );
+        }
+
+        // D2: wall-clock reads.
+        if policy.d2 && !in_test[i] && t.kind == TokKind::Ident {
+            let instant_now = txt == "Instant"
+                && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && lexer::text(src, n) == "::")
+                && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Ident && lexer::text(src, n) == "now");
+            if instant_now || txt == "SystemTime" {
+                let what = if instant_now { "Instant::now" } else { "SystemTime" };
+                push(
+                    &mut out.violations,
+                    &mut allows,
+                    t,
+                    "d2",
+                    format!("`{what}` reads the wall clock in a crate with deterministic outputs"),
+                    "move timing to bct-bench/bct-cli; for display-only uses (progress, ETA) justify with `// bct-lint: allow(d2) -- <why>`",
+                );
+            }
+        }
+
+        // D3: float equality.
+        if policy.d3 && !in_test[i] && t.kind == TokKind::Punct && (txt == "==" || txt == "!=") {
+            let prev_float = i > 0 && toks[i - 1].kind == TokKind::Float;
+            let next_float = matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Float)
+                || (matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && lexer::text(src, n) == "-")
+                    && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Float));
+            if prev_float || next_float {
+                push(
+                    &mut out.violations,
+                    &mut allows,
+                    t,
+                    "d3",
+                    format!("`{txt}` against a float literal"),
+                    "use bct_core::time::approx_eq (or compare against an integer representation); for exact sentinel checks justify with `// bct-lint: allow(d3) -- <why>`",
+                );
+            }
+        }
+
+        // P1: enumerable panic origins.
+        if policy.p1 && !in_test[i] && t.kind == TokKind::Ident {
+            let dot_call = (txt == "unwrap" || txt == "expect")
+                && i > 0
+                && toks[i - 1].kind == TokKind::Punct
+                && lexer::text(src, &toks[i - 1]) == ".";
+            let bang = txt == "panic"
+                && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && lexer::text(src, n) == "!");
+            if dot_call || bang {
+                let what = if bang { "panic!" } else { txt };
+                push(
+                    &mut out.violations,
+                    &mut allows,
+                    t,
+                    "p1",
+                    format!("`{what}` in non-test code of a panic-audited crate"),
+                    "return a typed error or use debug_assert!+sentinel; if the panic is a deliberate invariant (caught by the harness pool), justify with `// bct-lint: allow(p1) -- <why>`",
+                );
+            }
+        }
+
+        // A1: allocation inside `no_alloc` functions.
+        if in_no_alloc[i] && t.kind == TokKind::Ident {
+            let dot_call = matches!(txt, "to_vec" | "collect" | "clone")
+                && i > 0
+                && toks[i - 1].kind == TokKind::Punct
+                && lexer::text(src, &toks[i - 1]) == ".";
+            let path_call = matches!(txt, "Vec" | "Box" | "String")
+                && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && lexer::text(src, n) == "::")
+                && matches!(
+                    (txt, toks.get(i + 2).map(|n| lexer::text(src, n))),
+                    ("Vec", Some("new")) | ("Box", Some("new")) | ("String", Some("from"))
+                );
+            let bang = matches!(txt, "vec" | "format")
+                && matches!(toks.get(i + 1), Some(n) if n.kind == TokKind::Punct && lexer::text(src, n) == "!");
+            if dot_call || path_call || bang {
+                push(
+                    &mut out.violations,
+                    &mut allows,
+                    t,
+                    "a1",
+                    format!("allocating call `{txt}` inside a `no_alloc` function"),
+                    "reuse a SimScratch buffer or hoist the allocation out of the steady-state path; see crates/sim/tests/scratch_alloc.rs for the dynamic twin of this check",
+                );
+            }
+        }
+    }
+
+    out.allows_used = allows.iter().filter(|a| a.used).count();
+    out
+}
+
+// --- allow directives -----------------------------------------------------
+
+struct AllowEntry {
+    line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+fn collect_allows(lexed: &Lexed) -> Vec<AllowEntry> {
+    lexed
+        .directives
+        .iter()
+        .filter_map(|d| match &d.kind {
+            DirectiveKind::Allow { rules, .. } => Some(AllowEntry {
+                line: d.line,
+                rules: rules.clone(),
+                used: false,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// An allow suppresses findings on its own line and the next line.
+fn suppressed(allows: &mut [AllowEntry], line: u32, rule: &str) -> bool {
+    for a in allows.iter_mut() {
+        if (a.line == line || a.line + 1 == line) && a.rules.iter().any(|r| r == rule) {
+            a.used = true;
+            return true;
+        }
+    }
+    false
+}
+
+fn directive_hygiene(
+    rel_path: &str,
+    lexed: &Lexed,
+    orphan_no_allocs: &[u32],
+    out: &mut Vec<Violation>,
+) {
+    for d in &lexed.directives {
+        match &d.kind {
+            DirectiveKind::Unknown(body) => out.push(Violation {
+                file: rel_path.to_string(),
+                line: d.line,
+                col: d.col,
+                rule: "l1",
+                message: format!("unrecognized bct-lint directive `{body}`"),
+                help: "expected `allow(<rules>) -- <justification>` or `no_alloc`",
+            }),
+            DirectiveKind::Allow { rules, justification } => {
+                if justification.is_empty() {
+                    out.push(Violation {
+                        file: rel_path.to_string(),
+                        line: d.line,
+                        col: d.col,
+                        rule: "l1",
+                        message: "allow without a justification".to_string(),
+                        help: "append ` -- <why this is sound>` after the rule list",
+                    });
+                }
+                for r in rules {
+                    if !RULES.iter().any(|known| known.id == r) {
+                        out.push(Violation {
+                            file: rel_path.to_string(),
+                            line: d.line,
+                            col: d.col,
+                            rule: "l1",
+                            message: format!("unknown rule id `{r}` in allow"),
+                            help: "valid rule ids: d1, d2, d3, a1, p1",
+                        });
+                    }
+                }
+            }
+            DirectiveKind::NoAlloc => {
+                if orphan_no_allocs.contains(&d.line) {
+                    out.push(Violation {
+                        file: rel_path.to_string(),
+                        line: d.line,
+                        col: d.col,
+                        rule: "l1",
+                        message: "no_alloc directive is not followed by a function body".to_string(),
+                        help: "place it on the line(s) directly above the `fn` it constrains",
+                    });
+                }
+            }
+        }
+    }
+}
+
+// --- region computation ---------------------------------------------------
+
+/// Per-token flag: is this token inside a `#[test]`/`#[cfg(test)]`
+/// item (including the attribute itself)?
+fn test_regions(src: &str, toks: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_punct(src, toks, i, "#") || !is_punct(src, toks, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() && depth > 0 {
+            if is_punct(src, toks, j, "[") {
+                depth += 1;
+            } else if is_punct(src, toks, j, "]") {
+                depth -= 1;
+            } else if toks[j].kind == TokKind::Ident {
+                match lexer::text(src, &toks[j]) {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !(has_test && !has_not) {
+            i = j;
+            continue;
+        }
+        // A test attribute: skip any stacked attributes, then the item.
+        let mut k = j;
+        while is_punct(src, toks, k, "#") && is_punct(src, toks, k + 1, "[") {
+            let mut d = 1usize;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if is_punct(src, toks, k, "[") {
+                    d += 1;
+                } else if is_punct(src, toks, k, "]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        let end = item_end(src, toks, k);
+        for f in flags.iter_mut().take(end.min(toks.len())).skip(i) {
+            *f = true;
+        }
+        i = end;
+    }
+    flags
+}
+
+/// Token index one past the end of the item starting at `k`: either the
+/// matching `}` of its first brace group, or a `;` before any brace.
+fn item_end(src: &str, toks: &[Token], mut k: usize) -> usize {
+    let mut depth = 0usize;
+    let mut entered = false;
+    while k < toks.len() {
+        if is_punct(src, toks, k, "{") {
+            depth += 1;
+            entered = true;
+        } else if is_punct(src, toks, k, "}") {
+            depth = depth.saturating_sub(1);
+            if entered && depth == 0 {
+                return k + 1;
+            }
+        } else if is_punct(src, toks, k, ";") && !entered {
+            return k + 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Per-token flag for A1 regions, plus the lines of `no_alloc`
+/// directives that could not be attached to a function body.
+fn no_alloc_regions(src: &str, toks: &[Token], lexed: &Lexed) -> (Vec<bool>, Vec<u32>) {
+    let mut flags = vec![false; toks.len()];
+    let mut orphans = Vec::new();
+    for d in &lexed.directives {
+        if d.kind != DirectiveKind::NoAlloc {
+            continue;
+        }
+        // First `fn` token after the directive's line.
+        let fn_idx = toks.iter().position(|t| {
+            t.line > d.line && t.kind == TokKind::Ident && lexer::text(src, t) == "fn"
+        });
+        let Some(mut k) = fn_idx else {
+            orphans.push(d.line);
+            continue;
+        };
+        // Find the body's opening brace; a `;` first means no body.
+        let open = loop {
+            if k >= toks.len() || is_punct(src, toks, k, ";") {
+                break None;
+            }
+            if is_punct(src, toks, k, "{") {
+                break Some(k);
+            }
+            k += 1;
+        };
+        let Some(open) = open else {
+            orphans.push(d.line);
+            continue;
+        };
+        let end = item_end(src, toks, open);
+        for f in flags.iter_mut().take(end.min(toks.len())).skip(open) {
+            *f = true;
+        }
+    }
+    (flags, orphans)
+}
+
+fn is_punct(src: &str, toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && lexer::text(src, t) == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: Policy = Policy { d1: true, d2: true, d3: true, p1: true };
+
+    fn rules_found(src: &str) -> Vec<&'static str> {
+        check_src("crates/sim/src/x.rs", src, ALL)
+            .violations
+            .iter()
+            .map(|v| v.rule)
+            .collect()
+    }
+
+    #[test]
+    fn d1_fires_on_hashmap_even_in_tests() {
+        let src = "
+            use std::collections::HashMap;
+            #[cfg(test)]
+            mod tests {
+                fn f() { let m: super::HashSet<u32> = Default::default(); }
+            }
+        ";
+        assert_eq!(rules_found(src), ["d1", "d1"]);
+    }
+
+    #[test]
+    fn d2_fires_on_instant_now_not_on_stored_instant() {
+        let src = "
+            fn f(start: Instant) -> Duration { start.elapsed() }
+            fn g() { let t0 = Instant::now(); }
+            fn h() { let s = SystemTime::now(); }
+        ";
+        assert_eq!(rules_found(src), ["d2", "d2"]);
+    }
+
+    #[test]
+    fn d3_fires_on_float_literal_comparisons_only() {
+        let src = "
+            fn f(x: f64) -> bool { x == 1.0 }
+            fn g(x: f64) -> bool { 0.5 != x }
+            fn h(x: f64) -> bool { x == -2.5 }
+            fn i(n: u32) -> bool { n == 1 }
+            fn j(a: f64, b: f64) -> bool { a == b }
+        ";
+        // Note: float-typed variable comparison (j) is out of token
+        // reach — that's what clippy::float_cmp covers (DESIGN.md §11).
+        assert_eq!(rules_found(src), ["d3", "d3", "d3"]);
+    }
+
+    #[test]
+    fn p1_fires_outside_tests_only_and_skips_unwrap_or() {
+        let src = "
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+            fn g(x: Option<u32>) -> u32 { x.unwrap_or(0) }
+            fn h() { panic!(\"boom\"); }
+            fn i(x: Option<u32>) -> u32 { x.expect(\"set\") }
+            #[test]
+            fn t() { None::<u32>.unwrap(); }
+        ";
+        assert_eq!(rules_found(src), ["p1", "p1", "p1"]);
+    }
+
+    #[test]
+    fn a1_fires_only_in_annotated_fns_and_only_on_real_calls() {
+        let src = "
+            fn free() -> Vec<u32> { vec![1, 2].to_vec() }
+            // bct-lint: no_alloc
+            fn hot(&mut self) {
+                let v = Vec::new();
+                let s = self.items.iter().collect::<Vec<_>>();
+                let c = self.cfg.clone();
+                let b = Box::new(1);
+                let t = format!(\"x\");
+                Self::collect(self);
+            }
+            fn also_free() { let v = Vec::new(); }
+        ";
+        // `Self::collect` is a path call to a fn *named* collect, not
+        // an iterator allocation — must not fire.
+        assert_eq!(rules_found(src), ["a1", "a1", "a1", "a1", "a1"]);
+    }
+
+    #[test]
+    fn allows_suppress_own_line_and_next_line() {
+        let src = "
+            fn f(x: Option<u32>) -> u32 {
+                // bct-lint: allow(p1) -- invariant: caller checked is_some
+                x.unwrap()
+            }
+            fn g(x: Option<u32>) -> u32 { x.unwrap() } // bct-lint: allow(p1) -- same line
+
+            fn h(x: Option<u32>) -> u32 { x.unwrap() }
+        ";
+        let rep = check_src("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.allows_used, 2);
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_one_line() {
+        let src = "
+            // bct-lint: allow(p1) -- only the next line
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap()
+            }
+        ";
+        let rep = check_src("crates/sim/src/x.rs", src, ALL);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.allows_used, 0);
+    }
+
+    #[test]
+    fn directive_hygiene_is_enforced() {
+        let src = "
+            // bct-lint: allow(p1)
+            // bct-lint: allow(zz) -- not a rule
+            // bct-lint: no_alloc
+            const X: u32 = 1;
+        ";
+        let rules = rules_found(src);
+        assert_eq!(rules, ["l1", "l1", "l1"]);
+    }
+
+    #[test]
+    fn policy_gates_rules_off() {
+        let off = Policy { d1: false, d2: false, d3: false, p1: false };
+        let src = "fn f(m: HashMap<u32, f64>) -> bool { Instant::now(); 1.0 == 2.0 }";
+        let rep = check_src("crates/cli/src/x.rs", src, off);
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "
+            #[cfg(not(test))]
+            fn f(x: Option<u32>) -> u32 { x.unwrap() }
+        ";
+        assert_eq!(rules_found(src), ["p1"]);
+    }
+}

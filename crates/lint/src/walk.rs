@@ -1,0 +1,156 @@
+//! Workspace walking: find every `.rs` under `crates/*/src` and
+//! `src/`, check each against its crate policy, and merge the results
+//! into one deterministic report.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{sort_violations, Violation};
+use crate::policy;
+use crate::rules;
+
+/// Aggregate result of checking the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// All unsuppressed violations, sorted by (file, line, col, rule).
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files checked.
+    pub files_scanned: usize,
+    /// Allow directives that suppressed at least one finding.
+    pub allows_used: usize,
+}
+
+/// Check the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut files = Vec::new();
+
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect_rs(&root_src, &mut files)?;
+    }
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    for path in files {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_path(root, &path);
+        let pol = policy::policy_for(&rel);
+        let file_rep = rules::check_src(&rel, &src, pol);
+        report.violations.extend(file_rep.violations);
+        report.allows_used += file_rep.allows_used;
+        report.files_scanned += 1;
+    }
+    sort_violations(&mut report.violations);
+    Ok(report)
+}
+
+/// Recursively gather `.rs` files under `dir` (sorted for determinism
+/// by the caller's final sort; local sort keeps IO order stable too).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative path with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.strip_prefix("./").unwrap_or(&s).to_string()
+}
+
+/// A baseline: known violations to tolerate (e.g. while burning down a
+/// backlog). Each non-comment line is `<rule> <file> [line]`.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: Vec<(String, String, Option<u32>)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format. Unparseable lines are errors:
+    /// a typo in a suppression file must not silently widen the gate.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(file)) = (parts.next(), parts.next()) else {
+                return Err(format!("baseline line {}: expected `<rule> <file> [line]`", i + 1));
+            };
+            let line_no = match parts.next() {
+                None => None,
+                Some(n) => Some(
+                    n.parse::<u32>()
+                        .map_err(|_| format!("baseline line {}: bad line number `{n}`", i + 1))?,
+                ),
+            };
+            entries.push((rule.to_ascii_lowercase(), file.to_string(), line_no));
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Does the baseline cover this violation?
+    pub fn covers(&self, v: &Violation) -> bool {
+        self.entries
+            .iter()
+            .any(|(r, f, l)| r == v.rule && f == &v.file && l.is_none_or(|l| l == v.line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, line: u32, rule: &'static str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule,
+            message: String::new(),
+            help: "",
+        }
+    }
+
+    #[test]
+    fn baseline_parses_and_matches() {
+        let b = Baseline::parse(
+            "# comment\n\nd1 crates/sim/src/gantt.rs\np1 crates/sim/src/engine.rs 42\n",
+        )
+        .unwrap();
+        assert!(b.covers(&v("crates/sim/src/gantt.rs", 13, "d1")));
+        assert!(b.covers(&v("crates/sim/src/engine.rs", 42, "p1")));
+        assert!(!b.covers(&v("crates/sim/src/engine.rs", 43, "p1")));
+        assert!(!b.covers(&v("crates/sim/src/gantt.rs", 13, "p1")));
+    }
+
+    #[test]
+    fn baseline_rejects_garbage() {
+        assert!(Baseline::parse("justoneword\n").is_err());
+        assert!(Baseline::parse("d1 file.rs notanumber\n").is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Binary-level smoke tests: exit codes, machine JSON, baseline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bct-lint"))
+}
+
+/// A scratch workspace root holding one sim-crate file with `content`.
+fn scratch_root(tag: &str, content: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("bct-lint-cli-{tag}-{}", std::process::id()));
+    let src = root.join("crates/sim/src");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(src.join("lib.rs"), content).unwrap();
+    root
+}
+
+#[test]
+fn clean_root_exits_zero() {
+    let root = scratch_root("clean", "pub fn ok() -> u32 { 1 }\n");
+    let out = bin().arg("--root").arg(&root).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 violation(s)"), "{stdout}");
+}
+
+#[test]
+fn violations_exit_one_and_emit_machine_json() {
+    let root = scratch_root(
+        "dirty",
+        "use std::collections::HashMap;\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let json_path = root.join("LINT.json");
+    let out = bin()
+        .arg("--root")
+        .arg(&root)
+        .arg("--machine")
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("crates/sim/src/lib.rs:1:23: [d1]"), "{stdout}");
+    assert!(stdout.contains("crates/sim/src/lib.rs:2:37: [p1]"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"tool\":\"bct-lint\""), "{json}");
+    assert!(json.contains("\"d1\":1"), "{json}");
+    assert!(json.contains("\"p1\":1"), "{json}");
+    assert!(json.contains("\"line\":1,\"col\":23"), "{json}");
+}
+
+#[test]
+fn baseline_tolerates_listed_violations() {
+    let root = scratch_root("baseline", "use std::collections::HashMap;\n");
+    let baseline = root.join("lint-baseline.txt");
+    std::fs::write(&baseline, "# legacy site\nd1 crates/sim/src/lib.rs\n").unwrap();
+    let out = bin()
+        .arg("--root")
+        .arg(&root)
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = bin().arg("--no-such-flag").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn real_workspace_is_clean_via_binary() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = bin().arg("--root").arg(&root).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}

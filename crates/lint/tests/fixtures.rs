@@ -1,0 +1,127 @@
+//! Fixture-driven rule tests: for each rule, a positive fixture (must
+//! fire, with exact `line:col` spans), a negative fixture (must stay
+//! silent), and an allowed fixture (a justified allow suppresses it).
+//!
+//! The fixtures live under `tests/fixtures/` — outside any `src/`
+//! tree, so neither cargo nor the workspace walker ever compiles or
+//! lints them.
+
+use std::path::Path;
+
+use bct_lint::{check_src, FileReport, Policy};
+
+const ALL: Policy = Policy { d1: true, d2: true, d3: true, p1: true };
+
+fn check_fixture(name: &str) -> FileReport {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {name} unreadable: {e}"));
+    check_src(name, &src, ALL)
+}
+
+/// (rule, line, col) triples of the report, for exact-span asserts.
+fn spans(rep: &FileReport) -> Vec<(&'static str, u32, u32)> {
+    rep.violations.iter().map(|v| (v.rule, v.line, v.col)).collect()
+}
+
+fn assert_clean(name: &str, expected_allows: usize) {
+    let rep = check_fixture(name);
+    assert!(
+        rep.violations.is_empty(),
+        "{name} expected clean, got: {:?}",
+        spans(&rep)
+    );
+    assert_eq!(rep.allows_used, expected_allows, "{name} allows_used");
+}
+
+// --- d1: default-hasher collections --------------------------------------
+
+#[test]
+fn d1_positive_fires_with_exact_spans() {
+    let rep = check_fixture("d1_positive.rs");
+    assert_eq!(spans(&rep), [("d1", 1, 23), ("d1", 3, 19), ("d1", 4, 5)]);
+}
+
+#[test]
+fn d1_negative_is_clean() {
+    assert_clean("d1_negative.rs", 0);
+}
+
+#[test]
+fn d1_allow_suppresses() {
+    assert_clean("d1_allowed.rs", 1);
+}
+
+// --- d2: wall-clock reads -------------------------------------------------
+
+#[test]
+fn d2_positive_fires_with_exact_spans() {
+    let rep = check_fixture("d2_positive.rs");
+    assert_eq!(spans(&rep), [("d2", 4, 14), ("d2", 8, 29), ("d2", 9, 16)]);
+}
+
+#[test]
+fn d2_negative_is_clean() {
+    assert_clean("d2_negative.rs", 0);
+}
+
+#[test]
+fn d2_allow_suppresses() {
+    assert_clean("d2_allowed.rs", 1);
+}
+
+// --- d3: float equality ---------------------------------------------------
+
+#[test]
+fn d3_positive_fires_with_exact_spans() {
+    let rep = check_fixture("d3_positive.rs");
+    assert_eq!(spans(&rep), [("d3", 2, 7), ("d3", 6, 9), ("d3", 10, 7)]);
+}
+
+#[test]
+fn d3_negative_is_clean() {
+    assert_clean("d3_negative.rs", 0);
+}
+
+#[test]
+fn d3_allow_suppresses() {
+    assert_clean("d3_allowed.rs", 1);
+}
+
+// --- a1: allocation in no_alloc functions ---------------------------------
+
+#[test]
+fn a1_positive_fires_with_exact_spans() {
+    let rep = check_fixture("a1_positive.rs");
+    assert_eq!(spans(&rep), [("a1", 3, 13), ("a1", 4, 42), ("a1", 5, 13)]);
+}
+
+#[test]
+fn a1_negative_is_clean() {
+    assert_clean("a1_negative.rs", 0);
+}
+
+#[test]
+fn a1_allow_suppresses() {
+    assert_clean("a1_allowed.rs", 1);
+}
+
+// --- p1: enumerable panic origins -----------------------------------------
+
+#[test]
+fn p1_positive_fires_with_exact_spans() {
+    let rep = check_fixture("p1_positive.rs");
+    assert_eq!(spans(&rep), [("p1", 2, 17), ("p1", 6, 7), ("p1", 10, 5)]);
+}
+
+#[test]
+fn p1_negative_is_clean() {
+    assert_clean("p1_negative.rs", 0);
+}
+
+#[test]
+fn p1_allow_suppresses() {
+    assert_clean("p1_allowed.rs", 1);
+}

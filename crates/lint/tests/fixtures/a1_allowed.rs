@@ -1,0 +1,5 @@
+// bct-lint: no_alloc
+pub fn mostly_hot(xs: &[u32]) -> Vec<u32> {
+    // bct-lint: allow(a1) -- one-time cold-start copy, hoisted out of the steady-state loop
+    xs.to_vec()
+}

@@ -1,0 +1,8 @@
+pub fn free(xs: &[u32]) -> Vec<u32> {
+    xs.to_vec()
+}
+
+// bct-lint: no_alloc
+pub fn hot(acc: &mut Vec<u32>, x: u32) {
+    acc.push(x);
+}

@@ -1,0 +1,7 @@
+// bct-lint: no_alloc
+pub fn hot(xs: &[u32]) -> u32 {
+    let v = vec![1u32, 2];
+    let w: Vec<u32> = xs.iter().copied().collect();
+    let b = Box::new(0u32);
+    v[0] + w[0] + *b
+}

@@ -1,0 +1,2 @@
+// bct-lint: allow(d1) -- perf cache, never iterated; keys are looked up point-wise
+use std::collections::HashMap;

@@ -1,0 +1,7 @@
+use std::collections::BTreeMap;
+
+/// Mentions HashMap only in doc text and strings.
+pub fn build() -> BTreeMap<u32, u32> {
+    let _s = "HashMap";
+    BTreeMap::new()
+}

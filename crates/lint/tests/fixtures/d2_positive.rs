@@ -1,0 +1,10 @@
+use std::time::Instant;
+
+pub fn slow() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

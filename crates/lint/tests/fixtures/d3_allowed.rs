@@ -1,0 +1,4 @@
+pub fn exact_zero(x: f64) -> bool {
+    // bct-lint: allow(d3) -- sparsity skip: exact zero is the no-op case
+    x == 0.0
+}

@@ -1,0 +1,7 @@
+pub fn is_unit(x: f64, eps: f64) -> bool {
+    (x - 1.0).abs() < eps
+}
+
+pub fn int_eq(n: u32) -> bool {
+    n == 1
+}

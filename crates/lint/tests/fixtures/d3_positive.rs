@@ -1,0 +1,11 @@
+pub fn is_unit(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn nonzero(x: f64) -> bool {
+    0.0 != x
+}
+
+pub fn negative(x: f64) -> bool {
+    x == -2.5
+}

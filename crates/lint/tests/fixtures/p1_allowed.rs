@@ -1,0 +1,4 @@
+pub fn invariant(x: Option<u32>) -> u32 {
+    // bct-lint: allow(p1) -- caller checked is_some; harness catch_unwind fault-isolates
+    x.expect("invariant: present")
+}

@@ -1,0 +1,12 @@
+pub fn first(xs: &[u32]) -> u32 {
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        Some(1u32).unwrap();
+        panic!("even this");
+    }
+}

@@ -1,0 +1,11 @@
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn named(x: Option<u32>) -> u32 {
+    x.expect("set")
+}
+
+pub fn boom() {
+    panic!("bad state");
+}

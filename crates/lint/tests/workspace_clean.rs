@@ -1,0 +1,23 @@
+//! The repo's own gate, as a test: the workspace must be lint-clean
+//! with no baseline. This is what lets `ci.sh` treat any bct-lint
+//! finding as a hard failure.
+
+use std::path::Path;
+
+use bct_lint::{check_workspace, render_text};
+
+#[test]
+fn workspace_has_zero_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rep = check_workspace(&root).expect("workspace scan");
+    assert!(
+        rep.violations.is_empty(),
+        "bct-lint found violations:\n{}",
+        render_text(&rep.violations)
+    );
+    // Sanity: the walker actually visited the workspace (all eleven
+    // crates' src trees), not an empty directory.
+    assert!(rep.files_scanned >= 70, "only {} files scanned", rep.files_scanned);
+    // The audited panic/clock/float sites carry justified allows.
+    assert!(rep.allows_used >= 20, "only {} allows used", rep.allows_used);
+}

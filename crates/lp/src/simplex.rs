@@ -280,6 +280,7 @@ impl Tableau {
             .map(|j| {
                 let mut rc = cost[j];
                 for (cb_r, row) in cb.iter().zip(&self.rows) {
+                    // bct-lint: allow(d3) -- exact-zero sparsity skip: any nonzero, however tiny, must still be multiplied
                     if *cb_r != 0.0 {
                         rc -= cb_r * row[j];
                     }
@@ -300,6 +301,7 @@ impl Tableau {
         for r2 in 0..m {
             if r2 != r {
                 let f = self.rows[r2][c];
+                // bct-lint: allow(d3) -- exact-zero sparsity skip: eliminating a true zero row is the no-op fast path
                 if f != 0.0 {
                     let (head, tail) = if r2 < r {
                         let (a, b) = self.rows.split_at_mut(r);

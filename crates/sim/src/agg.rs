@@ -150,6 +150,7 @@ impl QueueAggregates {
         self.rng = PRIO_SEED;
     }
 
+    // bct-lint: no_alloc
     fn next_prio(&mut self) -> u64 {
         // xorshift64: full-period, deterministic, plenty for treap shape.
         let mut x = self.rng;
@@ -194,6 +195,7 @@ impl QueueAggregates {
     /// Recompute `t`'s subtree sums from its children and own values.
     /// Sums are rebuilt (not delta-adjusted), so float error never
     /// accumulates across updates.
+    // bct-lint: no_alloc
     fn pull(&mut self, t: u32) {
         let (l, r) = (self.entries[t as usize].left, self.entries[t as usize].right);
         let mut sums = AggSums {
@@ -214,6 +216,7 @@ impl QueueAggregates {
 
     /// Split into (keys < `key`, keys ≥ `key`). Iterative — treap depth
     /// is unbounded in the worst case, so no walk here may recurse.
+    // bct-lint: no_alloc
     fn split_lt(&mut self, t: u32, key: &QueueKey) -> (u32, u32) {
         let (mut lroot, mut rroot) = (NIL, NIL);
         // Nodes whose right (resp. left) child slot awaits the next
@@ -258,6 +261,7 @@ impl QueueAggregates {
 
     /// Iterative top-down merge; same priority tie-break (`a` wins on
     /// equal priorities) as the textbook recursive form.
+    // bct-lint: no_alloc
     fn merge(&mut self, a: u32, b: u32) -> u32 {
         if a == NIL {
             return b;
@@ -369,6 +373,7 @@ impl QueueAggregates {
     /// Update the stored remainder of the entry with `key` in `Q_v`.
     /// The search path lives in a growable scratch stack — a fixed-size
     /// array here once made deep treaps an out-of-bounds panic.
+    // bct-lint: no_alloc
     pub fn set_rem(&mut self, v: usize, key: &QueueKey, rem: f64) {
         let mut t = self.roots[v];
         // Collect the search path, then rebuild sums bottom-up.
@@ -390,6 +395,7 @@ impl QueueAggregates {
     }
 
     /// Aggregates over all of `Q_v`.
+    // bct-lint: no_alloc
     pub fn totals(&self, v: usize) -> AggSums {
         let t = self.roots[v];
         if t == NIL {
@@ -400,6 +406,7 @@ impl QueueAggregates {
     }
 
     /// Aggregates over entries with key strictly before `key`.
+    // bct-lint: no_alloc
     pub fn before(&self, v: usize, key: &QueueKey) -> AggSums {
         let mut acc = AggSums::default();
         let mut t = self.roots[v];
@@ -421,6 +428,7 @@ impl QueueAggregates {
     /// Aggregates over entries with effective size strictly greater than
     /// `eff` (any release / id). Summed directly over the suffix — not
     /// as `totals − prefix` — so no cancellation error sneaks in.
+    // bct-lint: no_alloc
     pub fn above_eff(&self, v: usize, eff: f64) -> AggSums {
         let mut acc = AggSums::default();
         let mut t = self.roots[v];

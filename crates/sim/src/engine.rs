@@ -244,13 +244,13 @@ impl Simulation {
             let arr_t = jobs_list.get(next_arrival).map(|j| j.release);
             // At equal times, hop completions run before arrivals so
             // dispatch decisions see settled queues.
-            let take_finish = match (fin_t, arr_t) {
+            let (take_finish, t) = match (fin_t, arr_t) {
                 (None, None) => break,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some(ft), Some(at)) => ft <= at,
+                (Some(ft), None) => (true, ft),
+                (None, Some(at)) => (false, at),
+                (Some(ft), Some(at)) if ft <= at => (true, ft),
+                (Some(_), Some(at)) => (false, at),
             };
-            let t = if take_finish { fin_t.unwrap() } else { arr_t.unwrap() };
             if cfg.horizon.is_some_and(|h| t > h) {
                 break;
             }
@@ -262,7 +262,10 @@ impl Simulation {
             }
             st.advance(t);
             if take_finish {
-                let FinishEv { node, version, .. } = evq.pop().expect("peeked");
+                let Some(FinishEv { node, version, .. }) = evq.pop() else {
+                    debug_assert!(false, "take_finish implies a peeked event");
+                    break;
+                };
                 if st.node_version(node) != version {
                     continue; // stale: the node's job changed since scheduling
                 }
@@ -274,8 +277,12 @@ impl Simulation {
                     }
                 }
                 if st.view().completion(job).is_none() {
-                    let next = st.view().current_node_of(job).expect("in flight");
-                    Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq);
+                    match st.view().current_node_of(job) {
+                        Some(next) => {
+                            Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq)
+                        }
+                        None => debug_assert!(false, "unfinished job must be in flight"),
+                    }
                 }
                 if st.pick_next(node) {
                     Self::schedule_current(&mut st, node, &mut trace, &mut evq);
@@ -316,6 +323,7 @@ impl Simulation {
 
     /// Offer `job` to `node`; if the node's current job changed,
     /// trace the preemption/start and (re-)schedule the finish event.
+    // bct-lint: no_alloc
     fn offer(
         st: &mut SimState<'_>,
         node: NodeId,
@@ -335,6 +343,7 @@ impl Simulation {
     }
 
     /// Trace the start of `node`'s current job and push its finish event.
+    // bct-lint: no_alloc
     fn schedule_current(
         st: &mut SimState<'_>,
         node: NodeId,
@@ -342,11 +351,14 @@ impl Simulation {
         evq: &mut EventQueue,
     ) {
         let now = st.view().now();
-        let j = st.view().current_job(node).expect("node just started a job");
+        let (Some(j), Some(t_fin)) = (st.view().current_job(node), st.predicted_finish(node))
+        else {
+            debug_assert!(false, "schedule_current called on an idle node");
+            return;
+        };
         if let Some(tr) = trace.as_mut() {
             tr.push(now, node, j, TraceKind::Start);
         }
-        let t_fin = st.predicted_finish(node).expect("busy node");
         let version = st.node_version(node);
         evq.push(t_fin.max(now), node, version);
     }

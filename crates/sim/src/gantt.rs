@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 /// Per-node busy intervals extracted from a trace:
 /// `(start, end, job)` triples in chronological order.
 pub fn busy_intervals(trace: &Trace) -> Vec<(NodeId, Time, Time, JobId)> {
-    let mut open: std::collections::HashMap<u32, (Time, JobId)> = Default::default();
+    let mut open: std::collections::BTreeMap<u32, (Time, JobId)> = Default::default();
     let mut out = Vec::new();
     for e in &trace.events {
         match e.kind {
@@ -26,7 +26,7 @@ pub fn busy_intervals(trace: &Trace) -> Vec<(NodeId, Time, Time, JobId)> {
             _ => {}
         }
     }
-    out.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap());
+    out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
     out
 }
 
@@ -61,7 +61,7 @@ pub fn render(inst: &Instance, trace: &Trace, cols: usize) -> String {
                 let b1 = b0 + dt;
                 let overlap = (t1.min(b1) - t0.max(b0)).max(0.0);
                 if overlap >= 0.5 * dt || (overlap > 0.0 && t1 - t0 < dt) {
-                    *slot = char::from_digit(j.0 % 10, 10).unwrap();
+                    *slot = char::from_digit(j.0 % 10, 10).unwrap_or('?');
                 }
             }
         }
@@ -152,5 +152,17 @@ mod tests {
         let (inst, trace) = traced_run();
         let s = render(&inst, &trace, 1);
         assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn two_runs_render_identically() {
+        // Regression for the D1 fix: interval extraction used a
+        // default-hasher HashMap; gantt output must be byte-identical
+        // across runs (and across processes — the hasher seed differed
+        // per process, this test at least pins the in-process pair).
+        let (inst_a, trace_a) = traced_run();
+        let (inst_b, trace_b) = traced_run();
+        assert_eq!(busy_intervals(&trace_a), busy_intervals(&trace_b));
+        assert_eq!(render(&inst_a, &trace_a, 40), render(&inst_b, &trace_b, 40));
     }
 }

@@ -134,6 +134,7 @@ impl SimOutcome {
         self.completions
             .iter()
             .zip(releases)
+            // bct-lint: allow(p1) -- documented `# Panics` API; the assert above already guarantees finiteness
             .map(|(c, r)| c.expect("all finished") - r)
             .sum()
     }
@@ -148,6 +149,7 @@ impl SimOutcome {
         self.completions
             .iter()
             .zip(releases)
+            // bct-lint: allow(p1) -- documented `# Panics` API; the assert above already guarantees finiteness
             .map(|(c, r)| c.expect("all finished") - r)
             .fold(0.0, f64::max)
     }
@@ -161,6 +163,7 @@ impl SimOutcome {
         self.completions
             .iter()
             .zip(releases.iter().zip(weights))
+            // bct-lint: allow(p1) -- documented `# Panics` API; the assert above already guarantees finiteness
             .map(|(c, (r, w))| w * (c.expect("all finished") - r))
             .sum()
     }
@@ -173,6 +176,7 @@ impl SimOutcome {
             .completions
             .iter()
             .zip(releases)
+            // bct-lint: allow(p1) -- documented `# Panics` API; the assert above already guarantees finiteness
             .map(|(c, r)| (c.expect("all finished") - r).powf(k))
             .sum();
         sum.powf(1.0 / k)

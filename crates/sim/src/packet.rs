@@ -62,6 +62,7 @@ pub fn run_packetized(
     assert!(packet_size > 0.0);
     assert_eq!(assignments.len(), inst.n());
     let tree = inst.tree();
+    // bct-lint: allow(p1) -- experiment entry point with caller-validated speeds; documented panic
     let speed = speeds.materialize(tree).expect("valid speeds");
     let n = inst.n();
 

@@ -44,10 +44,12 @@ impl Ord for PolicyKey {
     fn cmp(&self, other: &Self) -> Ordering {
         self.primary
             .partial_cmp(&other.primary)
+            // bct-lint: allow(p1) -- a NaN key is a policy bug and must fail loudly, not sort arbitrarily
             .expect("NaN policy key")
             .then_with(|| {
                 self.secondary
                     .partial_cmp(&other.secondary)
+                    // bct-lint: allow(p1) -- a NaN key is a policy bug and must fail loudly, not sort arbitrarily
                     .expect("NaN policy key")
             })
             .then_with(|| self.tiebreak.cmp(&other.tiebreak))

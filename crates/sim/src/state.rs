@@ -275,6 +275,7 @@ impl<'a> SimState<'a> {
     /// Advance the clock to `t`, integrating both objectives exactly
     /// (the fractional sum is linear between events, so its integral is
     /// the closed-form quadrature below).
+    // bct-lint: no_alloc
     pub(crate) fn advance(&mut self, t: Time) {
         debug_assert!(approx_le(self.now, t), "time went backwards: {} -> {t}", self.now);
         let dt = (t - self.now).max(0.0);
@@ -329,6 +330,7 @@ impl<'a> SimState<'a> {
 
     /// Bring the node's in-flight job's `rem` up to `now`, keeping the
     /// node's queue aggregate in sync.
+    // bct-lint: no_alloc
     pub(crate) fn materialize_current(&mut self, v: NodeId) {
         if let Some((j, _)) = self.nodes[v.as_usize()].current {
             let s = self.speed(v);
@@ -350,6 +352,7 @@ impl<'a> SimState<'a> {
     /// configured, raw `p_{j,v}` otherwise, with (release, id)
     /// tie-breaks — the exact order of `sjf_precedes_or_eq`.
     #[inline]
+    // bct-lint: no_alloc
     pub(crate) fn queue_key(&self, v: NodeId, j: JobId) -> QueueKey {
         let p = self.p_at(j, v);
         QueueKey {
@@ -363,6 +366,7 @@ impl<'a> SimState<'a> {
     }
 
     /// Live remaining work of job `j` at its current hop.
+    // bct-lint: no_alloc
     pub(crate) fn live_rem(&self, j: JobId) -> Time {
         let ji = j.as_usize();
         if self.jobs.working[ji] {
@@ -376,6 +380,7 @@ impl<'a> SimState<'a> {
     /// Register a freshly released job: record its leaf, span the CSR
     /// arenas, and enter it into `Q_v` for every hop. Does not enqueue
     /// it anywhere yet. Allocation-free once the arenas are warm.
+    // bct-lint: no_alloc
     pub(crate) fn admit(&mut self, j: JobId, leaf: NodeId) {
         let inst = self.instance;
         let path = inst.path_of(j, leaf);
@@ -411,6 +416,7 @@ impl<'a> SimState<'a> {
     /// Make `j` available at node `v` (its current hop) and resolve
     /// preemption. Returns `true` iff the node's current job changed
     /// (caller must bump scheduling).
+    // bct-lint: no_alloc
     pub(crate) fn enqueue(&mut self, v: NodeId, j: JobId, policy: &dyn NodePolicy) -> bool {
         let key = self.key_of(policy, v, j, self.live_rem(j));
         let vi = v.as_usize();
@@ -451,6 +457,7 @@ impl<'a> SimState<'a> {
     }
 
     /// Begin processing `j` on `v` (which must be idle).
+    // bct-lint: no_alloc
     fn start(&mut self, v: NodeId, j: JobId, key: PolicyKey) {
         let vi = v.as_usize();
         debug_assert!(self.nodes[vi].current.is_none());
@@ -469,8 +476,10 @@ impl<'a> SimState<'a> {
     /// Stop processing the node's current job (for preemption or hop
     /// completion); leaves `current = None`. The job's `rem` must
     /// already be materialized.
+    // bct-lint: no_alloc
     fn stop_current(&mut self, v: NodeId) {
         let vi = v.as_usize();
+        // bct-lint: allow(p1) -- engine only stops nodes it saw busy; harness catch_unwind converts violations to Failed rows
         let (j, _) = self.nodes[vi].current.take().expect("stopping an idle node");
         self.nodes[vi].version += 1;
         self.nodes[vi].busy += self.now - self.nodes[vi].busy_since;
@@ -485,11 +494,13 @@ impl<'a> SimState<'a> {
     /// Finish the current job's hop at `v`. Returns the job, which is
     /// afterwards either complete or waiting to be enqueued at the next
     /// hop by the caller.
+    // bct-lint: no_alloc
     pub(crate) fn finish_current_hop(&mut self, v: NodeId) -> JobId {
         // Materialize the scalar columns only: the aggregate entry is
         // removed below, and removal rebuilds ancestor sums from the
         // surviving entries, so writing the (dead) entry's remainder
         // first would be a wasted treap walk.
+        // bct-lint: allow(p1) -- finish events carry a version check; a stale node is skipped before this call
         let (j, _) = self.nodes[v.as_usize()].current.expect("finishing an idle node");
         let ji = j.as_usize();
         debug_assert!(self.jobs.working[ji]);
@@ -523,6 +534,7 @@ impl<'a> SimState<'a> {
 
     /// Pull the next job (if any) from `v`'s waiting heap and start it.
     /// Returns `true` if a job was started.
+    // bct-lint: no_alloc
     pub(crate) fn pick_next(&mut self, v: NodeId) -> bool {
         let vi = v.as_usize();
         debug_assert!(self.nodes[vi].current.is_none());
@@ -536,8 +548,10 @@ impl<'a> SimState<'a> {
 
     /// Drop `j` from `Q_v` with position-tracked swap removal, and from
     /// the node's aggregate.
+    // bct-lint: no_alloc
     fn remove_from_q(&mut self, v: NodeId, j: JobId) {
         let ji = j.as_usize();
+        // bct-lint: allow(p1) -- only called for jobs the engine enqueued at v; harness catch_unwind fault-isolates
         let h = self.hop_at(j, v).expect("job routed through node");
         let off = self.jobs.span[ji].0 as usize;
         let pos = self.jobs.q_pos[off + h] as usize;

@@ -156,6 +156,15 @@ pub mod de {
 pub use de::{Deserialize, DeserializeOwned, Deserializer};
 pub use ser::{Serialize, Serializer};
 
+// Upstream `serde_json::Value` deserializes as itself; mirroring that
+// lets callers parse arbitrary JSON into a `Value` tree for structural
+// assertions without declaring a typed schema.
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}
+
 /// Serializer that just hands back the value tree.
 pub struct ValueSerializer;
 
