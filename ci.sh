@@ -7,6 +7,13 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q --workspace
 
+# Differential event-queue/aggregate suite, run explicitly (it is part
+# of the workspace suite above, but this PR-5 contract — calendar queue
+# and flat aggregates bit-identical to the heap/treap oracle — must
+# fail loudly on its own line).
+cargo test -q --release -p bct-sim --test differential_queue
+cargo test -q --release -p bct-sim --test scratch_alloc
+
 # Determinism/zero-alloc contract lint: fails on any unbaselined
 # violation (see DESIGN.md §11). Runs before clippy so contract breaks
 # surface with bct-lint's spans, not clippy's generic diagnostics.
@@ -19,14 +26,18 @@ cargo run -q --release -p bct-lint -- --machine target/LINT.json
 cargo clippy --all-targets -- -D warnings \
     --force-warn clippy::float-cmp --force-warn clippy::unwrap-used
 
-# Golden sweep: a 2-worker run must reproduce the checked-in JSONL byte
+# Golden sweeps: 2-worker runs must reproduce the checked-in JSONL byte
 # for byte (the harness's determinism contract, end to end through the
-# CLI).
+# CLI). The heavy-tail grid exercises the aggregate fast path (greedy
+# dispatch with raw sizes) under Pareto sizes at rho up to 2.
 golden_out=$(mktemp)
 trap 'rm -f "$golden_out"' EXIT
 cargo run -q --release -p bct-cli -- sweep \
     --spec specs/golden_sweep.json --workers 2 --out "$golden_out" --quiet >/dev/null
 diff specs/golden_sweep.expected.jsonl "$golden_out"
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep_heavytail.json --workers 2 --out "$golden_out" --quiet >/dev/null
+diff specs/golden_sweep_heavytail.expected.jsonl "$golden_out"
 
 # Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
 # scaling at 4 workers only on machines with >=4 cores.
@@ -37,4 +48,17 @@ cargo bench -q -p bct-bench --bench sweep_throughput
 # inside the bench itself. Fail loudly here if the JSON is missing or
 # malformed so downstream tooling can rely on it.
 cargo bench -q -p bct-bench --bench sim_throughput
-python3 -c 'import json; d = json.load(open("target/BENCH_sim.json")); print("sim bench:", d["jobs_per_s_scratch"], "jobs/s with scratch")'
+python3 - <<'EOF'
+import json
+d = json.load(open("target/BENCH_sim.json"))
+base = json.load(open("specs/BENCH_sim_baseline.json"))
+rate, floor = d["jobs_per_s_scratch"], 0.9 * base["jobs_per_s_scratch"]
+print(f"sim bench: {rate} jobs/s with scratch (floor {floor:.0f}, PR-{base['recorded_pr']} baseline {base['jobs_per_s_scratch']})")
+if rate < floor:
+    raise SystemExit(f"sim throughput regressed >10% vs the recorded PR-{base['recorded_pr']} baseline: {rate} < {floor:.0f}")
+EOF
+
+# Event-queue microbenchmark: calendar/radix queue vs the binary-heap
+# oracle on the hold model; asserts identical pop order while timing
+# and emits target/BENCH_event_queue.json.
+cargo bench -q -p bct-bench --bench event_queue

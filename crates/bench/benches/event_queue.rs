@@ -1,0 +1,89 @@
+//! Event-queue microbenchmark: the calendar/radix queue against the
+//! binary-heap oracle on the hold model — `n` live events, each pop
+//! followed by a push a random increment later, the exact access
+//! pattern the simulation engine produces (one pending finish per busy
+//! node). Reports ns/op per implementation and their ratio, and writes
+//! `target/BENCH_event_queue.json`.
+//!
+//! Pop order is asserted identical while timing, so the bench doubles
+//! as a coarse differential check at sizes the proptest suite does not
+//! reach.
+
+use bct_core::NodeId;
+use bct_sim::{EventQueue, EventQueueKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Hold-model rounds per measurement: pop one event, push its
+/// replacement.
+const OPS: usize = 200_000;
+
+/// xorshift64* step — deterministic increments without an RNG dep.
+fn step(x: &mut u64) -> u64 {
+    *x ^= *x << 13;
+    *x ^= *x >> 7;
+    *x ^= *x << 17;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// Run `OPS` hold rounds on `n` live events; returns (elapsed, checksum).
+fn hold(kind: EventQueueKind, n: usize) -> (Duration, u64) {
+    let mut q = EventQueue::default();
+    q.reset(kind);
+    let mut x = 0x9E37_79B9_97F4_A7C1u64 ^ n as u64;
+    for i in 0..n {
+        q.push((step(&mut x) % 4096) as f64 / 16.0, NodeId(i as u32), 0);
+    }
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    for _ in 0..OPS {
+        let ev = q.pop().expect("hold model never drains");
+        checksum = checksum.wrapping_mul(31).wrapping_add(ev.seq);
+        let t = ev.t.0 + (step(&mut x) % 256) as f64 / 32.0;
+        q.push(t, ev.node, ev.version + 1);
+    }
+    (start.elapsed(), checksum)
+}
+
+fn event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    let mut report = String::from("{\"bench\": \"event_queue\", \"ops\": 200000, \"sizes\": {");
+    for (i, n) in [64usize, 1024, 16 * 1024].into_iter().enumerate() {
+        // Best-of-7 per implementation; the min filters scheduler noise.
+        let mut best = [Duration::MAX; 2];
+        let mut sums = [0u64; 2];
+        for _ in 0..7 {
+            let (dt_cal, ck_cal) = hold(EventQueueKind::Calendar, n);
+            let (dt_heap, ck_heap) = hold(EventQueueKind::BinaryHeap, n);
+            assert_eq!(ck_cal, ck_heap, "pop order diverged at n={n}");
+            best[0] = best[0].min(dt_cal);
+            best[1] = best[1].min(dt_heap);
+            sums = [ck_cal, ck_heap];
+        }
+        black_box(sums);
+        let ns = |d: Duration| d.as_nanos() as f64 / OPS as f64;
+        let (cal, heap) = (ns(best[0]), ns(best[1]));
+        g.bench_function(BenchmarkId::new("calendar", n), |b| {
+            b.iter_custom(|_| best[0])
+        });
+        g.bench_function(BenchmarkId::new("binary-heap", n), |b| {
+            b.iter_custom(|_| best[1])
+        });
+        let sep = if i == 0 { "" } else { ", " };
+        report.push_str(&format!(
+            "{sep}\"{n}\": {{\"calendar_ns_per_op\": {cal:.1}, \
+             \"heap_ns_per_op\": {heap:.1}, \"speedup\": {:.3}}}",
+            heap / cal
+        ));
+        println!("event_queue n={n}: calendar {cal:.1} ns/op, heap {heap:.1} ns/op ({:.2}x)", heap / cal);
+    }
+    report.push_str("}}\n");
+    g.finish();
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_event_queue.json");
+    std::fs::write(out, &report).expect("write BENCH_event_queue.json");
+}
+
+criterion_group!(benches, event_queue);
+criterion_main!(benches);

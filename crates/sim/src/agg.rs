@@ -1,29 +1,51 @@
 //! Per-node priority-indexed queue aggregates.
 //!
-//! Every node `v` keeps its live queue `Q_v(t)` in an order-statistic
-//! treap keyed by SJF priority (effective size, release, id). Each
-//! entry stores the job's remaining work at `v` and its *fractional*
-//! remainder `rem/p`, and every subtree maintains `(count, Σrem,
-//! Σrem/p)`. The §3.4 assignment-cost terms then reduce to two
-//! `O(log |Q_v|)` prefix queries per node instead of an `O(|Q_v|)`
-//! scan per candidate leaf:
+//! Every node `v` keeps its live queue `Q_v(t)` indexed by SJF priority
+//! (effective size, release, id). Each entry stores the job's remaining
+//! work at `v` and its *fractional* remainder `rem/p`, and range sums
+//! `(count, Σrem, Σrem/p)` are maintained so the §3.4 assignment-cost
+//! terms reduce to two sub-linear prefix queries per node instead of an
+//! `O(|Q_v|)` scan per candidate leaf:
 //!
 //! * `S`-volume: sum of `rem` over keys strictly before the job's key;
-//! * larger-count / larger-fraction: totals minus the prefix at
-//!   `eff ≤ p_j`.
+//! * larger-count / larger-fraction: the suffix at `eff > p_j`.
+//!
+//! Two layouts implement the same contract behind [`AggStore`]:
+//!
+//! * [`AggLayout::Flat`] (default) — per node, three parallel sorted
+//!   arrays plus fixed-width block summaries ([`BLOCK`] entries per
+//!   block). Inserts/removals are a binary search plus a memmove and a
+//!   suffix of block recomputations; point updates recompute one
+//!   block; queries sum whole-block summaries plus a partial block of
+//!   entries, always left-to-right. Block boundaries — and therefore
+//!   the float summation order — are a function of the *current*
+//!   contents only, never of operation history.
+//! * [`AggLayout::Treap`] — the original order-statistic treap (arena,
+//!   `u32` links, free list, deterministic xorshift priorities), kept
+//!   as the oracle the flat layout's property tests and the engine's
+//!   differential suite compare against.
 //!
 //! Stored remainders are *as of the node's last materialization*; the
 //! one continuously-draining job per node (its `current`) is corrected
 //! at query time by [`crate::state::SimState`], which knows its live
-//! remainder. All entries for one simulation live in a single arena
-//! (`u32` links, free list), so per-node trees cost no allocations
-//! after warm-up.
-//!
-//! Treap priorities come from a deterministic xorshift stream, keeping
-//! runs reproducible.
+//! remainder. Both layouts are pooled in [`crate::SimScratch`], so
+//! per-node queues cost no allocations after warm-up.
 
 use bct_core::Time;
 use std::cmp::Ordering;
+
+/// Which per-node aggregate layout a run maintains (see the module
+/// docs). Query results may differ in final float bits between layouts
+/// on non-dyadic sizes (different summation order); on dyadic sizes
+/// they are bit-identical, which is what the differential suites pin.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AggLayout {
+    /// Flattened sorted-run layout with block summaries (default).
+    #[default]
+    Flat,
+    /// The randomized treap, kept as the differential oracle.
+    Treap,
+}
 
 /// Sentinel for "no child" / "empty tree".
 const NIL: u32 = u32::MAX;
@@ -90,9 +112,15 @@ impl AggSums {
 
     #[inline]
     fn add_entry(&mut self, e: &Entry) {
+        self.add_raw(e.rem, e.p);
+    }
+
+    /// Fold one `(rem, p)` entry into the sums.
+    #[inline]
+    fn add_raw(&mut self, rem: f64, p: f64) {
         self.cnt += 1;
-        self.sum_rem += e.rem;
-        self.sum_frac += e.rem / e.p;
+        self.sum_rem += rem;
+        self.sum_frac += rem / p;
     }
 }
 
@@ -448,6 +476,255 @@ impl QueueAggregates {
     }
 }
 
+/// Entries per summary block of the flat layout. Small enough that a
+/// partial-block scan is a handful of cache-resident adds, large
+/// enough that whole-queue queries touch `|Q|/16` summaries.
+const BLOCK: usize = 16;
+
+/// One node's queue in the flat layout: parallel arrays sorted by
+/// [`QueueKey`], plus one [`AggSums`] per fixed-width block of entries.
+#[derive(Debug, Default)]
+struct FlatNode {
+    keys: Vec<QueueKey>,
+    rem: Vec<f64>,
+    p: Vec<f64>,
+    sums: Vec<AggSums>,
+}
+
+impl FlatNode {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.rem.clear();
+        self.p.clear();
+        self.sums.clear();
+    }
+
+    /// Index of `key`, or where it would insert.
+    #[inline]
+    fn find(&self, key: &QueueKey) -> Result<usize, usize> {
+        self.keys.binary_search_by(|k| k.cmp(key))
+    }
+
+    /// Recompute the summary of block `b` from its entries, summing
+    /// left to right — the canonical order every query also uses.
+    // bct-lint: no_alloc
+    fn rebuild_block(&mut self, b: usize) {
+        let lo = b * BLOCK;
+        let hi = (lo + BLOCK).min(self.keys.len());
+        let mut s = AggSums::default();
+        for i in lo..hi {
+            s.add_raw(self.rem[i], self.p[i]);
+        }
+        self.sums[b] = s;
+    }
+
+    /// Resize the summary vector and recompute blocks `b0..` — every
+    /// block whose entry window shifted under an insert/remove at an
+    /// index inside block `b0`.
+    fn rebuild_from(&mut self, b0: usize) {
+        let nblocks = self.keys.len().div_ceil(BLOCK);
+        self.sums.resize(nblocks, AggSums::default());
+        for b in b0..nblocks {
+            self.rebuild_block(b);
+        }
+    }
+}
+
+/// The flat (sorted-run) aggregate layout: one [`FlatNode`] per tree
+/// node. Same operation contract and panic messages as
+/// [`QueueAggregates`].
+#[derive(Debug, Default)]
+pub(crate) struct FlatAggregates {
+    nodes: Vec<FlatNode>,
+}
+
+impl FlatAggregates {
+    /// Fresh aggregates over `num_nodes` queues (test convenience).
+    #[cfg(test)]
+    pub fn new(num_nodes: usize) -> FlatAggregates {
+        let mut agg = FlatAggregates::default();
+        agg.reset(num_nodes);
+        agg
+    }
+
+    /// Clear all queues, keeping every buffer's capacity. Nodes beyond
+    /// `num_nodes` from an earlier larger reset are kept (cleared) so
+    /// their capacities survive alternating layouts/topologies.
+    pub fn reset(&mut self, num_nodes: usize) {
+        for n in &mut self.nodes {
+            n.clear();
+        }
+        if self.nodes.len() < num_nodes {
+            self.nodes.resize_with(num_nodes, FlatNode::default);
+        }
+    }
+
+    /// Insert a job entering `Q_v` with full requirement `p` remaining.
+    pub fn insert(&mut self, v: usize, key: QueueKey, p: f64) {
+        let n = &mut self.nodes[v];
+        let idx = match n.find(&key) {
+            Err(i) => i,
+            Ok(_) => {
+                debug_assert!(false, "duplicate queue key (job ids are unique)");
+                return;
+            }
+        };
+        n.keys.insert(idx, key);
+        n.rem.insert(idx, p);
+        n.p.insert(idx, p);
+        n.rebuild_from(idx / BLOCK);
+    }
+
+    /// Remove the entry with exactly `key` from `Q_v`.
+    pub fn remove(&mut self, v: usize, key: &QueueKey) {
+        let n = &mut self.nodes[v];
+        let Ok(idx) = n.find(key) else {
+            // bct-lint: allow(p1) -- same contract as the treap: an absent key is an engine bug; harness catch_unwind fault-isolates
+            panic!("removing a job that is not in the queue");
+        };
+        n.keys.remove(idx);
+        n.rem.remove(idx);
+        n.p.remove(idx);
+        n.rebuild_from(idx / BLOCK);
+    }
+
+    /// Update the stored remainder of the entry with `key` in `Q_v`.
+    /// Only that entry's block summary is recomputed.
+    // bct-lint: no_alloc
+    pub fn set_rem(&mut self, v: usize, key: &QueueKey, rem: f64) {
+        let n = &mut self.nodes[v];
+        let Ok(idx) = n.find(key) else {
+            // bct-lint: allow(p1) -- same contract as the treap: an absent key is an engine bug; harness catch_unwind fault-isolates
+            panic!("updating a job that is not in the queue");
+        };
+        n.rem[idx] = rem;
+        n.rebuild_block(idx / BLOCK);
+    }
+
+    /// Aggregates over all of `Q_v`: the block summaries left to right.
+    // bct-lint: no_alloc
+    pub fn totals(&self, v: usize) -> AggSums {
+        let n = &self.nodes[v];
+        let mut acc = AggSums::default();
+        for s in &n.sums {
+            acc.add(*s);
+        }
+        acc
+    }
+
+    /// Aggregates over entries with key strictly before `key`: whole
+    /// blocks first, then the partial block entry by entry — all left
+    /// to right.
+    // bct-lint: no_alloc
+    pub fn before(&self, v: usize, key: &QueueKey) -> AggSums {
+        let n = &self.nodes[v];
+        let idx = n.keys.partition_point(|k| k.cmp(key) == Ordering::Less);
+        let full = idx / BLOCK;
+        let mut acc = AggSums::default();
+        for b in 0..full {
+            acc.add(n.sums[b]);
+        }
+        for i in full * BLOCK..idx {
+            acc.add_raw(n.rem[i], n.p[i]);
+        }
+        acc
+    }
+
+    /// Aggregates over entries with effective size strictly greater
+    /// than `eff` (any release / id) — a key-order suffix. Summed
+    /// directly (leading partial block entry by entry, then whole
+    /// blocks), never as `totals − prefix`, so no cancellation error
+    /// sneaks in.
+    // bct-lint: no_alloc
+    pub fn above_eff(&self, v: usize, eff: f64) -> AggSums {
+        let n = &self.nodes[v];
+        let len = n.keys.len();
+        let start = n.keys.partition_point(|k| k.eff <= eff);
+        let first_full = start.div_ceil(BLOCK);
+        let mut acc = AggSums::default();
+        for i in start..(first_full * BLOCK).min(len) {
+            acc.add_raw(n.rem[i], n.p[i]);
+        }
+        for b in first_full..n.sums.len() {
+            acc.add(n.sums[b]);
+        }
+        acc
+    }
+}
+
+/// The engine-facing aggregate store: owns both layouts (so one pooled
+/// scratch serves either mode without reallocating) and dispatches on
+/// the [`AggLayout`] selected at [`AggStore::reset`].
+#[derive(Debug, Default)]
+pub(crate) struct AggStore {
+    layout: AggLayout,
+    flat: FlatAggregates,
+    treap: QueueAggregates,
+}
+
+impl AggStore {
+    /// Clear both layouts for `num_nodes` queues and select `layout`
+    /// for this run, keeping every capacity.
+    pub fn reset(&mut self, layout: AggLayout, num_nodes: usize) {
+        self.layout = layout;
+        self.flat.reset(num_nodes);
+        self.treap.reset(num_nodes);
+    }
+
+    /// Insert a job entering `Q_v` with full requirement `p` remaining.
+    pub fn insert(&mut self, v: usize, key: QueueKey, p: f64) {
+        match self.layout {
+            AggLayout::Flat => self.flat.insert(v, key, p),
+            AggLayout::Treap => self.treap.insert(v, key, p),
+        }
+    }
+
+    /// Remove the entry with exactly `key` from `Q_v`.
+    pub fn remove(&mut self, v: usize, key: &QueueKey) {
+        match self.layout {
+            AggLayout::Flat => self.flat.remove(v, key),
+            AggLayout::Treap => self.treap.remove(v, key),
+        }
+    }
+
+    /// Update the stored remainder of the entry with `key` in `Q_v`.
+    // bct-lint: no_alloc
+    pub fn set_rem(&mut self, v: usize, key: &QueueKey, rem: f64) {
+        match self.layout {
+            AggLayout::Flat => self.flat.set_rem(v, key, rem),
+            AggLayout::Treap => self.treap.set_rem(v, key, rem),
+        }
+    }
+
+    /// Aggregates over all of `Q_v`.
+    // bct-lint: no_alloc
+    pub fn totals(&self, v: usize) -> AggSums {
+        match self.layout {
+            AggLayout::Flat => self.flat.totals(v),
+            AggLayout::Treap => self.treap.totals(v),
+        }
+    }
+
+    /// Aggregates over entries with key strictly before `key`.
+    // bct-lint: no_alloc
+    pub fn before(&self, v: usize, key: &QueueKey) -> AggSums {
+        match self.layout {
+            AggLayout::Flat => self.flat.before(v, key),
+            AggLayout::Treap => self.treap.before(v, key),
+        }
+    }
+
+    /// Aggregates over entries with effective size strictly greater
+    /// than `eff`.
+    // bct-lint: no_alloc
+    pub fn above_eff(&self, v: usize, eff: f64) -> AggSums {
+        match self.layout {
+            AggLayout::Flat => self.flat.above_eff(v, eff),
+            AggLayout::Treap => self.treap.above_eff(v, eff),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +861,215 @@ mod tests {
         for agg in [&mut used, &mut fresh] {
             for i in 0..200 {
                 agg.insert(0, key((i % 13) as f64, i), f64::from(i + 1));
+            }
+            for i in (0..200).step_by(3) {
+                agg.remove(0, &key((i % 13) as f64, i));
+            }
+        }
+        for probe in 0..13 {
+            let k = key(probe as f64, 1000);
+            assert_eq!(used.before(0, &k), fresh.before(0, &k));
+            assert_eq!(used.above_eff(0, probe as f64), fresh.above_eff(0, probe as f64));
+        }
+        assert_eq!(used.totals(0), fresh.totals(0));
+    }
+
+    #[test]
+    fn flat_empty_queue_yields_zero() {
+        let agg = FlatAggregates::new(3);
+        assert_eq!(agg.totals(2), AggSums::default());
+        assert_eq!(agg.before(2, &key(1.0, 0)), AggSums::default());
+        assert_eq!(agg.above_eff(2, 0.0), AggSums::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the queue")]
+    fn flat_removing_missing_entry_panics() {
+        let mut agg = FlatAggregates::new(1);
+        agg.insert(0, key(1.0, 0), 1.0);
+        agg.remove(0, &key(2.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the queue")]
+    fn flat_updating_missing_entry_panics() {
+        let mut agg = FlatAggregates::new(1);
+        agg.set_rem(0, &key(1.0, 0), 0.5);
+    }
+
+    /// Exercise every block-boundary case: queue sizes spanning one
+    /// block, exactly one block, and multiple blocks, with inserts and
+    /// removals landing in first/middle/last blocks.
+    #[test]
+    fn flat_block_boundaries_match_brute_force() {
+        for n in [1, BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK, 3 * BLOCK + 7] {
+            let mut agg = FlatAggregates::new(1);
+            let mut mir = Mirror::default();
+            for i in 0..n as u32 {
+                let p = f64::powi(2.0, (i % 4) as i32);
+                let k = key(((i * 7) % 16) as f64 * 0.5, i);
+                agg.insert(0, k, p);
+                mir.0.push((k, p, p));
+            }
+            // Remove from the front, middle, and back blocks.
+            for victim in [0u32, (n as u32) / 2, n as u32 - 1] {
+                if let Some(pos) = mir.0.iter().position(|(k, _, _)| k.id == victim) {
+                    let (k, _, _) = mir.0.swap_remove(pos);
+                    agg.remove(0, &k);
+                }
+            }
+            for probe_eff in 0..17 {
+                let probe = key(probe_eff as f64 * 0.5, u32::MAX);
+                assert_eq!(agg.before(0, &probe), mir.before(&probe), "n={n}");
+                assert_eq!(agg.above_eff(0, probe.eff), mir.above(probe.eff), "n={n}");
+            }
+            assert_eq!(agg.totals(0), mir.sums(|_| true), "n={n}");
+        }
+    }
+
+    /// The engine contract test: [`AggStore`] in both layouts, fed the
+    /// identical operation stream, answers every query bit-exactly the
+    /// same on dyadic sizes (where float sums are association-free, so
+    /// the layouts' different summation orders cannot diverge).
+    #[test]
+    fn store_layouts_agree_bit_exactly_on_dyadic_stream() {
+        let mut flat = AggStore::default();
+        flat.reset(AggLayout::Flat, 2);
+        let mut treap = AggStore::default();
+        treap.reset(AggLayout::Treap, 2);
+        let mut x = 99u64;
+        let mut step = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut live: Vec<Vec<(QueueKey, f64)>> = vec![Vec::new(); 2];
+        for i in 0..600u32 {
+            let v = (step() % 2) as usize;
+            match step() % 4 {
+                0 | 1 => {
+                    let p = f64::powi(2.0, (step() % 5) as i32 - 2);
+                    let k = QueueKey {
+                        eff: (step() % 8) as f64 * 0.5,
+                        release: (step() % 4) as f64 * 0.25,
+                        id: i,
+                    };
+                    flat.insert(v, k, p);
+                    treap.insert(v, k, p);
+                    live[v].push((k, p));
+                }
+                2 if !live[v].is_empty() => {
+                    let idx = (step() as usize) % live[v].len();
+                    let (k, _) = live[v].swap_remove(idx);
+                    flat.remove(v, &k);
+                    treap.remove(v, &k);
+                }
+                _ if !live[v].is_empty() => {
+                    // Materialization: shrink a stored remainder to a
+                    // dyadic fraction of p.
+                    let idx = (step() as usize) % live[v].len();
+                    let (k, p) = live[v][idx];
+                    let rem = p * 0.25 * (step() % 5) as f64;
+                    flat.set_rem(v, &k, rem);
+                    treap.set_rem(v, &k, rem);
+                }
+                _ => {}
+            }
+            for q in 0..2 {
+                let probe = QueueKey {
+                    eff: (step() % 8) as f64 * 0.5,
+                    release: (step() % 4) as f64 * 0.25,
+                    id: step() as u32 % 700,
+                };
+                assert_eq!(flat.totals(q), treap.totals(q), "step {i}");
+                assert_eq!(flat.before(q, &probe), treap.before(q, &probe), "step {i}");
+                assert_eq!(
+                    flat.above_eff(q, probe.eff),
+                    treap.above_eff(q, probe.eff),
+                    "step {i}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(64))]
+        /// Proptest-driven version of the dyadic agreement contract:
+        /// seeded random admit/materialize/remove interleavings over
+        /// two queues, flat vs treap, every query bit-exact after
+        /// every op.
+        #[test]
+        fn flat_matches_treap_on_proptest_interleavings(seed in 0u64..1_000_000) {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let mut step = move || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 33
+            };
+            let mut flat = AggStore::default();
+            flat.reset(AggLayout::Flat, 2);
+            let mut treap = AggStore::default();
+            treap.reset(AggLayout::Treap, 2);
+            let mut live: Vec<Vec<(QueueKey, f64)>> = vec![Vec::new(); 2];
+            let n_ops = 20 + (step() % 180) as u32;
+            for i in 0..n_ops {
+                let v = (step() % 2) as usize;
+                match step() % 4 {
+                    0 | 1 => {
+                        let p = f64::powi(2.0, (step() % 5) as i32 - 2);
+                        let k = QueueKey {
+                            eff: (step() % 8) as f64 * 0.5,
+                            release: (step() % 4) as f64 * 0.25,
+                            id: i,
+                        };
+                        flat.insert(v, k, p);
+                        treap.insert(v, k, p);
+                        live[v].push((k, p));
+                    }
+                    2 if !live[v].is_empty() => {
+                        let idx = (step() as usize) % live[v].len();
+                        let (k, _) = live[v].swap_remove(idx);
+                        flat.remove(v, &k);
+                        treap.remove(v, &k);
+                    }
+                    _ if !live[v].is_empty() => {
+                        let idx = (step() as usize) % live[v].len();
+                        let (k, p) = live[v][idx];
+                        let rem = p * 0.25 * (step() % 5) as f64;
+                        flat.set_rem(v, &k, rem);
+                        treap.set_rem(v, &k, rem);
+                    }
+                    _ => {}
+                }
+                let probe = QueueKey {
+                    eff: (step() % 8) as f64 * 0.5,
+                    release: (step() % 4) as f64 * 0.25,
+                    id: step() as u32 % 500,
+                };
+                for q in 0..2 {
+                    proptest::prop_assert_eq!(flat.totals(q), treap.totals(q));
+                    proptest::prop_assert_eq!(flat.before(q, &probe), treap.before(q, &probe));
+                    proptest::prop_assert_eq!(
+                        flat.above_eff(q, probe.eff),
+                        treap.above_eff(q, probe.eff)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_reset_matches_fresh_construction() {
+        let mut used = FlatAggregates::new(2);
+        for i in 0..100 {
+            used.insert(0, key((i % 7) as f64, i), 2.0);
+        }
+        for i in 0..50 {
+            used.remove(0, &key((i % 7) as f64, i));
+        }
+        used.reset(2);
+        let mut fresh = FlatAggregates::new(2);
+        for agg in [&mut used, &mut fresh] {
+            for i in 0..200 {
+                agg.insert(0, key((i % 13) as f64, i), f64::powi(2.0, (i % 3) as i32));
             }
             for i in (0..200).step_by(3) {
                 agg.remove(0, &key((i % 13) as f64, i));

@@ -1,14 +1,13 @@
 //! The event-driven engine.
 
+use crate::agg::AggLayout;
+use crate::evq::{EventQueue, EventQueueKind, FinishEv};
 use crate::outcome::{HopFinishes, SimOutcome};
 use crate::policy::{AssignmentPolicy, NodePolicy, Probe};
 use crate::scratch::SimScratch;
 use crate::state::SimState;
 use crate::trace::{Trace, TraceKind};
-use bct_core::time::OrderedTime;
 use bct_core::{ClassRounding, CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::mem;
 
@@ -27,6 +26,15 @@ pub struct SimConfig {
     /// (`None` = raw sizes). Dispatch policies whose own rounding
     /// matches get `O(log)` scoring queries instead of queue scans.
     pub dispatch_rounding: Option<ClassRounding>,
+    /// Pending-event queue implementation. The calendar queue (default)
+    /// and the binary heap pop in the same order, so outputs are
+    /// byte-identical; the heap is kept as the differential oracle.
+    pub event_queue: EventQueueKind,
+    /// Queue-aggregate layout. The flat layout (default) and the treap
+    /// answer queries in different float-summation orders, so greedy
+    /// scores may differ in final bits on non-dyadic sizes; the treap
+    /// is kept as the differential oracle.
+    pub aggregates: AggLayout,
 }
 
 impl SimConfig {
@@ -43,6 +51,8 @@ impl SimConfig {
             horizon: None,
             max_events: 1 << 34,
             dispatch_rounding: None,
+            event_queue: EventQueueKind::default(),
+            aggregates: AggLayout::default(),
         }
     }
 
@@ -56,6 +66,26 @@ impl SimConfig {
     pub fn with_dispatch_rounding(mut self, rounding: ClassRounding) -> SimConfig {
         self.dispatch_rounding = Some(rounding);
         self
+    }
+
+    /// Select the pending-event queue implementation.
+    pub fn with_event_queue(mut self, kind: EventQueueKind) -> SimConfig {
+        self.event_queue = kind;
+        self
+    }
+
+    /// Select the queue-aggregate layout.
+    pub fn with_aggregates(mut self, layout: AggLayout) -> SimConfig {
+        self.aggregates = layout;
+        self
+    }
+
+    /// Compat mode: the binary event heap and the treap aggregates —
+    /// the oracle configuration the differential suite compares the
+    /// defaults against.
+    pub fn compat_structures(self) -> SimConfig {
+        self.with_event_queue(EventQueueKind::BinaryHeap)
+            .with_aggregates(AggLayout::Treap)
     }
 }
 
@@ -88,74 +118,6 @@ impl fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
-
-/// A scheduled hop-finish event. Only the `(t, seq)` pair participates
-/// in the heap order — earlier time first, then FIFO by push sequence
-/// for determinism; `node`/`version` ride along as payload. (The
-/// sequence is `u64`, not `u32`: `max_events` defaults to `2^34`, so a
-/// 32-bit counter could wrap within one run.)
-#[derive(Clone, Copy, Debug)]
-struct FinishEv {
-    t: OrderedTime,
-    seq: u64,
-    node: NodeId,
-    version: u64,
-}
-
-impl PartialEq for FinishEv {
-    fn eq(&self, other: &FinishEv) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-
-impl Eq for FinishEv {}
-
-impl PartialOrd for FinishEv {
-    fn partial_cmp(&self, other: &FinishEv) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for FinishEv {
-    fn cmp(&self, other: &FinishEv) -> Ordering {
-        (self.t, self.seq).cmp(&(other.t, other.seq))
-    }
-}
-
-/// Min-heap of pending hop-finishes. Arrivals never enter the heap:
-/// instances validate release-sorted jobs, so the engine walks them
-/// with a cursor and merges the two streams at pop time.
-#[derive(Debug, Default)]
-pub(crate) struct EventQueue {
-    heap: BinaryHeap<Reverse<FinishEv>>,
-    seq: u64,
-}
-
-impl EventQueue {
-    /// Empty the heap and restart the sequence counter, keeping capacity.
-    fn reset(&mut self) {
-        self.heap.clear();
-        self.seq = 0;
-    }
-
-    fn push(&mut self, t: Time, node: NodeId, version: u64) {
-        self.heap.push(Reverse(FinishEv {
-            t: OrderedTime(t),
-            seq: self.seq,
-            node,
-            version,
-        }));
-        self.seq += 1;
-    }
-
-    fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(ev)| ev.t.0)
-    }
-
-    fn pop(&mut self) -> Option<FinishEv> {
-        self.heap.pop().map(|Reverse(ev)| ev)
-    }
-}
 
 /// The simulator. Stateless handle; [`Simulation::run`] owns a run.
 ///
@@ -228,10 +190,16 @@ impl Simulation {
         // Queue aggregates only answer view queries; skip maintaining
         // them when nobody in this run will ask.
         let track_aggs = assignment.needs_aggregates() || probe.needs_aggregates();
-        let mut st = SimState::from_scratch(instance, cfg.dispatch_rounding, track_aggs, scratch);
+        let mut st = SimState::from_scratch(
+            instance,
+            cfg.dispatch_rounding,
+            track_aggs,
+            cfg.aggregates,
+            scratch,
+        );
         let mut trace = cfg.record_trace.then(Trace::default);
         let mut evq = mem::take(&mut scratch.evq);
-        evq.reset();
+        evq.reset(cfg.event_queue);
 
         // Instances validate non-decreasing releases, so arrivals come
         // from a cursor over the job list rather than the heap.

@@ -35,6 +35,7 @@
 
 pub mod agg;
 pub mod engine;
+pub mod evq;
 pub mod gantt;
 pub mod invariants;
 pub mod outcome;
@@ -45,7 +46,9 @@ pub mod scratch;
 pub mod state;
 pub mod trace;
 
+pub use agg::AggLayout;
 pub use engine::{SimConfig, Simulation};
+pub use evq::{EventQueue, EventQueueKind};
 pub use outcome::{HopFinishes, SimOutcome};
 pub use scratch::SimScratch;
 pub use policy::{AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, Probe};

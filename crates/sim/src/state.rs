@@ -26,7 +26,7 @@
 //!   node policy, including `j` itself → assembled by callers from
 //!   [`SimView::q`] plus the policy key.
 
-use crate::agg::{QueueAggregates, QueueKey};
+use crate::agg::{AggLayout, AggStore, QueueKey};
 use crate::policy::{KeyCtx, NodePolicy, PolicyKey};
 use crate::scratch::SimScratch;
 use bct_core::instance::Setting;
@@ -167,8 +167,8 @@ pub struct SimState<'a> {
     /// `Q_v(t)` membership: `(job, hop index of v in the job's path)`.
     pub(crate) q_members: Vec<Vec<(JobId, u32)>>,
     /// Order-statistic aggregates over each `Q_v(t)`, keyed by SJF
-    /// priority under `rounding`.
-    pub(crate) aggs: QueueAggregates,
+    /// priority under `rounding`, in the layout the config selected.
+    pub(crate) aggs: AggStore,
     /// The class rounding the aggregates are keyed by (`None` = raw
     /// sizes); dispatch policies with a matching configuration get
     /// `O(log)` scoring queries.
@@ -201,7 +201,7 @@ impl<'a> SimState<'a> {
     ) -> SimState<'a> {
         let mut scratch = SimScratch::new();
         scratch.speeds = speeds;
-        SimState::from_scratch(instance, rounding, true, &mut scratch)
+        SimState::from_scratch(instance, rounding, true, AggLayout::default(), &mut scratch)
     }
 
     /// Build state for a run by *taking* the buffers out of `scratch`
@@ -220,6 +220,7 @@ impl<'a> SimState<'a> {
         instance: &'a Instance,
         rounding: Option<ClassRounding>,
         track_aggs: bool,
+        layout: AggLayout,
         scratch: &mut SimScratch,
     ) -> SimState<'a> {
         let m = instance.tree().len();
@@ -240,7 +241,7 @@ impl<'a> SimState<'a> {
             q_members.push(Vec::new());
         }
         let mut aggs = mem::take(&mut scratch.aggs);
-        aggs.reset(m);
+        aggs.reset(layout, m);
         let mut jobs = mem::take(&mut scratch.jobs);
         jobs.reset(instance.jobs());
         SimState {
@@ -551,8 +552,15 @@ impl<'a> SimState<'a> {
     // bct-lint: no_alloc
     fn remove_from_q(&mut self, v: NodeId, j: JobId) {
         let ji = j.as_usize();
-        // bct-lint: allow(p1) -- only called for jobs the engine enqueued at v; harness catch_unwind fault-isolates
-        let h = self.hop_at(j, v).expect("job routed through node");
+        // The only caller ([`Self::finish_current_hop`]) removes a job
+        // from its *current* hop node, so the hop index is the job's
+        // hop column — no dispatch-table binary search needed.
+        let h = self.jobs.hop[ji] as usize;
+        debug_assert_eq!(
+            self.hop_at(j, v),
+            Some(h),
+            "remove_from_q called off the job's current hop"
+        );
         let off = self.jobs.span[ji].0 as usize;
         let pos = self.jobs.q_pos[off + h] as usize;
         let q = &mut self.q_members[v.as_usize()];
@@ -954,7 +962,7 @@ mod tests {
         let inst = fixture();
         let mut scratch = SimScratch::new();
         scratch.speeds = vec![1.0; inst.tree().len()];
-        let mut st = SimState::from_scratch(&inst, None, true, &mut scratch);
+        let mut st = SimState::from_scratch(&inst, None, true, AggLayout::Flat, &mut scratch);
         st.admit(JobId(0), NodeId(2));
         st.enqueue(NodeId(1), JobId(0), &SizeOrder);
         st.advance(4.0);
@@ -962,7 +970,7 @@ mod tests {
         st.release_into(&mut scratch);
         // A state rebuilt from the used scratch starts pristine.
         scratch.speeds = vec![1.0; inst.tree().len()];
-        let st2 = SimState::from_scratch(&inst, None, true, &mut scratch);
+        let st2 = SimState::from_scratch(&inst, None, true, AggLayout::Flat, &mut scratch);
         assert_eq!(st2.now, 0.0);
         assert_eq!(st2.view().q_len(NodeId(1)), 0);
         assert!(!st2.view().released(JobId(0)));

@@ -1,0 +1,246 @@
+//! Differential proof that the calendar event queue and the flattened
+//! aggregates are drop-in replacements: random instances — mixed
+//! topologies, heavy-tailed (Pareto) sizes, loads ρ ∈ {0.5, 0.95, 2.0}
+//! — run under the PR-3 compat structures (binary heap + treap) and
+//! under the new defaults (calendar queue + flat aggregates), and the
+//! two [`SimOutcome`]s must serialize to the *same bytes*, trace
+//! included. No tolerance, no normalization: every completion time,
+//! every hop finish, every event, bit for bit.
+//!
+//! Two regimes:
+//!
+//! * **Queue-only** — an assignment that needs no aggregates, over
+//!   fully continuous sizes. Isolates the event queue: the heap and the
+//!   calendar must pop the same `(t, seq)` stream on arbitrary floats.
+//! * **Full fast path** — an aggregate-driven greedy assignment, over
+//!   Pareto sizes quantized to a dyadic grid (multiples of 1/64). On
+//!   the grid every partial sum is exact, so the flat layout's blocked
+//!   summation and the treap's tree-shaped summation are forced to the
+//!   same bits — any divergence is a real indexing/ordering bug, not
+//!   float-grouping noise. (The non-dyadic story is covered separately:
+//!   the agg-layer property tests in `bct-sim/src/agg.rs` compare
+//!   layouts on raw query results, and the checked-in golden sweeps
+//!   pin full-harness bytes on continuous workloads.)
+
+use bct_core::tree::TreeBuilder;
+use bct_core::{Instance, Job, JobId, NodeId, SpeedProfile, Time, Tree};
+use bct_sim::policy::NoProbe;
+use bct_sim::{
+    AggLayout, AssignmentPolicy, EventQueueKind, KeyCtx, NodePolicy, PolicyKey, SimConfig,
+    SimView, Simulation,
+};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SJF on original size, ties by release then id — the paper's rule.
+struct Sjf;
+
+impl NodePolicy for Sjf {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+    fn key(&self, ctx: &KeyCtx<'_>) -> PolicyKey {
+        let p = ctx.instance.p(ctx.job, ctx.node);
+        let r = ctx.instance.job(ctx.job).release;
+        PolicyKey::new(p, r, ctx.job.0)
+    }
+}
+
+/// Aggregate-free assignment: a deterministic hash of the job id picks
+/// the leaf. Exercises the event queue without touching aggregates.
+struct HashedLeaf;
+
+impl AssignmentPolicy for HashedLeaf {
+    fn name(&self) -> &'static str {
+        "hashed"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let leaves = view.instance().tree().leaves();
+        let h = (u64::from(job.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        leaves[(h % leaves.len() as u64) as usize]
+    }
+}
+
+/// Aggregate-driven assignment: first-strict-minimum over leaves of
+/// `volume_before + count_larger`, the same fast-path queries the
+/// greedy dispatch rules issue. Forces `track_aggs` on, so every
+/// admit/materialize/remove flows through the configured layout.
+struct AggGreedy;
+
+impl AssignmentPolicy for AggGreedy {
+    fn name(&self) -> &'static str {
+        "agg-greedy"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let inst = view.instance();
+        let leaves = inst.tree().leaves();
+        let release = inst.job(job).release;
+        let mut best = leaves[0];
+        let mut best_score = f64::INFINITY;
+        for &v in leaves {
+            let p = inst.p(job, v);
+            let score = view.volume_before(v, p, release, job.0)
+                + view.count_larger(v, p) as f64
+                + f64::from(inst.tree().depth(v));
+            if score < best_score {
+                best_score = score;
+                best = v;
+            }
+        }
+        best
+    }
+    fn needs_aggregates(&self) -> bool {
+        true
+    }
+}
+
+/// A mixed-shape random tree: star arms, a broomstick handle, or a
+/// random parent chain, chosen by the seed.
+fn random_tree(rng: &mut ChaCha8Rng) -> Tree {
+    let mut b = TreeBuilder::new();
+    match rng.gen_range(0..3u8) {
+        0 => {
+            // Star: arms of equal depth.
+            for _ in 0..rng.gen_range(2..=4) {
+                let mut v = b.add_child(NodeId::ROOT);
+                for _ in 0..rng.gen_range(0..=2) {
+                    v = b.add_child(v);
+                }
+                b.add_child(v);
+            }
+        }
+        1 => {
+            // Broomstick: shared handle, leaves fanned at the end.
+            let chain = b.add_chain(NodeId::ROOT, rng.gen_range(1..=3));
+            let end = *chain.last().unwrap();
+            for _ in 0..rng.gen_range(2..=5) {
+                b.add_child(end);
+            }
+        }
+        _ => {
+            // Random interior, a leaf under each interior node.
+            let mut interior = vec![b.add_child(NodeId::ROOT)];
+            for _ in 0..rng.gen_range(2..=6) {
+                let parent = interior[rng.gen_range(0..interior.len())];
+                interior.push(b.add_child(parent));
+            }
+            for v in interior.clone() {
+                b.add_child(v);
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Pareto(α, 1) by inverse transform, capped at 2^10.
+fn pareto(rng: &mut ChaCha8Rng, alpha: f64) -> f64 {
+    let u: f64 = rng.gen_range(1e-6..1.0);
+    u.powf(-1.0 / alpha).min(1024.0)
+}
+
+/// Random instance: heavy-tailed sizes at load ρ picked from the
+/// issue's grid. `dyadic` snaps sizes and releases to multiples of
+/// 1/64, keeping partial sums exact.
+fn random_instance(seed: u64, dyadic: bool) -> Instance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let t = random_tree(&mut rng);
+    let rho = [0.5, 0.95, 2.0][rng.gen_range(0..3)];
+    let alpha = [1.5, 2.5][rng.gen_range(0..2)];
+    let n = rng.gen_range(20..=60);
+    // Mean Pareto(α, 1) size is α/(α−1); space arrivals so offered
+    // load per leaf ≈ ρ.
+    let mean_size = alpha / (alpha - 1.0);
+    let gap_scale = mean_size / (rho * t.num_leaves() as f64);
+    let snap = |x: f64| if dyadic { (x * 64.0).round().max(1.0) / 64.0 } else { x };
+    let mut release: Time = 0.0;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            // Exponential gap by inverse transform.
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            release += snap(-u.ln() * gap_scale);
+            Job::identical(i as u32, release, snap(pareto(&mut rng, alpha)))
+        })
+        .collect();
+    Instance::new(t, jobs).unwrap()
+}
+
+/// Run `inst` under `cfg` (trace on) and serialize the whole outcome.
+fn run_bytes(inst: &Instance, assignment: &mut dyn AssignmentPolicy, cfg: SimConfig) -> String {
+    let out =
+        Simulation::run(inst, &Sjf, assignment, &mut NoProbe, &cfg.traced()).unwrap();
+    serde_json::to_string(&out).unwrap()
+}
+
+fn base_cfg(seed: u64) -> SimConfig {
+    // Vary the speed profile too: uniform speedups exercise non-unit
+    // finish-time arithmetic in the packed keys.
+    let s = [1.0, 1.5, 2.0][(seed % 3) as usize];
+    SimConfig::with_speeds(SpeedProfile::Uniform(s))
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+    /// Queue-only differential: continuous sizes, aggregate-free
+    /// assignment. Calendar vs binary heap must agree byte for byte.
+    #[test]
+    fn calendar_queue_matches_heap_byte_for_byte(seed in 0u64..1_000_000) {
+        let inst = random_instance(seed, false);
+        let new = run_bytes(&inst, &mut HashedLeaf, base_cfg(seed));
+        let compat = run_bytes(&inst, &mut HashedLeaf, base_cfg(seed).compat_structures());
+        proptest::prop_assert_eq!(new, compat);
+    }
+
+    /// Full fast-path differential: dyadic-grid Pareto sizes, an
+    /// aggregate-driven assignment. Calendar+flat vs heap+treap must
+    /// agree byte for byte — queries included, since they steer the
+    /// assignment.
+    #[test]
+    fn fast_path_matches_compat_on_quantized_heavytail(seed in 0u64..1_000_000) {
+        let inst = random_instance(seed, true);
+        let new = run_bytes(&inst, &mut AggGreedy, base_cfg(seed));
+        let compat = run_bytes(&inst, &mut AggGreedy, base_cfg(seed).compat_structures());
+        proptest::prop_assert_eq!(new, compat);
+    }
+
+    /// Layout-only differential: calendar queue both sides, flat vs
+    /// treap aggregates under the aggregate-driven assignment.
+    #[test]
+    fn flat_aggregates_match_treap_under_calendar_queue(seed in 0u64..1_000_000) {
+        let inst = random_instance(seed, true);
+        let flat = run_bytes(
+            &inst,
+            &mut AggGreedy,
+            base_cfg(seed).with_aggregates(AggLayout::Flat),
+        );
+        let treap = run_bytes(
+            &inst,
+            &mut AggGreedy,
+            base_cfg(seed).with_aggregates(AggLayout::Treap),
+        );
+        proptest::prop_assert_eq!(flat, treap);
+    }
+
+    /// Queue-only differential under the treap layout, closing the
+    /// 2×2 grid: the queue swap must be inert regardless of layout.
+    #[test]
+    fn calendar_matches_heap_under_treap_layout(seed in 0u64..1_000_000) {
+        let inst = random_instance(seed, true);
+        let cal = run_bytes(
+            &inst,
+            &mut AggGreedy,
+            base_cfg(seed)
+                .with_aggregates(AggLayout::Treap)
+                .with_event_queue(EventQueueKind::Calendar),
+        );
+        let heap = run_bytes(
+            &inst,
+            &mut AggGreedy,
+            base_cfg(seed)
+                .with_aggregates(AggLayout::Treap)
+                .with_event_queue(EventQueueKind::BinaryHeap),
+        );
+        proptest::prop_assert_eq!(cal, heap);
+    }
+}

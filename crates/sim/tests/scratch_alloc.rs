@@ -4,6 +4,12 @@
 //! global allocator at all — and must produce byte-identical results
 //! to a fresh-buffer run.
 //!
+//! Two phases share the one measured scratch path: an aggregate-free
+//! round-robin run (covers the calendar event queue's bucket reuse —
+//! re-bucketing must keep each bucket's capacity attached to its slot)
+//! and an aggregate-driven greedy run (covers the flat aggregate
+//! layout's in-place block rebuilds on every admit/materialize/remove).
+//!
 //! This lives in its own integration binary with exactly one `#[test]`
 //! so the counting global allocator sees no interference from parallel
 //! tests in the same process.
@@ -51,6 +57,39 @@ impl NodePolicy for Sjf {
         let p = ctx.instance.p(ctx.job, ctx.node);
         let r = ctx.instance.job(ctx.job).release;
         PolicyKey::new(p, r, ctx.job.0)
+    }
+}
+
+/// Aggregate-driven assignment: first-strict-minimum of the fast-path
+/// queries over the leaves. Turns `track_aggs` on so the warm run
+/// exercises the flat layout's insert/remove/set_rem block rebuilds
+/// inside the measured region (no allocations of its own: it only
+/// walks the instance's leaf slice).
+struct AggGreedy;
+
+impl AssignmentPolicy for AggGreedy {
+    fn name(&self) -> &'static str {
+        "agg-greedy"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let inst = view.instance();
+        let leaves = inst.tree().leaves();
+        let release = inst.job(job).release;
+        let mut best = leaves[0];
+        let mut best_score = f64::INFINITY;
+        for &v in leaves {
+            let p = inst.p(job, v);
+            let score = view.volume_before(v, p, release, job.0)
+                + view.count_larger(v, p) as f64;
+            if score < best_score {
+                best_score = score;
+                best = v;
+            }
+        }
+        best
+    }
+    fn needs_aggregates(&self) -> bool {
+        true
     }
 }
 
@@ -104,58 +143,80 @@ fn leaves(inst: &Instance) -> Vec<NodeId> {
     inst.tree().leaves().to_vec()
 }
 
-#[test]
-fn second_scratch_run_allocates_nothing_and_matches_fresh() {
-    let inst = fixture();
-    let cfg = SimConfig::unit();
-
+/// Fresh baseline, one warming run, then a measured steady-state run:
+/// the warm run must allocate zero bytes and reproduce the fresh bytes.
+/// The assignment is rebuilt per run via `mk` so its own allocations
+/// stay outside the measured region.
+fn assert_steady_state_zero_alloc(
+    label: &str,
+    inst: &Instance,
+    cfg: &SimConfig,
+    mut mk: impl FnMut() -> Box<dyn AssignmentPolicy>,
+) {
     // Fresh-buffer baseline.
-    let fresh = Simulation::run(
-        &inst,
-        &Sjf,
-        &mut RoundRobin { leaves: leaves(&inst), next: 0 },
-        &mut NoProbe,
-        &cfg,
-    )
-    .unwrap();
-    assert_eq!(fresh.unfinished, 0);
+    let fresh = Simulation::run(inst, &Sjf, mk().as_mut(), &mut NoProbe, cfg).unwrap();
+    assert_eq!(fresh.unfinished, 0, "{label}: fixture must complete");
     let fresh_json = serde_json::to_string(&fresh).unwrap();
 
     // Run 1 warms the scratch; recycling the outcome returns its
     // buffers to the pool.
     let mut scratch = SimScratch::new();
-    let warm = Simulation::run_with_scratch(
-        &mut scratch,
-        &inst,
-        &Sjf,
-        &mut RoundRobin { leaves: leaves(&inst), next: 0 },
-        &mut NoProbe,
-        &cfg,
-    )
-    .unwrap();
+    let warm =
+        Simulation::run_with_scratch(&mut scratch, inst, &Sjf, mk().as_mut(), &mut NoProbe, cfg)
+            .unwrap();
     assert_eq!(
         serde_json::to_string(&warm).unwrap(),
         fresh_json,
-        "scratch-backed run diverged from fresh buffers"
+        "{label}: scratch-backed run diverged from fresh buffers"
     );
     scratch.recycle(warm);
 
     // Run 2 on the warm scratch: zero heap allocations, same bytes out.
-    // (The policy is built outside the measured region — its leaf list
-    // is its own allocation, not the simulator's.)
-    let mut rr = RoundRobin { leaves: leaves(&inst), next: 0 };
+    let mut policy = mk();
     let before = ALLOCATED.load(Ordering::SeqCst);
-    let steady =
-        Simulation::run_with_scratch(&mut scratch, &inst, &Sjf, &mut rr, &mut NoProbe, &cfg)
-            .unwrap();
+    let steady = Simulation::run_with_scratch(
+        &mut scratch,
+        inst,
+        &Sjf,
+        policy.as_mut(),
+        &mut NoProbe,
+        cfg,
+    )
+    .unwrap();
     let allocated = ALLOCATED.load(Ordering::SeqCst) - before;
     assert_eq!(
         allocated, 0,
-        "steady-state run on a warm scratch allocated {allocated} bytes"
+        "{label}: steady-state run on a warm scratch allocated {allocated} bytes"
     );
     assert_eq!(
         serde_json::to_string(&steady).unwrap(),
         fresh_json,
-        "steady-state run diverged from fresh buffers"
+        "{label}: steady-state run diverged from fresh buffers"
+    );
+}
+
+#[test]
+fn second_scratch_run_allocates_nothing_and_matches_fresh() {
+    let inst = fixture();
+    let cfg = SimConfig::unit();
+
+    // Aggregate-free round robin: the default calendar event queue
+    // carries the whole event load; its warm run proves bucket reuse
+    // (re-bucketing keeps capacities attached to their slots).
+    assert_steady_state_zero_alloc("round-robin/calendar", &inst, &cfg, || {
+        Box::new(RoundRobin { leaves: leaves(&inst), next: 0 })
+    });
+
+    // Aggregate-driven greedy: every admit/materialize/remove now also
+    // churns the flat aggregate layout's blocked sums in place.
+    assert_steady_state_zero_alloc("agg-greedy/flat", &inst, &cfg, || Box::new(AggGreedy));
+
+    // Same greedy under the compat structures (binary heap + treap):
+    // the oracle configuration keeps its zero-alloc contract too.
+    assert_steady_state_zero_alloc(
+        "agg-greedy/compat",
+        &inst,
+        &cfg.clone().compat_structures(),
+        || Box::new(AggGreedy),
     );
 }
