@@ -14,6 +14,13 @@ cargo test -q --workspace
 cargo test -q --release -p bct-sim --test differential_queue
 cargo test -q --release -p bct-sim --test scratch_alloc
 
+# Dynamic-topology differential suite (PR-6 contract): random mutation
+# walks must keep the incrementally maintained path tables bit-equal
+# to a from-scratch rebuild, and the warm scratch path must stay off
+# the allocator between mutations (asserted inside scratch_alloc
+# above). The property test lives with the core tree algebra.
+cargo test -q --release -p bct-core --test properties mutation_walks_match_from_scratch_rebuild
+
 # Determinism/zero-alloc contract lint: fails on any unbaselined
 # violation (see DESIGN.md §11). Runs before clippy so contract breaks
 # surface with bct-lint's spans, not clippy's generic diagnostics.
@@ -38,6 +45,16 @@ diff specs/golden_sweep.expected.jsonl "$golden_out"
 cargo run -q --release -p bct-cli -- sweep \
     --spec specs/golden_sweep_heavytail.json --workers 2 --out "$golden_out" --quiet >/dev/null
 diff specs/golden_sweep_heavytail.expected.jsonl "$golden_out"
+
+# Dynamic golden sweep: leaf churn plus the capacity-aware stateful
+# policies, byte-identical at every worker count (the drain/redispatch
+# path and the per-cell churn schedules must not leak any ordering
+# nondeterminism into the rows).
+for w in 1 4 8; do
+    cargo run -q --release -p bct-cli -- sweep \
+        --spec specs/golden_sweep_dynamic.json --workers "$w" --out "$golden_out" --quiet >/dev/null
+    diff specs/golden_sweep_dynamic.expected.jsonl "$golden_out"
+done
 
 # Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
 # scaling at 4 workers only on machines with >=4 cores.

@@ -45,6 +45,15 @@ pub enum CoreError {
     NonPositiveSpeed(NodeId),
     /// Job ids are not dense/ordered as required.
     BadJobIds,
+    /// A queued topology mutation is not applicable to the tree's
+    /// current state (e.g. adding under a leaf, removing the last
+    /// machine, failing the root).
+    InvalidMutation {
+        /// The node the mutation targets.
+        node: NodeId,
+        /// Why it cannot apply.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +80,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NonPositiveSpeed(v) => write!(f, "node {v} has non-positive speed"),
             CoreError::BadJobIds => write!(f, "job ids must be dense 0..n in vector order"),
+            CoreError::InvalidMutation { node, reason } => {
+                write!(f, "mutation targeting {node} cannot apply: {reason}")
+            }
         }
     }
 }

@@ -23,6 +23,10 @@
 //! * [`broomstick`] — the §3.3 tree→broomstick reduction with the leaf
 //!   correspondence needed by the §3.7 general-tree algorithm.
 //! * [`speed`] — per-node speed (resource augmentation) profiles.
+//! * [`mutate`] — queued topology mutations ([`TreeMutation`]) with
+//!   incremental path-table recompute and epoch tracking, making
+//!   [`Tree`] epoch-mutable while everything else above stays static
+//!   per epoch.
 //!
 //! Everything dynamic (queues, schedules, flow-time accounting) lives in
 //! `bct-sim`; the paper's algorithms live in `bct-sched`.
@@ -36,6 +40,7 @@ pub mod error;
 pub mod ids;
 pub mod instance;
 pub mod job;
+pub mod mutate;
 pub mod render;
 pub mod speed;
 pub mod time;
@@ -47,6 +52,7 @@ pub use error::CoreError;
 pub use ids::{JobId, NodeId};
 pub use instance::{Instance, Setting};
 pub use job::{Job, LeafSizes};
+pub use mutate::{AppliedMutations, TreeMutation};
 pub use speed::SpeedProfile;
 pub use time::Time;
 pub use tree::Tree;

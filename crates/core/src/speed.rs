@@ -53,9 +53,11 @@ impl SpeedProfile {
         }
     }
 
-    /// Speed of node `v` in tree `t`.
+    /// Speed of node `v` in tree `t`: the profile's base speed times
+    /// the tree's per-node [`Tree::speed_factor`] (1.0 on a never-
+    /// mutated tree, so static topologies see the base speed bit-exact).
     pub fn speed_of(&self, t: &Tree, v: NodeId) -> f64 {
-        match self {
+        let base = match self {
             SpeedProfile::Uniform(s) => *s,
             SpeedProfile::Layered {
                 root_adjacent,
@@ -68,7 +70,8 @@ impl SpeedProfile {
                 }
             }
             SpeedProfile::Explicit(v_speeds) => v_speeds[v.as_usize()],
-        }
+        };
+        base * t.speed_factor(v)
     }
 
     /// Expand to a dense per-node table, validating positivity/arity.

@@ -21,34 +21,112 @@
 
 use crate::error::CoreError;
 use crate::ids::NodeId;
+use crate::mutate::TreeMutation;
 use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::ser::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer, Value};
 
-/// An immutable rooted tree, validated against the paper's model.
+/// An epoch-mutable rooted tree, validated against the paper's model.
 ///
-/// Serialization round-trips through the *parent array only*; all
-/// derived structure (children lists, depths, `R(v)`, leaf indices) is
-/// rebuilt and re-validated on deserialize, so hand-edited or corrupted
-/// input cannot produce an inconsistent tree.
-#[derive(Clone, Debug, PartialEq)]
+/// A freshly built tree is static; [`Tree::queue_add_leaf`] and friends
+/// queue [`TreeMutation`]s that [`Tree::apply_mutations`] applies in
+/// order, bumping the epoch and updating the cached per-leaf tables
+/// **incrementally** (touched leaves only — see `mutate.rs`). Removed
+/// nodes are tombstoned (`alive[v] = false`), never renumbered, so node
+/// ids stay stable across epochs and every id-indexed side table keeps
+/// working.
+///
+/// Serialization round-trips through the *parent array only* while the
+/// tree is untouched (epoch 0 shape); a mutated tree serializes as a
+/// `{parents, alive, speed}` map. All derived structure (children
+/// lists, depths, `R(v)`, leaf indices, path arenas) is rebuilt and
+/// re-validated on deserialize, so hand-edited or corrupted input
+/// cannot produce an inconsistent tree. Equality compares the semantic
+/// shape (parents, liveness, speed factors) — not epochs, pending
+/// queues, or arena layout, which are representation details.
+#[derive(Debug)]
 pub struct Tree {
-    parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
-    depth: Vec<u32>,
-    r_node: Vec<NodeId>,
-    leaves: Vec<NodeId>,
-    leaf_index: Vec<Option<u32>>,
-    /// Root→leaf paths for every leaf, concatenated in leaf-index order;
-    /// leaf `i`'s path is `leaf_path_arena[offsets[i]..offsets[i+1]]`.
-    /// Only leaves are cached (Σ depths, not Σ over all nodes), so deep
-    /// line topologies don't blow the memory up quadratically.
-    leaf_path_arena: Vec<NodeId>,
-    leaf_path_offsets: Vec<u32>,
+    pub(crate) parent: Vec<Option<NodeId>>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) depth: Vec<u32>,
+    pub(crate) r_node: Vec<NodeId>,
+    pub(crate) leaves: Vec<NodeId>,
+    pub(crate) leaf_index: Vec<Option<u32>>,
+    /// Root→leaf paths for every leaf; leaf `i`'s path is the
+    /// `leaf_span[i]` slice of this arena. Spans are contiguous after a
+    /// full build; incremental mutations append new spans at the end and
+    /// leave removed leaves' spans as dead holes (ids are stable, arenas
+    /// are append-only between full rebuilds). Only leaves are cached
+    /// (Σ depths, not Σ over all nodes), so deep line topologies don't
+    /// blow the memory up quadratically.
+    pub(crate) leaf_path_arena: Vec<NodeId>,
+    /// `(offset, len)` into both arenas, parallel to `leaves`.
+    pub(crate) leaf_span: Vec<(u32, u32)>,
     /// Per-leaf dispatch table: the same spans as `leaf_path_arena`, but
     /// each span holds `(node, hop)` pairs sorted by node id, so the
     /// simulator can binary-search "which hop is node v on this path?"
     /// without building and sorting a per-job index.
-    leaf_hops_arena: Vec<(NodeId, u32)>,
+    pub(crate) leaf_hops_arena: Vec<(NodeId, u32)>,
+    /// Liveness per node id; tombstoned nodes keep their slot forever.
+    pub(crate) alive: Vec<bool>,
+    /// Multiplicative per-node speed factor (1.0 = unchanged), applied
+    /// on top of whatever [`crate::SpeedProfile`] is materialized.
+    pub(crate) speed_factor: Vec<f64>,
+    /// Mutations queued but not yet applied.
+    pub(crate) pending: Vec<TreeMutation>,
+    /// Bumped once per non-empty [`Tree::apply_mutations`] batch.
+    pub(crate) epoch: u64,
+}
+
+impl Clone for Tree {
+    fn clone(&self) -> Tree {
+        Tree {
+            parent: self.parent.clone(),
+            children: self.children.clone(),
+            depth: self.depth.clone(),
+            r_node: self.r_node.clone(),
+            leaves: self.leaves.clone(),
+            leaf_index: self.leaf_index.clone(),
+            leaf_path_arena: self.leaf_path_arena.clone(),
+            leaf_span: self.leaf_span.clone(),
+            leaf_hops_arena: self.leaf_hops_arena.clone(),
+            alive: self.alive.clone(),
+            speed_factor: self.speed_factor.clone(),
+            pending: self.pending.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Field-wise `clone_from` so a pooled tree (e.g. the simulator's
+    /// dynamic-topology scratch copy) reuses every vector's capacity
+    /// instead of reallocating per run.
+    fn clone_from(&mut self, source: &Tree) {
+        self.parent.clone_from(&source.parent);
+        self.children.clone_from(&source.children);
+        self.depth.clone_from(&source.depth);
+        self.r_node.clone_from(&source.r_node);
+        self.leaves.clone_from(&source.leaves);
+        self.leaf_index.clone_from(&source.leaf_index);
+        self.leaf_path_arena.clone_from(&source.leaf_path_arena);
+        self.leaf_span.clone_from(&source.leaf_span);
+        self.leaf_hops_arena.clone_from(&source.leaf_hops_arena);
+        self.alive.clone_from(&source.alive);
+        self.speed_factor.clone_from(&source.speed_factor);
+        self.pending.clone_from(&source.pending);
+        self.epoch = source.epoch;
+    }
+}
+
+impl PartialEq for Tree {
+    /// Semantic shape equality: same parents, same liveness, same speed
+    /// factors. Epoch counters, pending queues, and arena layout (which
+    /// differs between an incrementally mutated tree and its from-scratch
+    /// rebuild) are representation details and do not participate.
+    fn eq(&self, other: &Tree) -> bool {
+        self.parent == other.parent
+            && self.alive == other.alive
+            && self.speed_factor == other.speed_factor
+    }
 }
 
 /// Incremental builder for [`Tree`]; ids are handed out in topological
@@ -130,9 +208,33 @@ impl Tree {
     /// the root.
     pub fn from_parents(parent: Vec<Option<NodeId>>) -> Result<Tree, CoreError> {
         let m = parent.len();
+        Tree::from_parts(parent, vec![true; m], vec![1.0; m])
+    }
+
+    /// Build a tree from its full semantic state: the parent array, the
+    /// per-node liveness mask, and the per-node speed factors. This is
+    /// the from-scratch path that [`Tree::rebuilt`] (the differential
+    /// oracle for incremental mutation) and the tombstone-aware
+    /// deserializer go through; [`Tree::from_parents`] is the all-alive,
+    /// unit-factor special case.
+    pub fn from_parts(
+        parent: Vec<Option<NodeId>>,
+        alive: Vec<bool>,
+        speed_factor: Vec<f64>,
+    ) -> Result<Tree, CoreError> {
+        let m = parent.len();
         if m < 3 {
             // Need at least root + router + machine.
             return Err(CoreError::EmptyTree);
+        }
+        if alive.len() != m || speed_factor.len() != m {
+            return Err(CoreError::SpeedArity {
+                got: alive.len().min(speed_factor.len()),
+                want: m,
+            });
+        }
+        if !alive[0] {
+            return Err(CoreError::NotTopologicallyOrdered(NodeId::ROOT));
         }
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); m];
         for (i, p) in parent.iter().enumerate() {
@@ -147,14 +249,31 @@ impl Tree {
                     if p.as_usize() >= i {
                         return Err(CoreError::NotTopologicallyOrdered(v));
                     }
-                    children[p.as_usize()].push(v);
+                    if alive[i] {
+                        // A live node under a tombstoned parent cannot be
+                        // reached from the root.
+                        if !alive[p.as_usize()] {
+                            return Err(CoreError::DanglingParent { node: v, parent: *p });
+                        }
+                        children[p.as_usize()].push(v);
+                    }
                 }
             }
         }
         if children[0].is_empty() {
             return Err(CoreError::EmptyTree);
         }
-        // Depth and R(v) in one topological pass.
+        for i in 0..m {
+            if alive[i] {
+                let s = speed_factor[i];
+                if !(s > 0.0 && s.is_finite()) {
+                    return Err(CoreError::NonPositiveSpeed(NodeId(i as u32)));
+                }
+            }
+        }
+        // Depth and R(v) in one topological pass. Dead slots get values
+        // too (their parent chain is still well-formed); only live
+        // nodes' entries are meaningful.
         let mut depth = vec![0u32; m];
         let mut r_node = vec![NodeId::ROOT; m];
         for i in 1..m {
@@ -169,7 +288,7 @@ impl Tree {
         let mut leaves = Vec::new();
         let mut leaf_index = vec![None; m];
         for i in 1..m {
-            if children[i].is_empty() {
+            if alive[i] && children[i].is_empty() {
                 let v = NodeId(i as u32);
                 if depth[i] < 2 {
                     return Err(CoreError::LeafAdjacentToRoot(v));
@@ -178,13 +297,15 @@ impl Tree {
                 leaves.push(v);
             }
         }
+        if leaves.is_empty() {
+            return Err(CoreError::EmptyTree);
+        }
         // Cache every leaf's root→leaf path in one contiguous arena so
         // the hot dispatch loop can borrow paths without allocating.
         let mut leaf_path_arena = Vec::with_capacity(
             leaves.iter().map(|&l| depth[l.as_usize()] as usize).sum(),
         );
-        let mut leaf_path_offsets = Vec::with_capacity(leaves.len() + 1);
-        leaf_path_offsets.push(0u32);
+        let mut leaf_span = Vec::with_capacity(leaves.len());
         for &l in &leaves {
             let start = leaf_path_arena.len();
             leaf_path_arena.resize(start + depth[l.as_usize()] as usize, NodeId::ROOT);
@@ -193,11 +314,11 @@ impl Tree {
                 *slot = cur;
                 cur = parent[cur.as_usize()].expect("leaf path stays below the root");
             }
-            leaf_path_offsets.push(leaf_path_arena.len() as u32);
+            leaf_span.push((start as u32, (leaf_path_arena.len() - start) as u32));
         }
         let mut leaf_hops_arena = Vec::with_capacity(leaf_path_arena.len());
-        for w in leaf_path_offsets.windows(2) {
-            let span = &leaf_path_arena[w[0] as usize..w[1] as usize];
+        for &(off, len) in &leaf_span {
+            let span = &leaf_path_arena[off as usize..(off + len) as usize];
             let start = leaf_hops_arena.len();
             leaf_hops_arena.extend(span.iter().enumerate().map(|(h, &v)| (v, h as u32)));
             leaf_hops_arena[start..].sort_unstable_by_key(|&(v, _)| v);
@@ -210,9 +331,32 @@ impl Tree {
             leaves,
             leaf_index,
             leaf_path_arena,
-            leaf_path_offsets,
+            leaf_span,
             leaf_hops_arena,
+            alive,
+            speed_factor,
+            pending: Vec::new(),
+            epoch: 0,
         })
+    }
+
+    /// A from-scratch rebuild of this tree's current semantic state —
+    /// the differential oracle for the incremental table maintenance in
+    /// [`Tree::apply_mutations`]. The result has the same parents,
+    /// liveness, and speed factors (so `==` holds) with every cached
+    /// table recomputed from nothing; epoch restarts at 0 and the
+    /// pending queue is empty.
+    ///
+    /// # Panics
+    /// Panics if the tree's invariants are broken (possible only after
+    /// an `apply_mutations` error left it partially mutated).
+    pub fn rebuilt(&self) -> Tree {
+        Tree::from_parts(
+            self.parent.clone(),
+            self.alive.clone(),
+            self.speed_factor.clone(),
+        )
+        .expect("a validated tree rebuilds cleanly")
     }
 
     /// Total number of nodes `m`, including the root.
@@ -265,16 +409,44 @@ impl Tree {
         self.r_node[v.as_usize()]
     }
 
-    /// True if `v` is a leaf (machine).
+    /// True if `v` is a live leaf (machine). Tombstoned nodes are
+    /// neither leaves nor routers.
     #[inline]
     pub fn is_leaf(&self, v: NodeId) -> bool {
-        v != NodeId::ROOT && self.children[v.as_usize()].is_empty()
+        v != NodeId::ROOT && self.alive[v.as_usize()] && self.children[v.as_usize()].is_empty()
     }
 
-    /// True if `v` is a router (non-root interior node).
+    /// True if `v` is a live router (non-root interior node).
     #[inline]
     pub fn is_router(&self, v: NodeId) -> bool {
-        v != NodeId::ROOT && !self.children[v.as_usize()].is_empty()
+        v != NodeId::ROOT && self.alive[v.as_usize()] && !self.children[v.as_usize()].is_empty()
+    }
+
+    /// True if `v` has not been tombstoned by a remove/fail mutation.
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive[v.as_usize()]
+    }
+
+    /// Multiplicative speed factor of `v` (1.0 unless a `SetSpeed`
+    /// mutation changed it). Applied on top of the materialized
+    /// [`crate::SpeedProfile`].
+    #[inline]
+    pub fn speed_factor(&self, v: NodeId) -> f64 {
+        self.speed_factor[v.as_usize()]
+    }
+
+    /// The current topology epoch: 0 for a fresh build, bumped once per
+    /// non-empty [`Tree::apply_mutations`] batch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mutations queued but not yet applied, in queue order.
+    #[inline]
+    pub fn pending_mutations(&self) -> &[TreeMutation] {
+        &self.pending
     }
 
     /// The leaf set `L`, in id order.
@@ -290,10 +462,11 @@ impl Tree {
     }
 
     /// Dense index of a leaf in [`Tree::leaves`], used to index
-    /// leaf-size tables in the unrelated setting.
+    /// leaf-size tables in the unrelated setting. Ids past the end
+    /// (e.g. nodes another tree's mutation added) answer `None`.
     #[inline]
     pub fn leaf_index(&self, v: NodeId) -> Option<usize> {
-        self.leaf_index[v.as_usize()].map(|i| i as usize)
+        self.leaf_index.get(v.as_usize()).copied().flatten().map(|i| i as usize)
     }
 
     /// The root-adjacent set `R` (children of the root).
@@ -316,20 +489,29 @@ impl Tree {
     /// job assigned past `v` is processed on up to `v`. Empty for the
     /// root.
     pub fn path_from_root(&self, v: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::new();
+        self.path_from_root_into(v, &mut path);
+        path
+    }
+
+    /// [`Tree::path_from_root`] into a caller-owned buffer (cleared
+    /// first) — the zero-alloc variant for warm-path callers whose
+    /// buffer has been sized by a previous call.
+    pub fn path_from_root_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
         if v == NodeId::ROOT {
-            return Vec::new();
+            return;
         }
-        let mut path = Vec::with_capacity(self.depth(v) as usize);
+        out.reserve(self.depth(v) as usize);
         let mut cur = v;
         loop {
-            path.push(cur);
+            out.push(cur);
             match self.parent(cur) {
                 Some(p) if p != NodeId::ROOT => cur = p,
                 _ => break,
             }
         }
-        path.reverse();
-        path
+        out.reverse();
     }
 
     /// Cached [`Tree::path_from_root`] for a leaf, borrowed from the
@@ -344,8 +526,8 @@ impl Tree {
             .leaf_index[leaf.as_usize()]
             .unwrap_or_else(|| panic!("leaf_path({leaf}): not a leaf"))
             as usize;
-        let (lo, hi) = (self.leaf_path_offsets[i], self.leaf_path_offsets[i + 1]);
-        &self.leaf_path_arena[lo as usize..hi as usize]
+        let (off, len) = self.leaf_span[i];
+        &self.leaf_path_arena[off as usize..(off + len) as usize]
     }
 
     /// The node-sorted `(node, hop)` index of a leaf's cached root→leaf
@@ -361,8 +543,8 @@ impl Tree {
             .leaf_index[leaf.as_usize()]
             .unwrap_or_else(|| panic!("leaf_hops({leaf}): not a leaf"))
             as usize;
-        let (lo, hi) = (self.leaf_path_offsets[i], self.leaf_path_offsets[i + 1]);
-        &self.leaf_hops_arena[lo as usize..hi as usize]
+        let (off, len) = self.leaf_span[i];
+        &self.leaf_hops_arena[off as usize..(off + len) as usize]
     }
 
     /// Lowest common ancestor of `a` and `b`.
@@ -429,27 +611,49 @@ impl Tree {
     /// `L(v)`: leaves in the subtree rooted at `v`, in id order.
     pub fn leaves_under(&self, v: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut stack = vec![v];
-        while let Some(u) = stack.pop() {
-            if self.is_leaf(u) {
-                out.push(u);
-            } else {
-                stack.extend(self.children(u).iter().copied());
-            }
-        }
-        out.sort_unstable();
+        let mut scratch = Vec::new();
+        self.leaves_under_into(v, &mut out, &mut scratch);
         out
     }
 
-    /// All nodes of the subtree rooted at `v` (preorder).
+    /// [`Tree::leaves_under`] into caller-owned buffers (both cleared
+    /// first; `scratch` is the DFS stack). Zero-alloc once the buffers
+    /// have grown to fit — the variant the simulator's drain path uses.
+    pub fn leaves_under_into(&self, v: NodeId, out: &mut Vec<NodeId>, scratch: &mut Vec<NodeId>) {
+        out.clear();
+        scratch.clear();
+        scratch.push(v);
+        while let Some(u) = scratch.pop() {
+            if self.is_leaf(u) {
+                out.push(u);
+            } else {
+                scratch.extend(self.children(u).iter().copied());
+            }
+        }
+        out.sort_unstable();
+    }
+
+    /// All nodes of the subtree rooted at `v`, in level (BFS) order.
+    /// Only live nodes appear (tombstoned children are pruned from
+    /// `children`).
     pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
         let mut out = Vec::new();
-        let mut stack = vec![v];
-        while let Some(u) = stack.pop() {
-            out.push(u);
-            stack.extend(self.children(u).iter().copied());
-        }
+        self.subtree_into(v, &mut out);
         out
+    }
+
+    /// [`Tree::subtree`] into a caller-owned buffer (cleared first).
+    /// `out` doubles as the BFS worklist, so no scratch buffer is
+    /// needed and a grown buffer makes repeat calls allocation-free.
+    pub fn subtree_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.push(v);
+        let mut next = 0;
+        while next < out.len() {
+            let u = out[next];
+            next += 1;
+            out.extend(self.children[u.as_usize()].iter().copied());
+        }
     }
 
     /// Length (in edges) of the longest downward path from `v` to a leaf
@@ -504,15 +708,51 @@ impl Tree {
 }
 
 impl Serialize for Tree {
+    /// A never-mutated tree serializes as the bare parent array — the
+    /// original compact format, byte-for-byte (golden files stay
+    /// stable). A tree with tombstones or non-unit speed factors needs
+    /// the full `{parents, alive, speed}` map.
     fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        self.parent.serialize(serializer)
+        let touched = self.alive.iter().any(|&a| !a)
+            // bct-lint: allow(d3) -- exact sentinel: factors start at literal 1.0 and only change via SetSpeed, so bitwise != detects "ever touched" precisely
+            || self.speed_factor.iter().any(|&s| s != 1.0);
+        if !touched {
+            return self.parent.serialize(serializer);
+        }
+        let map = Value::Map(vec![
+            (
+                "parents".to_string(),
+                serde::to_value(&self.parent).map_err(S::Error::custom)?,
+            ),
+            (
+                "alive".to_string(),
+                serde::to_value(&self.alive).map_err(S::Error::custom)?,
+            ),
+            (
+                "speed".to_string(),
+                serde::to_value(&self.speed_factor).map_err(S::Error::custom)?,
+            ),
+        ]);
+        serializer.serialize_value(map)
     }
 }
 
 impl<'de> Deserialize<'de> for Tree {
+    /// Accepts both wire shapes: the compact parent array and the full
+    /// `{parents, alive, speed}` map a mutated tree serializes as. All
+    /// derived structure is rebuilt and re-validated either way.
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Tree, D::Error> {
-        let parents = Vec::<Option<NodeId>>::deserialize(deserializer)?;
-        Tree::from_parents(parents).map_err(|e| D::Error::custom(format!("invalid tree: {e}")))
+        let value = deserializer.deserialize_value()?;
+        let built = if matches!(value, Value::Map(_)) {
+            let parents = serde::de::req_field(&value, "parents").map_err(D::Error::custom)?;
+            let alive = serde::de::req_field(&value, "alive").map_err(D::Error::custom)?;
+            let speed = serde::de::req_field(&value, "speed").map_err(D::Error::custom)?;
+            Tree::from_parts(parents, alive, speed)
+        } else {
+            let parents = serde::from_value(value).map_err(D::Error::custom)?;
+            Tree::from_parents(parents)
+        };
+        built.map_err(|e| D::Error::custom(format!("invalid tree: {e}")))
     }
 }
 

@@ -2,7 +2,7 @@
 //! valid trees whose derived structure obeys the model's laws.
 
 use bct_core::tree::{Tree, TreeBuilder};
-use bct_core::{Broomstick, ClassRounding, NodeId};
+use bct_core::{Broomstick, ClassRounding, NodeId, TreeMutation};
 use proptest::prelude::*;
 
 /// Strategy: a random valid tree described by its builder moves.
@@ -146,6 +146,78 @@ proptest! {
         let json = serde_json::to_string(bs.tree()).unwrap();
         let back: Tree = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(&back, bs.tree());
+    }
+
+    #[test]
+    fn mutation_walks_match_from_scratch_rebuild(
+        start in tree_strategy(16),
+        steps in prop::collection::vec(any::<u64>(), 1..40),
+    ) {
+        // Random walk over all four mutation kinds: after every applied
+        // batch the incrementally maintained per-leaf tables must be
+        // bit-equal to a from-scratch rebuild of the same semantic tree
+        // (the differential oracle of the dynamic-topology layer).
+        let mut t = start;
+        let mut applied = 0u32;
+        for step in steps {
+            // One u64 encodes the whole step: kind, target pick, factor pick.
+            let (kind, a, b) = (step % 4, (step >> 8) as usize, (step >> 24) as usize);
+            let m = match kind {
+                0 => {
+                    let routers: Vec<NodeId> = t.nodes().filter(|&v| t.is_router(v)).collect();
+                    if routers.is_empty() {
+                        continue;
+                    }
+                    TreeMutation::AddLeaf { parent: routers[a % routers.len()] }
+                }
+                1 => {
+                    let ls = t.leaves();
+                    TreeMutation::RemoveLeaf { leaf: ls[a % ls.len()] }
+                }
+                2 => {
+                    let live: Vec<NodeId> =
+                        t.nodes().filter(|&v| v != NodeId::ROOT && t.is_alive(v)).collect();
+                    TreeMutation::SetSpeed {
+                        node: live[a % live.len()],
+                        factor: [0.5, 0.75, 1.5, 2.0][b % 4],
+                    }
+                }
+                _ => {
+                    let live: Vec<NodeId> =
+                        t.nodes().filter(|&v| v != NodeId::ROOT && t.is_alive(v)).collect();
+                    TreeMutation::FailNode { node: live[a % live.len()] }
+                }
+            };
+            t.queue_mutation(m);
+            // Invalid picks (e.g. a removal that would promote a
+            // root-adjacent router) are legal to reject; the tree must
+            // stay untouched either way, which the next comparison
+            // against the rebuild also verifies.
+            if t.apply_mutations().is_err() {
+                continue;
+            }
+            applied += 1;
+            let fresh = t.rebuilt();
+            prop_assert_eq!(t.leaves(), fresh.leaves());
+            for &l in t.leaves() {
+                prop_assert_eq!(t.leaf_path(l), fresh.leaf_path(l), "path of {}", l);
+                prop_assert_eq!(t.leaf_hops(l), fresh.leaf_hops(l), "hops of {}", l);
+                prop_assert_eq!(t.leaf_index(l), fresh.leaf_index(l), "index of {}", l);
+            }
+            for v in t.nodes().filter(|&v| t.is_alive(v)) {
+                prop_assert_eq!(t.depth(v), fresh.depth(v));
+                prop_assert_eq!(t.r_node(v), fresh.r_node(v));
+                prop_assert_eq!(t.children(v), fresh.children(v));
+                prop_assert_eq!(t.speed_factor(v), fresh.speed_factor(v));
+            }
+        }
+        if applied > 0 {
+            prop_assert!(t.epoch() > 0, "applied batches must bump the epoch");
+            // Mutated trees keep their serde roundtrip.
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Tree = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(back, t);
+        }
     }
 
     #[test]

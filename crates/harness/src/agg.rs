@@ -148,13 +148,24 @@ pub struct StreamingAgg {
     pub overall: GroupStats,
     /// Accumulators keyed by policy label (BTreeMap: stable render order).
     pub by_policy: BTreeMap<String, GroupStats>,
+    /// Accumulators keyed by `"{policy}|{speeds}"` — the finer grouping
+    /// that separates a policy's behavior across speed profiles (the
+    /// resource-augmentation axis), which `by_policy` averages away.
+    pub by_policy_speed: BTreeMap<String, GroupStats>,
+}
+
+/// The composite key of [`StreamingAgg::by_policy_speed`]. `|` cannot
+/// appear in either spec grammar, so the key parses back unambiguously.
+fn policy_speed_key(row: &SweepRow) -> String {
+    format!("{}|{}", row.policy, row.speeds)
 }
 
 impl StreamingAgg {
     /// Fold one row in.
     pub fn observe(&mut self, row: &SweepRow) {
+        let fine = self.by_policy_speed.entry(policy_speed_key(row)).or_default();
         let group = self.by_policy.entry(row.policy.clone()).or_default();
-        for g in [&mut self.overall, group] {
+        for g in [&mut self.overall, group, fine] {
             g.cells += 1;
             match &row.outcome {
                 RowOutcome::Failed { .. } => g.failed += 1,
@@ -201,6 +212,13 @@ impl StreamingAgg {
         for (policy, g) in &self.by_policy {
             out.push_str(&fmt_group(policy, g));
         }
+        // The policy × speed breakdown adds a line per combination —
+        // only worth the space when some policy ran at several speeds.
+        if self.by_policy_speed.len() > self.by_policy.len() {
+            for (key, g) in &self.by_policy_speed {
+                out.push_str(&fmt_group(key, g));
+            }
+        }
         out.push_str(&fmt_group("TOTAL", &self.overall));
         out
     }
@@ -215,14 +233,20 @@ impl StreamingAgg {
     pub fn summary_json(&self) -> String {
         let mut out = String::from("{\"tool\":\"bct-harness\",\"version\":1,\"overall\":");
         out.push_str(&group_json(&self.overall));
-        out.push_str(",\"by_policy\":{");
-        for (i, (policy, g)) in self.by_policy.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        for (section, groups) in [
+            ("by_policy", &self.by_policy),
+            ("by_policy_speed", &self.by_policy_speed),
+        ] {
+            out.push_str(&format!(",\"{section}\":{{"));
+            for (i, (key, g)) in groups.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape_json(key), group_json(g)));
             }
-            out.push_str(&format!("\"{}\":{}", escape_json(policy), group_json(g)));
+            out.push('}');
         }
-        out.push_str("}}\n");
+        out.push_str("}\n");
         out
     }
 }
@@ -354,6 +378,34 @@ mod tests {
         assert_eq!(agg.by_policy["sjf+greedy"].mean_flow.count(), 1);
         let rendered = agg.render();
         assert!(rendered.contains("sjf+greedy") && rendered.contains("TOTAL"));
+        // Single speed profile: the policy × speed breakdown would just
+        // repeat the per-policy lines, so render omits it.
+        assert!(!rendered.contains('|'), "{rendered}");
+    }
+
+    #[test]
+    fn policy_speed_grouping_separates_augmentation_levels() {
+        let mut agg = StreamingAgg::default();
+        let mut fast = row("sjf+greedy", 2.0, 1.2);
+        fast.speeds = "uniform:2".into();
+        agg.observe(&row("sjf+greedy", 4.0, 1.5));
+        agg.observe(&fast);
+        assert_eq!(agg.by_policy["sjf+greedy"].cells, 2);
+        assert_eq!(agg.by_policy_speed["sjf+greedy|uniform:1.5"].cells, 1);
+        assert_eq!(agg.by_policy_speed["sjf+greedy|uniform:2"].cells, 1);
+        // Two speeds under one policy: the finer table is rendered.
+        let rendered = agg.render();
+        assert!(rendered.contains("sjf+greedy|uniform:2"), "{rendered}");
+        // The JSON summary carries both sections, deterministically.
+        let json = agg.summary_json();
+        let parsed: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let fine = parsed.get("by_policy_speed").expect("by_policy_speed section");
+        let g = fine.get("sjf+greedy|uniform:2").expect("fine group");
+        assert_eq!(g.get("cells"), Some(&serde::Value::Int(1)));
+        let mut swapped = StreamingAgg::default();
+        swapped.observe(&fast);
+        swapped.observe(&row("sjf+greedy", 4.0, 1.5));
+        assert_eq!(json, swapped.summary_json(), "bytes independent of order");
     }
 
     #[test]

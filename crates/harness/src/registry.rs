@@ -7,12 +7,16 @@
 //! `bct_analysis::runner` re-exports everything for old call sites.
 
 use bct_core::{ClassRounding, Instance, SpeedProfile, Time};
-use bct_policies::{ClosestLeaf, Fifo, Hdf, LeastVolume, Ljf, MinEta, RandomLeaf, RoundRobin, Sjf, Srpt};
+use bct_policies::{
+    BestFit, ClosestLeaf, Fifo, Hdf, LeastVolume, Ljf, MinActive, MinEta, RandomFeasible,
+    RandomLeaf, RoundRobin, Sjf, Srpt,
+};
 use bct_sched::{GreedyIdentical, GreedyUnrelated};
 use bct_sim::engine::SimError;
 use bct_sim::policy::NoProbe;
 use bct_sim::{
     AssignmentPolicy, NodePolicy, Probe, SimConfig, SimOutcome, SimScratch, SimView, Simulation,
+    StatefulPolicy,
 };
 use bct_core::{JobId, NodeId};
 
@@ -78,6 +82,13 @@ pub enum AssignKind {
     LeastVolume,
     /// Cheapest total path work.
     MinEta,
+    /// Capacity-aware best-fit: tightest residual endpoint capacity
+    /// (the workload's `capacity` knob; unrestricted when unset).
+    BestFit,
+    /// Capacity-aware min-active: fewest in-flight jobs per endpoint.
+    MinActive,
+    /// Capacity-aware random over the feasible leaves, with seed.
+    RandomFeasible(u64),
     /// Fault-injection probe: panics on its first assignment. Exists so
     /// sweeps can exercise the harness's failure isolation end to end
     /// (a cell running `chaos` is recorded as `Failed`, never aborts
@@ -97,11 +108,16 @@ impl AssignKind {
             AssignKind::RoundRobin => "round-robin",
             AssignKind::LeastVolume => "least-volume",
             AssignKind::MinEta => "min-eta",
+            AssignKind::BestFit => "best-fit",
+            AssignKind::MinActive => "min-active",
+            AssignKind::RandomFeasible(_) => "random-feasible",
             AssignKind::Chaos => "chaos",
         }
     }
 
-    fn build(&self) -> Box<dyn AssignmentPolicy> {
+    /// `capacity` feeds the stateful kinds' per-endpoint ledger; the
+    /// stateless kinds ignore it.
+    fn build(&self, capacity: Option<f64>) -> Box<dyn StatefulPolicy> {
         match *self {
             AssignKind::GreedyIdentical(eps) => Box::new(GreedyIdentical::new(eps)),
             AssignKind::GreedyNoDistance(eps) => {
@@ -113,6 +129,9 @@ impl AssignKind {
             AssignKind::RoundRobin => Box::new(RoundRobin::default()),
             AssignKind::LeastVolume => Box::new(LeastVolume),
             AssignKind::MinEta => Box::new(MinEta),
+            AssignKind::BestFit => Box::new(BestFit::new(capacity)),
+            AssignKind::MinActive => Box::new(MinActive::new(capacity)),
+            AssignKind::RandomFeasible(seed) => Box::new(RandomFeasible::new(capacity, seed)),
             AssignKind::Chaos => Box::new(ChaosPolicy),
         }
     }
@@ -173,10 +192,25 @@ impl PolicyCombo {
         speeds: &SpeedProfile,
         probe: &mut dyn Probe,
     ) -> Result<SimOutcome, SimError> {
-        let node = self.node.build();
-        let mut assign = self.assign.build();
         let cfg = SimConfig::with_speeds(speeds.clone());
-        Simulation::run_with_scratch(scratch, inst, node.as_ref(), assign.as_mut(), probe, &cfg)
+        self.run_configured(scratch, inst, &cfg, None, probe)
+    }
+
+    /// The fully general entry point: an arbitrary [`SimConfig`] (e.g.
+    /// carrying a churn schedule) plus the per-endpoint `capacity` fed
+    /// to the capacity-aware assignment kinds. This is what the sweep
+    /// engine calls for dynamic-topology cells.
+    pub fn run_configured(
+        &self,
+        scratch: &mut SimScratch,
+        inst: &Instance,
+        cfg: &SimConfig,
+        capacity: Option<f64>,
+        probe: &mut dyn Probe,
+    ) -> Result<SimOutcome, SimError> {
+        let node = self.node.build();
+        let mut assign = self.assign.build(capacity);
+        Simulation::run_with_scratch(scratch, inst, node.as_ref(), assign.as_mut(), probe, cfg)
     }
 
     /// Total flow time of a run (panics on unfinished jobs).
@@ -252,12 +286,37 @@ mod tests {
                 AssignKind::RoundRobin,
                 AssignKind::LeastVolume,
                 AssignKind::MinEta,
+                AssignKind::BestFit,
+                AssignKind::MinActive,
+                AssignKind::RandomFeasible(7),
             ] {
                 let combo = PolicyCombo { node, assign };
                 let out = combo.run(&inst, &speeds).unwrap();
                 assert_eq!(out.unfinished, 0, "{}", combo.label());
             }
         }
+    }
+
+    #[test]
+    fn capacity_reaches_the_stateful_kinds() {
+        // A tiny per-endpoint capacity must visibly change best-fit's
+        // assignments versus the unrestricted run on the same instance.
+        let inst = instance();
+        let speeds = SpeedProfile::Uniform(1.5);
+        let combo =
+            PolicyCombo { node: NodePolicyKind::Sjf, assign: AssignKind::BestFit };
+        let cfg = SimConfig::with_speeds(speeds.clone());
+        let run = |capacity: Option<f64>| {
+            let mut scratch = SimScratch::new();
+            combo
+                .run_configured(&mut scratch, &inst, &cfg, capacity, &mut NoProbe)
+                .unwrap()
+                .assignments
+        };
+        let unrestricted = run(None);
+        let tight = run(Some(4.0));
+        assert_eq!(unrestricted.len(), tight.len());
+        assert_ne!(unrestricted, tight, "capacity must steer assignments");
     }
 
     #[test]

@@ -13,8 +13,10 @@
 //!   `paper-identical:EPS`, `paper-unrelated:EPS`.
 //! * policy — `NODE+ASSIGN` with nodes `sjf|sjf-classes:EPS|fifo|srpt|ljf|hdf`
 //!   and assignments `greedy:EPS|greedy-unrel:EPS|greedy-no-dist:EPS|`
-//!   `closest|random:SEED|round-robin|least-volume|min-eta|chaos`
-//!   (`chaos` deliberately panics — fault-injection only).
+//!   `closest|random:SEED|round-robin|least-volume|min-eta|`
+//!   `best-fit|min-active|random-feasible:SEED|chaos`
+//!   (the capacity-aware trio reads the workload's `capacity` knob;
+//!   `chaos` deliberately panics — fault-injection only).
 
 use crate::registry::{AssignKind, NodePolicyKind, PolicyCombo};
 use bct_core::{SpeedProfile, Tree};
@@ -130,6 +132,9 @@ pub fn parse_policy(spec: &str) -> Result<PolicyCombo, String> {
         "round-robin" => AssignKind::RoundRobin,
         "least-volume" => AssignKind::LeastVolume,
         "min-eta" => AssignKind::MinEta,
+        "best-fit" => AssignKind::BestFit,
+        "min-active" => AssignKind::MinActive,
+        "random-feasible" => AssignKind::RandomFeasible(arg(&an, 0, aname).unwrap_or(0.0) as u64),
         "chaos" => AssignKind::Chaos,
         other => return Err(format!("unknown assignment policy '{other}'")),
     };
@@ -187,6 +192,12 @@ mod tests {
         assert_eq!(c.label(), "sjf-classes+least-volume");
         let c = parse_policy("sjf+chaos").unwrap();
         assert_eq!(c.label(), "sjf+chaos");
+        let c = parse_policy("sjf+best-fit").unwrap();
+        assert_eq!(c.assign, AssignKind::BestFit);
+        let c = parse_policy("srpt+min-active").unwrap();
+        assert_eq!(c.label(), "srpt+min-active");
+        let c = parse_policy("sjf+random-feasible:42").unwrap();
+        assert_eq!(c.assign, AssignKind::RandomFeasible(42));
         assert!(parse_policy("sjf").is_err());
         assert!(parse_policy("sjf+warp").is_err());
     }

@@ -16,10 +16,13 @@ use crate::agg::StreamingAgg;
 use crate::exec::{self, ExecOptions, TaskStatus};
 use crate::sink::RowSink;
 use crate::spec;
+use bct_core::{NodeId, Tree, TreeMutation};
 use bct_lp::bounds::combined_bound;
 use bct_sim::policy::NoProbe;
-use bct_sim::SimScratch;
+use bct_sim::{SimConfig, SimScratch, TopoMutation};
 use bct_workloads::jobs::WorkloadSpec;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -40,8 +43,24 @@ fn default_root_seed() -> u64 {
     1
 }
 
+/// Topology-churn knob of a workload: how many tree mutations to
+/// schedule per cell. The concrete schedule is derived deterministically
+/// from the cell seed — event times are uniform over the arrival span,
+/// and each event cycles through add-leaf / remove-leaf / set-speed,
+/// pre-validated against a staging copy of the cell's tree so every
+/// emitted mutation is applicable when the engine reaches it.
+/// (`FailNode` is deliberately excluded from generated churn: whole
+/// subtrees vanishing is a fault-injection scenario, not background
+/// churn; schedule it explicitly via the sim API instead.)
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnCfg {
+    /// Mutation events to schedule across the cell's arrival span.
+    pub events: usize,
+}
+
 /// One workload generator configuration (Poisson arrivals at a target
-/// load over a size distribution, as everywhere else in the repo).
+/// load over a size distribution, as everywhere else in the repo),
+/// plus the dynamic-topology axes: per-endpoint capacity and churn.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WorkloadCfg {
     /// Jobs per generated instance.
@@ -52,12 +71,33 @@ pub struct WorkloadCfg {
     /// Size-distribution spec, e.g. `"pow:2,4"`.
     #[serde(default = "default_sizes")]
     pub sizes: String,
+    /// Per-endpoint capacity for the capacity-aware assignment kinds
+    /// (`best-fit` / `min-active` / `random-feasible`); `null` (the
+    /// default) leaves them unrestricted and is ignored by every other
+    /// policy.
+    #[serde(default)]
+    pub capacity: Option<f64>,
+    /// Topology churn; `null` (the default) keeps the cell fully
+    /// static — the pre-dynamic code path, byte-identical rows
+    /// included.
+    #[serde(default)]
+    pub churn: Option<ChurnCfg>,
 }
 
 impl WorkloadCfg {
-    /// Stable display label used in rows.
+    /// Stable display label used in rows. Static workloads keep the
+    /// historical `n{jobs}-load{load}-{sizes}` form (golden sweeps
+    /// depend on those bytes); the dynamic axes append suffixes only
+    /// when set.
     pub fn label(&self) -> String {
-        format!("n{}-load{}-{}", self.jobs, self.load, self.sizes)
+        let mut s = format!("n{}-load{}-{}", self.jobs, self.load, self.sizes);
+        if let Some(c) = self.capacity {
+            s.push_str(&format!("-cap{c}"));
+        }
+        if let Some(ch) = &self.churn {
+            s.push_str(&format!("-churn{}", ch.events));
+        }
+        s
     }
 }
 
@@ -121,6 +161,22 @@ impl SweepSpec {
                 return Err(format!("workload '{}': jobs must be ≥ 1", w.label()));
             }
             spec::parse_sizes(&w.sizes).map_err(|e| format!("workload '{}': {e}", w.label()))?;
+            if let Some(c) = w.capacity {
+                if !(c > 0.0 && c.is_finite()) {
+                    return Err(format!(
+                        "workload '{}': capacity must be positive and finite",
+                        w.label()
+                    ));
+                }
+            }
+            if let Some(ch) = &w.churn {
+                if ch.events == 0 {
+                    return Err(format!(
+                        "workload '{}': churn.events must be ≥ 1 (omit churn for static runs)",
+                        w.label()
+                    ));
+                }
+            }
         }
         for p in &self.policies {
             spec::parse_policy(p).map_err(|e| format!("policy '{p}': {e}"))?;
@@ -272,11 +328,72 @@ thread_local! {
     static SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
 }
 
+/// Salt folded into the cell seed for churn-schedule derivation, so the
+/// schedule RNG and the workload RNG never share a stream.
+const CHURN_SALT: u64 = 0xC4A1_7B2E_0D5F_93A7;
+
+/// Speed factors generated churn cycles through (all well away from
+/// 1.0, so `SetSpeed` events visibly reprice in-flight work).
+const CHURN_FACTORS: [f64; 4] = [0.5, 0.75, 1.5, 2.0];
+
+/// Derive a cell's churn schedule: `churn.events` mutations at sorted
+/// uniform times over `[0, span]`, cycling add-leaf → remove-leaf →
+/// set-speed. Each candidate mutation is validated against a staging
+/// copy of the tree (evolved mutation by mutation, exactly as the
+/// engine will evolve its own copy), and invalid picks — e.g. a removal
+/// that would promote a root-adjacent router — are skipped rather than
+/// emitted, so the engine never sees an inapplicable mutation. Pure in
+/// `(tree, churn, seed, span)`.
+pub fn churn_schedule(tree: &Tree, churn: &ChurnCfg, seed: u64, span: f64) -> Vec<TopoMutation> {
+    let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed ^ CHURN_SALT));
+    let span = if span.is_finite() && span > 0.0 { span } else { 1.0 };
+    let mut times: Vec<f64> = (0..churn.events).map(|_| rng.gen_range(0.0..span)).collect();
+    // bct-lint: allow(p1) -- gen_range over a finite span cannot yield NaN
+    times.sort_by(|a, b| a.partial_cmp(b).expect("uniform times are finite"));
+    let mut stage = tree.clone();
+    let mut out = Vec::with_capacity(times.len());
+    // Scratch candidate pool, reused across events.
+    let mut pool: Vec<NodeId> = Vec::new();
+    for (i, &at) in times.iter().enumerate() {
+        pool.clear();
+        let change = match i % 3 {
+            0 => {
+                pool.extend(stage.nodes().filter(|&v| stage.is_router(v)));
+                // Live routers always exist (machines are never
+                // root-adjacent), but guard anyway.
+                if pool.is_empty() {
+                    continue;
+                }
+                TreeMutation::AddLeaf { parent: pool[rng.gen_range(0..pool.len())] }
+            }
+            1 => {
+                pool.extend_from_slice(stage.leaves());
+                TreeMutation::RemoveLeaf { leaf: pool[rng.gen_range(0..pool.len())] }
+            }
+            _ => {
+                pool.extend(stage.nodes().filter(|&v| v != NodeId::ROOT && stage.is_alive(v)));
+                TreeMutation::SetSpeed {
+                    node: pool[rng.gen_range(0..pool.len())],
+                    factor: CHURN_FACTORS[rng.gen_range(0..CHURN_FACTORS.len())],
+                }
+            }
+        };
+        stage.queue_mutation(change);
+        // Singleton batches: a rejected mutation leaves the staging
+        // tree untouched, and the pick is simply dropped.
+        if stage.apply_mutations().is_ok() {
+            out.push(TopoMutation { at, change });
+        }
+    }
+    out
+}
+
 /// Run one cell: parse its specs, generate the instance from the cell
-/// seed, simulate, and measure. Pure in `(task)` — this is the
-/// determinism anchor. Buffer reuse does not weaken it: scratch-backed
-/// runs are bit-identical to fresh ones (the engine's reset contract,
-/// asserted end to end by the golden-sweep CI diff).
+/// seed, derive the churn schedule (if any), simulate, and measure.
+/// Pure in `(task)` — this is the determinism anchor. Buffer reuse does
+/// not weaken it: scratch-backed runs are bit-identical to fresh ones
+/// (the engine's reset contract, asserted end to end by the
+/// golden-sweep CI diff).
 pub fn run_cell(task: &CellTask) -> Result<CellMetrics, String> {
     let tree = spec::parse_topology(&task.topo, task.seed)?;
     let sizes = spec::parse_sizes(&task.workload.sizes)?;
@@ -286,8 +403,24 @@ pub fn run_cell(task: &CellTask) -> Result<CellMetrics, String> {
     let inst = w
         .instance(&tree, task.seed)
         .map_err(|e| format!("instance generation: {e}"))?;
+    let mutations = match &task.workload.churn {
+        Some(ch) => {
+            let span = inst.jobs().iter().fold(0.0f64, |a, j| a.max(j.release));
+            churn_schedule(&tree, ch, task.seed, span)
+        }
+        None => Vec::new(),
+    };
+    let cfg = SimConfig::with_speeds(speeds.clone()).with_mutations(mutations);
     let out = SCRATCH
-        .with(|s| combo.run_with_scratch(&mut s.borrow_mut(), &inst, &speeds, &mut NoProbe))
+        .with(|s| {
+            combo.run_configured(
+                &mut s.borrow_mut(),
+                &inst,
+                &cfg,
+                task.workload.capacity,
+                &mut NoProbe,
+            )
+        })
         .map_err(|e| format!("simulation: {e}"))?;
     if out.unfinished > 0 {
         return Err(format!("{} jobs unfinished at horizon", out.unfinished));
@@ -501,7 +634,13 @@ mod tests {
             replications: 2,
             max_retries: 0,
             topologies: vec!["star:3,2".into(), "fat-tree:2,2,2".into()],
-            workloads: vec![WorkloadCfg { jobs: 12, load: 0.7, sizes: "pow:2,3".into() }],
+            workloads: vec![WorkloadCfg {
+                jobs: 12,
+                load: 0.7,
+                sizes: "pow:2,3".into(),
+                capacity: None,
+                churn: None,
+            }],
             policies: vec!["sjf+greedy:0.5".into(), "sjf+closest".into()],
             speeds: vec!["uniform:1.5".into()],
         }
@@ -544,6 +683,8 @@ mod tests {
         assert_eq!(m.max_retries, 0);
         assert_eq!(m.workloads[0].load, 0.8);
         assert_eq!(m.workloads[0].sizes, "pow:2,4");
+        assert_eq!(m.workloads[0].capacity, None, "static by default");
+        assert_eq!(m.workloads[0].churn, None, "static by default");
     }
 
     #[test]
@@ -576,6 +717,91 @@ mod tests {
                 RowOutcome::Failed { panic_msg } => panic!("cell {i} failed: {panic_msg}"),
             }
         }
+    }
+
+    fn dynamic_spec() -> SweepSpec {
+        SweepSpec {
+            name: "dynamic".into(),
+            root_seed: 11,
+            replications: 2,
+            max_retries: 0,
+            topologies: vec!["fat-tree:2,2,2".into()],
+            workloads: vec![WorkloadCfg {
+                jobs: 16,
+                load: 0.7,
+                sizes: "pow:2,3".into(),
+                capacity: Some(8.0),
+                churn: Some(ChurnCfg { events: 6 }),
+            }],
+            policies: vec![
+                "sjf+best-fit".into(),
+                "sjf+min-active".into(),
+                "sjf+greedy:0.5".into(),
+            ],
+            speeds: vec!["uniform:1.5".into()],
+        }
+    }
+
+    #[test]
+    fn churn_schedules_are_deterministic_and_applicable() {
+        let tree = spec::parse_topology("fat-tree:2,2,2", 3).unwrap();
+        let ch = ChurnCfg { events: 12 };
+        let a = churn_schedule(&tree, &ch, 99, 40.0);
+        assert_eq!(a, churn_schedule(&tree, &ch, 99, 40.0), "pure in its inputs");
+        assert!(!a.is_empty(), "a 12-event request on a healthy tree must emit something");
+        for w in a.windows(2) {
+            assert!(w[0].at <= w[1].at, "times must come out sorted");
+        }
+        for m in &a {
+            assert!(m.at >= 0.0 && m.at <= 40.0);
+        }
+        // Replaying the schedule mutation-by-mutation must succeed: the
+        // generator pre-validated each one on the same evolving shape.
+        let mut t = tree.clone();
+        for m in &a {
+            t.queue_mutation(m.change);
+            t.apply_mutations().unwrap_or_else(|e| panic!("replay of {:?}: {e}", m.change));
+        }
+        assert_ne!(a, churn_schedule(&tree, &ch, 100, 40.0), "seed must matter");
+    }
+
+    #[test]
+    fn dynamic_cells_run_and_label_their_axes() {
+        let spec = dynamic_spec();
+        let report = run_sweep(&spec, &SweepOptions::default(), &mut NullSink).unwrap();
+        assert!(report.all_ok(), "{:?}", report.rows);
+        assert_eq!(report.rows.len(), 6);
+        for row in &report.rows {
+            assert_eq!(row.workload, "n16-load0.7-pow:2,3-cap8-churn6");
+        }
+    }
+
+    #[test]
+    fn dynamic_rows_are_worker_count_invariant() {
+        let spec = dynamic_spec();
+        let run = |workers| {
+            run_sweep(&spec, &SweepOptions { workers, progress: ProgressMode::Silent }, &mut NullSink)
+                .unwrap()
+                .sorted_jsonl()
+        };
+        let solo = run(1);
+        assert_eq!(solo, run(4), "1 vs 4 workers");
+        assert_eq!(solo, run(8), "1 vs 8 workers");
+    }
+
+    #[test]
+    fn dynamic_spec_json_roundtrips() {
+        let spec = dynamic_spec();
+        let json = serde_json::to_string(&spec).unwrap();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        // The dynamic knobs validate.
+        let mut bad = dynamic_spec();
+        bad.workloads[0].capacity = Some(0.0);
+        assert!(bad.validate().is_err(), "zero capacity must be rejected");
+        let mut bad = dynamic_spec();
+        bad.workloads[0].churn = Some(ChurnCfg { events: 0 });
+        assert!(bad.validate().is_err(), "zero churn events must be rejected");
     }
 
     #[test]

@@ -32,6 +32,13 @@ const CLOCK_CRATES: &[&str] = &["bench", "cli"];
 /// every possible origin needs a written justification.
 const PANIC_AUDITED_CRATES: &[&str] = &["sim", "harness"];
 
+/// Individual files under the panic audit beyond the audited crates:
+/// the dynamic-topology layer runs inside the engine's event loop (its
+/// panics reach the harness pool's `catch_unwind` like any sim panic),
+/// even though its home crates are not audited wholesale.
+const PANIC_AUDITED_FILES: &[&str] =
+    &["crates/core/src/mutate.rs", "crates/policies/src/stateful.rs"];
+
 /// Files exempt from D3 wholesale: the one place float comparison is
 /// the point.
 const D3_EXEMPT_FILES: &[&str] = &["crates/core/src/time.rs"];
@@ -55,7 +62,7 @@ pub fn policy_for(rel_path: &str) -> Policy {
         d1: DETERMINISTIC_CRATES.contains(&krate),
         d2: !CLOCK_CRATES.contains(&krate),
         d3: !D3_EXEMPT_FILES.contains(&norm),
-        p1: PANIC_AUDITED_CRATES.contains(&krate),
+        p1: PANIC_AUDITED_CRATES.contains(&krate) || PANIC_AUDITED_FILES.contains(&norm),
     }
 }
 
@@ -86,5 +93,14 @@ mod tests {
 
         let lp = policy_for("crates/lp/src/simplex.rs");
         assert!(!lp.d1 && lp.d2 && lp.d3 && !lp.p1);
+
+        // The dynamic-topology files are panic-audited individually.
+        let mutate = policy_for("crates/core/src/mutate.rs");
+        assert!(mutate.d1 && mutate.p1);
+        let stateful = policy_for("./crates/policies/src/stateful.rs");
+        assert!(stateful.d1 && stateful.p1);
+        // …without dragging their whole crates into the audit.
+        assert!(!policy_for("crates/core/src/tree.rs").p1);
+        assert!(!policy_for("crates/policies/src/assign.rs").p1);
     }
 }

@@ -41,12 +41,11 @@ impl AssignmentPolicy for ClosestLeaf {
     }
 
     fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
-        let inst = view.instance();
-        *inst
+        *view
             .tree()
             .leaves()
             .iter()
-            .min_by_key(|&&v| (inst.path_of(job, v).len(), v))
+            .min_by_key(|&&v| (view.path_for(job, v).len(), v))
             .expect("tree has leaves")
     }
 
@@ -76,7 +75,7 @@ impl AssignmentPolicy for RandomLeaf {
     }
 
     fn assign(&mut self, view: &SimView<'_>, _job: JobId) -> NodeId {
-        let leaves = view.instance().tree().leaves();
+        let leaves = view.tree().leaves();
         leaves[self.rng.gen_range(0..leaves.len())]
     }
 
@@ -97,7 +96,7 @@ impl AssignmentPolicy for RoundRobin {
     }
 
     fn assign(&mut self, view: &SimView<'_>, _job: JobId) -> NodeId {
-        let leaves = view.instance().tree().leaves();
+        let leaves = view.tree().leaves();
         let v = leaves[self.next % leaves.len()];
         self.next += 1;
         v
@@ -121,16 +120,16 @@ impl AssignmentPolicy for LeastVolume {
     }
 
     fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
-        let inst = view.instance();
-        let t = inst.tree();
-        *t.leaves()
+        *view
+            .tree()
+            .leaves()
             .iter()
             .min_by(|&&a, &&b| {
                 let score = |v: NodeId| {
-                    let entry = inst.entry_node(job, v);
+                    let entry = view.entry_node(job, v);
                     let vol_entry: f64 = view.q(entry).map(|i| view.remaining_at(i, entry)).sum();
                     let vol_leaf: f64 = view.q(v).map(|i| view.remaining_at(i, v)).sum();
-                    vol_entry + vol_leaf + inst.eta_via(job, v)
+                    vol_entry + vol_leaf + view.eta_via(job, v)
                 };
                 score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b))
             })
@@ -153,14 +152,13 @@ impl AssignmentPolicy for MinEta {
     }
 
     fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
-        let inst = view.instance();
-        *inst
+        *view
             .tree()
             .leaves()
             .iter()
             .min_by(|&&a, &&b| {
-                inst.eta_via(job, a)
-                    .partial_cmp(&inst.eta_via(job, b))
+                view.eta_via(job, a)
+                    .partial_cmp(&view.eta_via(job, b))
                     .unwrap()
                     .then(a.cmp(&b))
             })

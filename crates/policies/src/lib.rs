@@ -10,6 +10,9 @@
 //!   bound-minimizing assignment lives in `bct-sched` (it *is* the
 //!   contribution).
 //! * [`prio`] — helpers for the paper's priority sets `S_{v,j}(t)`.
+//! * [`stateful`] — capacity-aware stateful dispatchers (best-fit,
+//!   min-active, random-feasible) built on the `StatefulPolicy` hooks,
+//!   for dynamic-topology runs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -17,6 +20,8 @@
 pub mod assign;
 pub mod node;
 pub mod prio;
+pub mod stateful;
 
 pub use assign::{ClosestLeaf, FixedAssignment, LeastVolume, MinEta, RandomLeaf, RoundRobin};
 pub use node::{Fifo, Hdf, Ljf, Sjf, Srpt};
+pub use stateful::{BestFit, CapacityTracker, MinActive, RandomFeasible};

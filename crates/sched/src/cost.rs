@@ -35,7 +35,7 @@ pub fn f_term(
     leaf: NodeId,
 ) -> Time {
     let inst = view.instance();
-    let r = inst.entry_node(j, leaf);
+    let r = view.entry_node(j, leaf);
     let p_j = inst.p(j, r);
     let s_vol = prio::s_volume_excl(view, rounding, r, j) + p_j; // S includes J_j
     let larger = prio::count_larger(view, rounding, r, j) as f64;
@@ -76,7 +76,7 @@ pub fn f_term_post(
     leaf: NodeId,
 ) -> Time {
     let inst = view.instance();
-    let r = inst.entry_node(j, leaf);
+    let r = view.entry_node(j, leaf);
     let p_j = inst.p(j, r);
     let s_vol = prio::s_volume_excl(view, rounding, r, j) + view.remaining_at(j, r);
     let larger = prio::count_larger(view, rounding, r, j) as f64;

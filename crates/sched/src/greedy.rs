@@ -25,7 +25,7 @@ fn argmin_leaf(
     j: JobId,
     mut score: impl FnMut(&SimView<'_>, JobId, NodeId) -> Time,
 ) -> NodeId {
-    let leaves = view.instance().tree().leaves();
+    let leaves = view.tree().leaves();
     let mut best = leaves[0];
     let mut best_score = f64::INFINITY;
     for &v in leaves {
@@ -92,7 +92,7 @@ impl GreedyIdentical {
         let inst = view.instance();
         f_term(view, self.rounding.as_ref(), j, leaf)
             + self.distance_weight
-                * distance_term(self.epsilon, inst.job(j).size, inst.path_of(j, leaf).len() as u32)
+                * distance_term(self.epsilon, inst.job(j).size, view.path_for(j, leaf).len() as u32)
     }
 }
 
@@ -144,7 +144,7 @@ impl GreedyUnrelated {
         let inst = view.instance();
         f_term(view, self.rounding.as_ref(), j, leaf)
             + f_prime_term(view, self.rounding.as_ref(), j, leaf)
-            + distance_term(self.epsilon, inst.job(j).size, inst.path_of(j, leaf).len() as u32)
+            + distance_term(self.epsilon, inst.job(j).size, view.path_for(j, leaf).len() as u32)
     }
 }
 

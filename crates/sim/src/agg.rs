@@ -178,6 +178,14 @@ impl QueueAggregates {
         self.rng = PRIO_SEED;
     }
 
+    /// Extend to `num_nodes` queues without touching existing ones
+    /// (mid-run topology growth).
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        if self.roots.len() < num_nodes {
+            self.roots.resize(num_nodes, NIL);
+        }
+    }
+
     // bct-lint: no_alloc
     fn next_prio(&mut self) -> u64 {
         // xorshift64: full-period, deterministic, plenty for treap shape.
@@ -554,6 +562,12 @@ impl FlatAggregates {
         for n in &mut self.nodes {
             n.clear();
         }
+        self.grow_nodes(num_nodes);
+    }
+
+    /// Extend to `num_nodes` queues without touching existing ones
+    /// (mid-run topology growth).
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
         if self.nodes.len() < num_nodes {
             self.nodes.resize_with(num_nodes, FlatNode::default);
         }
@@ -669,6 +683,15 @@ impl AggStore {
         self.layout = layout;
         self.flat.reset(num_nodes);
         self.treap.reset(num_nodes);
+    }
+
+    /// Extend both layouts to cover `num_nodes` queues without
+    /// disturbing existing entries — called when a topology mutation
+    /// adds nodes mid-run. Any allocation lands at the mutation event,
+    /// never in the steady state between mutations.
+    pub fn grow_nodes(&mut self, num_nodes: usize) {
+        self.flat.grow_nodes(num_nodes);
+        self.treap.grow_nodes(num_nodes);
     }
 
     /// Insert a job entering `Q_v` with full requirement `p` remaining.

@@ -3,13 +3,33 @@
 use crate::agg::AggLayout;
 use crate::evq::{EventQueue, EventQueueKind, FinishEv};
 use crate::outcome::{HopFinishes, SimOutcome};
-use crate::policy::{AssignmentPolicy, NodePolicy, Probe};
+use crate::policy::{NodePolicy, Probe, StatefulPolicy};
 use crate::scratch::SimScratch;
 use crate::state::SimState;
 use crate::trace::{Trace, TraceKind};
-use bct_core::{ClassRounding, CoreError, Instance, JobId, NodeId, SpeedProfile, Time};
+use bct_core::{
+    ClassRounding, CoreError, Instance, JobId, NodeId, Setting, SpeedProfile, Time, TreeMutation,
+};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::mem;
+
+/// Sentinel node id carried by topology-mutation events in the pending
+/// queue. Real node ids are dense from zero, so `u32::MAX` can never
+/// collide with one; the event's `version` field holds the mutation's
+/// schedule index instead of a node version.
+const TOPO_NODE: NodeId = NodeId(u32::MAX);
+
+/// A scheduled topology mutation: apply `change` to the run's owned
+/// tree at time `at`. At equal times, mutations are processed before
+/// hop completions and arrivals, in schedule order.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TopoMutation {
+    /// When the mutation takes effect.
+    pub at: Time,
+    /// What changes.
+    pub change: TreeMutation,
+}
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -35,6 +55,14 @@ pub struct SimConfig {
     /// scores may differ in final bits on non-dyadic sizes; the treap
     /// is kept as the differential oracle.
     pub aggregates: AggLayout,
+    /// Topology mutation schedule, sorted by time. Empty (the default)
+    /// keeps the run fully static on the instance's tree — the
+    /// pre-dynamic code path, byte-identical outputs included. A
+    /// non-empty schedule requires root-released jobs and identical
+    /// endpoints, and rejects [`SpeedProfile::Explicit`] when the
+    /// schedule adds leaves (the table cannot cover nodes that don't
+    /// exist yet).
+    pub mutations: Vec<TopoMutation>,
 }
 
 impl SimConfig {
@@ -53,6 +81,7 @@ impl SimConfig {
             dispatch_rounding: None,
             event_queue: EventQueueKind::default(),
             aggregates: AggLayout::default(),
+            mutations: Vec::new(),
         }
     }
 
@@ -80,6 +109,13 @@ impl SimConfig {
         self
     }
 
+    /// Schedule topology mutations (must be sorted by time; validated
+    /// at run start).
+    pub fn with_mutations(mut self, mutations: Vec<TopoMutation>) -> SimConfig {
+        self.mutations = mutations;
+        self
+    }
+
     /// Compat mode: the binary event heap and the treap aggregates —
     /// the oracle configuration the differential suite compares the
     /// defaults against.
@@ -103,6 +139,11 @@ pub enum SimError {
     },
     /// `max_events` exceeded — almost certainly an engine or policy bug.
     EventBudgetExceeded(u64),
+    /// A scheduled topology mutation failed to apply mid-run.
+    BadMutation(CoreError),
+    /// The configuration combines a mutation schedule with a feature
+    /// the dynamic-topology engine does not support.
+    DynamicUnsupported(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -113,6 +154,10 @@ impl fmt::Display for SimError {
                 write!(f, "assignment policy sent {job} to non-leaf {node}")
             }
             SimError::EventBudgetExceeded(n) => write!(f, "exceeded event budget of {n}"),
+            SimError::BadMutation(e) => write!(f, "topology mutation failed: {e}"),
+            SimError::DynamicUnsupported(what) => {
+                write!(f, "mutation schedules do not support {what}")
+            }
         }
     }
 }
@@ -163,7 +208,7 @@ impl Simulation {
     pub fn run(
         instance: &Instance,
         node_policy: &dyn NodePolicy,
-        assignment: &mut dyn AssignmentPolicy,
+        assignment: &mut dyn StatefulPolicy,
         probe: &mut dyn Probe,
         cfg: &SimConfig,
     ) -> Result<SimOutcome, SimError> {
@@ -180,10 +225,14 @@ impl Simulation {
         scratch: &mut SimScratch,
         instance: &Instance,
         node_policy: &dyn NodePolicy,
-        assignment: &mut dyn AssignmentPolicy,
+        assignment: &mut dyn StatefulPolicy,
         probe: &mut dyn Probe,
         cfg: &SimConfig,
     ) -> Result<SimOutcome, SimError> {
+        let dynamic = !cfg.mutations.is_empty();
+        if dynamic {
+            Self::validate_dynamic(instance, cfg)?;
+        }
         cfg.speeds
             .materialize_into(instance.tree(), &mut scratch.speeds)
             .map_err(SimError::BadSpeeds)?;
@@ -195,11 +244,21 @@ impl Simulation {
             cfg.dispatch_rounding,
             track_aggs,
             cfg.aggregates,
+            dynamic,
             scratch,
         );
         let mut trace = cfg.record_trace.then(Trace::default);
         let mut evq = mem::take(&mut scratch.evq);
         evq.reset(cfg.event_queue);
+        // Topology mutations ride the pending-event queue as sentinel
+        // events (node = TOPO_NODE, version = schedule index). Pushed
+        // first, they take the smallest sequence numbers, so at equal
+        // times a mutation pops before any hop completion — and the
+        // finish-before-arrival tie rule then puts it before arrivals
+        // too: mutations > completions > arrivals at one instant.
+        for (i, tm) in cfg.mutations.iter().enumerate() {
+            evq.push(tm.at, TOPO_NODE, i as u64);
+        }
 
         // Instances validate non-decreasing releases, so arrivals come
         // from a cursor over the job list rather than the heap.
@@ -234,6 +293,31 @@ impl Simulation {
                     debug_assert!(false, "take_finish implies a peeked event");
                     break;
                 };
+                if node == TOPO_NODE {
+                    // A scheduled topology mutation; `version` is its
+                    // schedule index. Must be checked before the
+                    // node_version lookup — the sentinel id is out of
+                    // bounds for the node tables.
+                    let tm = &cfg.mutations[version as usize];
+                    if let Err(e) = Self::apply_topo(
+                        &mut st,
+                        tm.change,
+                        node_policy,
+                        assignment,
+                        &mut trace,
+                        &mut evq,
+                        cfg,
+                        &mut scratch.drained,
+                        &mut scratch.freed,
+                        &mut scratch.doomed,
+                    ) {
+                        st.release_into(scratch);
+                        scratch.evq = evq;
+                        return Err(e);
+                    }
+                    probe.on_event(&st.view());
+                    continue;
+                }
                 if st.node_version(node) != version {
                     continue; // stale: the node's job changed since scheduling
                 }
@@ -251,6 +335,8 @@ impl Simulation {
                         }
                         None => debug_assert!(false, "unfinished job must be in flight"),
                     }
+                } else {
+                    assignment.on_complete(&st.view(), job, node);
                 }
                 if st.pick_next(node) {
                     Self::schedule_current(&mut st, node, &mut trace, &mut evq);
@@ -260,7 +346,7 @@ impl Simulation {
                 let job = jobs_list[next_arrival].id;
                 next_arrival += 1;
                 let leaf = assignment.assign(&st.view(), job);
-                if !instance.tree().is_leaf(leaf) {
+                if !st.tree().is_leaf(leaf) {
                     st.release_into(scratch);
                     scratch.evq = evq;
                     return Err(SimError::AssignmentNotALeaf { job, node: leaf });
@@ -287,6 +373,142 @@ impl Simulation {
         let out = Self::collect(st, scratch, trace, events);
         scratch.evq = evq;
         Ok(out)
+    }
+
+    /// Check a mutation schedule against the engine's dynamic-topology
+    /// restrictions before any buffer is touched.
+    fn validate_dynamic(instance: &Instance, cfg: &SimConfig) -> Result<(), SimError> {
+        if instance.has_origins() {
+            return Err(SimError::DynamicUnsupported(
+                "origin-released jobs (their path caches are per-epoch)",
+            ));
+        }
+        if instance.setting() == Setting::Unrelated {
+            return Err(SimError::DynamicUnsupported(
+                "unrelated endpoints (leaf-size tables cannot cover a changing leaf set)",
+            ));
+        }
+        let mut prev = 0.0;
+        for tm in &cfg.mutations {
+            if !(tm.at >= 0.0 && tm.at.is_finite()) {
+                return Err(SimError::DynamicUnsupported(
+                    "non-finite or negative mutation times",
+                ));
+            }
+            if tm.at < prev {
+                return Err(SimError::DynamicUnsupported(
+                    "unsorted mutation schedules (sort by time first)",
+                ));
+            }
+            prev = tm.at;
+            if matches!(tm.change, TreeMutation::AddLeaf { .. })
+                && matches!(cfg.speeds, SpeedProfile::Explicit(_))
+            {
+                return Err(SimError::DynamicUnsupported(
+                    "explicit speed tables together with AddLeaf (the table cannot cover \
+                     nodes that do not exist yet)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one topology mutation at the current time: drain every
+    /// in-flight job whose leaf disappears (deterministically, in job-id
+    /// order), mutate the owned tree, grow the node tables for added
+    /// ids, let freed survivors pick new work, then redispatch the
+    /// drained jobs through the assignment policy.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_topo(
+        st: &mut SimState<'_>,
+        change: TreeMutation,
+        node_policy: &dyn NodePolicy,
+        assignment: &mut dyn StatefulPolicy,
+        trace: &mut Option<Trace>,
+        evq: &mut EventQueue,
+        cfg: &SimConfig,
+        drained: &mut Vec<(JobId, NodeId)>,
+        freed: &mut Vec<NodeId>,
+        doomed: &mut Vec<NodeId>,
+    ) -> Result<(), SimError> {
+        let now = st.view().now();
+        // 1. Which nodes disappear, and which in-flight jobs lose their
+        //    leaf? (Computed before mutating — the subtree walk needs
+        //    the pre-mutation children lists.)
+        doomed.clear();
+        match change {
+            TreeMutation::RemoveLeaf { leaf } => doomed.push(leaf),
+            TreeMutation::FailNode { node } => st.tree().subtree_into(node, doomed),
+            TreeMutation::AddLeaf { .. } | TreeMutation::SetSpeed { .. } => {}
+        }
+        st.affected_jobs_into(doomed, drained);
+        // 2. Drain them, remembering which live nodes lost their
+        //    current job.
+        freed.clear();
+        for &(j, old_leaf) in drained.iter() {
+            if let Some(v) = st.drain_job(j) {
+                freed.push(v);
+                // The node genuinely stopped processing; record it so
+                // the trace's mutual-exclusion story stays closed.
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(now, v, j, TraceKind::Preempt);
+                }
+            }
+            assignment.on_drain(&st.view(), j, old_leaf);
+        }
+        // 3. Mutate the owned tree (incremental path-table recompute
+        //    lives in bct-core). A failed mutation aborts the run.
+        let receipt = {
+            // bct-lint: allow(p1) -- invariant: apply_topo is only reachable when cfg.mutations is non-empty, which makes from_scratch install topo
+            let t = st.topo.as_mut().expect("topo events require a dynamic run");
+            t.queue_mutation(change);
+            t.apply_mutations()
+        }
+        .map_err(SimError::BadMutation)?;
+        // 4. Cover added node ids: effective speeds (profile × factor),
+        //    node states, queue memberships, aggregates.
+        for &v in &receipt.added {
+            debug_assert_eq!(st.speeds.len(), v.as_usize(), "added ids are dense");
+            let s = cfg.speeds.speed_of(st.tree(), v);
+            st.speeds.push(s);
+        }
+        st.grow_for_added();
+        // 5. A speed change reprices the node's in-flight job: stale
+        //    finish event out (version bump), fresh prediction in. No
+        //    Start/Preempt trace — the job never stopped.
+        if let TreeMutation::SetSpeed { node, .. } = change {
+            let s = cfg.speeds.speed_of(st.tree(), node);
+            if st.apply_speed_change(node, s) {
+                // bct-lint: allow(p1) -- invariant: apply_speed_change returns true iff the node has a current job, which predicted_finish requires
+                let t_fin = st.predicted_finish(node).expect("current implies a finish");
+                evq.push(t_fin.max(now), node, st.node_version(node));
+            }
+        }
+        // 6. Surviving nodes that lost their current job to the drain
+        //    pull the next waiting job, in id order.
+        freed.sort_unstable();
+        for &v in freed.iter() {
+            if st.tree().is_alive(v) && st.view().current_job(v).is_none() && st.pick_next(v) {
+                Self::schedule_current(st, v, trace, evq);
+            }
+        }
+        // 7. Tell the policy about the new epoch, then redispatch the
+        //    drained jobs in id order. Each restarts from the root on
+        //    its new path; partially processed work is forfeited.
+        assignment.on_topo(&st.view());
+        for &(j, _) in drained.iter() {
+            let leaf = assignment.assign(&st.view(), j);
+            if !st.tree().is_leaf(leaf) {
+                return Err(SimError::AssignmentNotALeaf { job: j, node: leaf });
+            }
+            st.readmit(j, leaf);
+            if let Some(tr) = trace.as_mut() {
+                tr.push(now, leaf, j, TraceKind::Redispatch);
+            }
+            let first = st.view().path(j)[0];
+            Self::offer(st, first, j, node_policy, trace, evq);
+        }
+        Ok(())
     }
 
     /// Offer `job` to `node`; if the node's current job changed,

@@ -15,6 +15,13 @@
 //! 5. **Path discipline** — hops are visited in root→leaf order of the
 //!    assigned leaf's path, and `Complete` coincides with the final
 //!    `FinishHop`.
+//!
+//! The checker's structural tables (paths, sizes, speeds) describe the
+//! instance's *static* tree. A job that a topology mutation redispatched
+//! ([`TraceKind::Redispatch`]) may run on nodes or paths the static tree
+//! has never heard of, so from its redispatch onward only the mutual-
+//! exclusion invariants are enforced for it; path and work-conservation
+//! checks are skipped. Static jobs in the same trace keep full coverage.
 
 use crate::trace::{Trace, TraceKind};
 use bct_core::time::approx_eq;
@@ -51,6 +58,9 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
         leaf: Option<NodeId>,
         arrived: Option<f64>,
         completed: Option<f64>,
+        /// Redispatched by a topology mutation: static-tree checks are
+        /// off for this job from that point on.
+        dynamic: bool,
     }
     let mut js: Vec<J> = vec![J::default(); instance.n()];
 
@@ -81,7 +91,13 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
                 if js[ji].arrived.is_none() {
                     out.push(Violation(format!("{} started before arrival", e.job)));
                 }
-                if let Some(other) = node_running[e.node.as_usize()] {
+                // Mutation-added nodes have ids past the static tree;
+                // grow the mutual-exclusion table to cover them.
+                let vi = e.node.as_usize();
+                if node_running.len() <= vi {
+                    node_running.resize(vi + 1, None);
+                }
+                if let Some(other) = node_running[vi] {
                     out.push(Violation(format!(
                         "node {} started {} while running {}",
                         e.node, e.job, other
@@ -94,19 +110,23 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
                     )));
                 }
                 // Store-and-forward: this node must be the next hop.
-                let expected = js[ji].leaf.and_then(|leaf| {
-                    instance
-                        .path_of(e.job, leaf)
-                        .get(js[ji].hops_done.len())
-                        .copied()
-                });
-                if expected != Some(e.node) {
-                    out.push(Violation(format!(
-                        "{} started on {} but its next hop is {:?}",
-                        e.job, e.node, expected
-                    )));
+                // (Static jobs only — a redispatched job's path lives
+                // on the mutated tree.)
+                if !js[ji].dynamic {
+                    let expected = js[ji].leaf.and_then(|leaf| {
+                        instance
+                            .path_of(e.job, leaf)
+                            .get(js[ji].hops_done.len())
+                            .copied()
+                    });
+                    if expected != Some(e.node) {
+                        out.push(Violation(format!(
+                            "{} started on {} but its next hop is {:?}",
+                            e.job, e.node, expected
+                        )));
+                    }
                 }
-                node_running[e.node.as_usize()] = Some(e.job);
+                node_running[vi] = Some(e.job);
                 js[ji].running_on = Some((e.node, e.t));
             }
             TraceKind::Preempt | TraceKind::FinishHop => {
@@ -122,17 +142,25 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
                                 e.job, e.kind, e.node, v
                             )));
                         }
-                        js[ji].acc += (e.t - t0) * speed[e.node.as_usize()];
-                        node_running[e.node.as_usize()] = None;
+                        // Added nodes are absent from the static speed
+                        // table; their work total is never checked (the
+                        // job is dynamic), so any finite rate works.
+                        let s = speed.get(e.node.as_usize()).copied().unwrap_or(1.0);
+                        js[ji].acc += (e.t - t0) * s;
+                        if let Some(slot) = node_running.get_mut(e.node.as_usize()) {
+                            *slot = None;
+                        }
                     }
                 }
                 if e.kind == TraceKind::FinishHop {
-                    let want = instance.p(e.job, e.node);
-                    if !approx_eq(js[ji].acc, want) {
-                        out.push(Violation(format!(
-                            "{} finished {} with {:.6} work done, needs {want:.6}",
-                            e.job, e.node, js[ji].acc
-                        )));
+                    if !js[ji].dynamic {
+                        let want = instance.p(e.job, e.node);
+                        if !approx_eq(js[ji].acc, want) {
+                            out.push(Violation(format!(
+                                "{} finished {} with {:.6} work done, needs {want:.6}",
+                                e.job, e.node, js[ji].acc
+                            )));
+                        }
                     }
                     js[ji].hops_done.push((e.node, e.t));
                     js[ji].acc = 0.0;
@@ -141,11 +169,42 @@ pub fn check(instance: &Instance, speeds: &SpeedProfile, trace: &Trace) -> Vec<V
             TraceKind::Complete => {
                 js[ji].completed = Some(e.t);
             }
+            TraceKind::Redispatch => {
+                // A mutation drained the job (any running burst was
+                // already closed by a Preempt) and re-dispatched it to
+                // the leaf in `node`; it restarts from its first hop.
+                if js[ji].arrived.is_none() {
+                    out.push(Violation(format!("{} redispatched before arrival", e.job)));
+                }
+                if let Some((v, _)) = js[ji].running_on.take() {
+                    out.push(Violation(format!(
+                        "{} redispatched while still running on {}",
+                        e.job, v
+                    )));
+                    if let Some(slot) = node_running.get_mut(v.as_usize()) {
+                        *slot = None;
+                    }
+                }
+                js[ji].dynamic = true;
+                js[ji].acc = 0.0;
+                js[ji].hops_done.clear();
+                js[ji].leaf = None;
+            }
         }
     }
 
-    // Per-job path discipline and completion checks.
+    // Per-job path discipline and completion checks (static jobs only:
+    // a redispatched job's path belongs to the mutated tree).
     for (ji, j) in js.iter().enumerate() {
+        if j.dynamic {
+            // Hop causality still holds regardless of topology.
+            for w in j.hops_done.windows(2) {
+                if w[1].1 < w[0].1 {
+                    out.push(Violation(format!("Job#{ji} hop times go backwards")));
+                }
+            }
+            continue;
+        }
         let job = JobId(ji as u32);
         let Some(leaf) = j.leaf else {
             if j.arrived.is_some() {

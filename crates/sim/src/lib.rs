@@ -47,10 +47,10 @@ pub mod state;
 pub mod trace;
 
 pub use agg::AggLayout;
-pub use engine::{SimConfig, Simulation};
+pub use engine::{SimConfig, Simulation, TopoMutation};
 pub use evq::{EventQueue, EventQueueKind};
 pub use outcome::{HopFinishes, SimOutcome};
 pub use scratch::SimScratch;
-pub use policy::{AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, Probe};
+pub use policy::{AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, Probe, StatefulPolicy};
 pub use state::SimView;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -109,6 +109,64 @@ pub trait AssignmentPolicy {
     }
 }
 
+/// An assignment policy that may carry mutable state across decisions
+/// and wants to hear about job and topology lifecycle events.
+///
+/// This is the trait the engine actually consumes. Every
+/// [`AssignmentPolicy`] is a `StatefulPolicy` through a blanket impl
+/// (the lifecycle hooks default to no-ops), so existing stateless
+/// policies pass through unchanged; only policies that track residual
+/// capacity or per-leaf occupancy implement this trait directly.
+///
+/// Hook timing in a dynamic run:
+///
+/// * [`StatefulPolicy::on_complete`] — a job just finished its leaf hop
+///   (state already reflects the completion).
+/// * [`StatefulPolicy::on_drain`] — `job` was pulled out of the system
+///   because a topology mutation removed or disconnected its assigned
+///   leaf; it will be re-offered via [`StatefulPolicy::assign`] in the
+///   same event.
+/// * [`StatefulPolicy::on_topo`] — the mutation has been applied; the
+///   view's tree reflects the new epoch. Called before the drained
+///   jobs are re-assigned.
+#[allow(unused_variables)]
+pub trait StatefulPolicy {
+    /// Short stable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Pick the leaf for `job`; must be a leaf of `view.tree()`.
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId;
+
+    /// See [`AssignmentPolicy::needs_aggregates`].
+    fn needs_aggregates(&self) -> bool {
+        true
+    }
+
+    /// `job` completed at its assigned `leaf`.
+    fn on_complete(&mut self, view: &SimView<'_>, job: JobId, leaf: NodeId) {}
+
+    /// `job` lost `old_leaf` to a topology mutation and awaits
+    /// re-assignment.
+    fn on_drain(&mut self, view: &SimView<'_>, job: JobId, old_leaf: NodeId) {}
+
+    /// A topology mutation was applied; `view.tree()` is the new epoch.
+    fn on_topo(&mut self, view: &SimView<'_>) {}
+}
+
+impl<T: AssignmentPolicy + ?Sized> StatefulPolicy for T {
+    fn name(&self) -> &'static str {
+        AssignmentPolicy::name(self)
+    }
+
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        AssignmentPolicy::assign(self, view, job)
+    }
+
+    fn needs_aggregates(&self) -> bool {
+        AssignmentPolicy::needs_aggregates(self)
+    }
+}
+
 /// Optional observer invoked by the engine at semantically meaningful
 /// points; used by the Lemma-bound calculators and the dual-fitting
 /// verifier to sample live state.

@@ -14,7 +14,7 @@ use crate::agg::AggStore;
 use crate::evq::EventQueue;
 use crate::outcome::SimOutcome;
 use crate::state::{JobTable, NodeState};
-use bct_core::{JobId, NodeId, Time};
+use bct_core::{JobId, NodeId, Time, Tree};
 
 /// Reusable buffers for [`crate::Simulation::run_with_scratch`].
 ///
@@ -31,6 +31,14 @@ pub struct SimScratch {
     pub(crate) jobs: JobTable,
     pub(crate) speeds: Vec<f64>,
     pub(crate) evq: EventQueue,
+    /// Pooled owned topology for dynamic runs: `clone_from` reuses its
+    /// buffers, so a warm dynamic rerun clones without allocating.
+    pub(crate) topo: Option<Tree>,
+    /// Mutation-event work lists (jobs drained by a mutation, nodes
+    /// freed by draining, nodes doomed by a subtree failure).
+    pub(crate) drained: Vec<(JobId, NodeId)>,
+    pub(crate) freed: Vec<NodeId>,
+    pub(crate) doomed: Vec<NodeId>,
     // Outcome pool: vectors the next outcome is assembled into.
     pub(crate) completions: Vec<Option<Time>>,
     pub(crate) assignments: Vec<Option<NodeId>>,

@@ -31,7 +31,7 @@ use crate::policy::{KeyCtx, NodePolicy, PolicyKey};
 use crate::scratch::SimScratch;
 use bct_core::instance::Setting;
 use bct_core::time::{approx_le, snap_nonneg};
-use bct_core::{ClassRounding, Instance, Job, JobId, NodeId, Time};
+use bct_core::{ClassRounding, Instance, Job, JobId, NodeId, Time, Tree};
 use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 use std::mem;
@@ -160,6 +160,12 @@ impl NodeState {
 /// The complete mutable simulation state.
 pub struct SimState<'a> {
     pub(crate) instance: &'a Instance,
+    /// Owned topology for dynamic runs (`Some` iff the config carries a
+    /// mutation schedule): a clone of the instance's tree that the
+    /// engine mutates in place. `None` on static runs, which then read
+    /// the instance's tree directly — the pre-refactor path, so static
+    /// outputs stay byte-identical.
+    pub(crate) topo: Option<Tree>,
     pub(crate) speeds: Vec<f64>,
     pub(crate) now: Time,
     pub(crate) nodes: Vec<NodeState>,
@@ -201,7 +207,7 @@ impl<'a> SimState<'a> {
     ) -> SimState<'a> {
         let mut scratch = SimScratch::new();
         scratch.speeds = speeds;
-        SimState::from_scratch(instance, rounding, true, AggLayout::default(), &mut scratch)
+        SimState::from_scratch(instance, rounding, true, AggLayout::default(), false, &mut scratch)
     }
 
     /// Build state for a run by *taking* the buffers out of `scratch`
@@ -216,16 +222,23 @@ impl<'a> SimState<'a> {
     /// queries (they never influence the schedule itself), so runs
     /// whose policies and probe declare they won't query can skip every
     /// treap update without changing a single output bit.
+    ///
+    /// `dynamic` runs get an owned clone of the instance's tree to
+    /// mutate (pooled in `scratch.topo`, so a warm rerun only
+    /// `clone_from`s into retained capacity). Node-indexed buffers are
+    /// never truncated below their warm length — a dynamic rerun that
+    /// re-adds the same leaves then reuses the high slots' capacity
+    /// instead of reallocating mid-run.
     pub(crate) fn from_scratch(
         instance: &'a Instance,
         rounding: Option<ClassRounding>,
         track_aggs: bool,
         layout: AggLayout,
+        dynamic: bool,
         scratch: &mut SimScratch,
     ) -> SimState<'a> {
         let m = instance.tree().len();
         let mut nodes = mem::take(&mut scratch.nodes);
-        nodes.truncate(m);
         for ns in &mut nodes {
             ns.reset();
         }
@@ -233,7 +246,6 @@ impl<'a> SimState<'a> {
             nodes.push(NodeState::new());
         }
         let mut q_members = mem::take(&mut scratch.q_members);
-        q_members.truncate(m);
         for q in &mut q_members {
             q.clear();
         }
@@ -244,8 +256,20 @@ impl<'a> SimState<'a> {
         aggs.reset(layout, m);
         let mut jobs = mem::take(&mut scratch.jobs);
         jobs.reset(instance.jobs());
+        let topo = if dynamic {
+            Some(match scratch.topo.take() {
+                Some(mut t) => {
+                    t.clone_from(instance.tree());
+                    t
+                }
+                None => instance.tree().clone(),
+            })
+        } else {
+            None
+        };
         SimState {
             instance,
+            topo,
             speeds: mem::take(&mut scratch.speeds),
             now: 0.0,
             nodes,
@@ -271,6 +295,21 @@ impl<'a> SimState<'a> {
         scratch.aggs = self.aggs;
         scratch.jobs = self.jobs;
         scratch.speeds = self.speeds;
+        // A static run leaves any pooled tree from an earlier dynamic
+        // run in place.
+        if self.topo.is_some() {
+            scratch.topo = self.topo;
+        }
+    }
+
+    /// The tree this run schedules against: the owned mutable clone on
+    /// dynamic runs, the instance's tree otherwise.
+    #[inline]
+    pub(crate) fn tree(&self) -> &Tree {
+        match &self.topo {
+            Some(t) => t,
+            None => self.instance.tree(),
+        }
     }
 
     /// Advance the clock to `t`, integrating both objectives exactly
@@ -305,25 +344,39 @@ impl<'a> SimState<'a> {
         }
     }
 
-    /// The job's processing path, borrowed from the instance's per-leaf
-    /// tables; empty until released.
+    /// The root→leaf path to `leaf` for job `j`, borrowed from the
+    /// owned tree's tables on dynamic runs and the instance's otherwise
+    /// (dynamic runs reject origin jobs, so the tree's root-based
+    /// tables always apply there).
     #[inline]
-    pub(crate) fn path_of(&self, j: JobId) -> &'a [NodeId] {
+    pub(crate) fn path_to(&self, j: JobId, leaf: NodeId) -> &[NodeId] {
+        match &self.topo {
+            Some(t) => t.leaf_path(leaf),
+            None => self.instance.path_of(j, leaf),
+        }
+    }
+
+    /// The job's processing path; empty until released.
+    #[inline]
+    pub(crate) fn path_of(&self, j: JobId) -> &[NodeId] {
         let leaf = self.jobs.leaf[j.as_usize()];
         if leaf == UNASSIGNED {
             &[]
         } else {
-            self.instance.path_of(j, leaf)
+            self.path_to(j, leaf)
         }
     }
 
     /// The job's hop index at node `v`, if `v` is on its path — a binary
-    /// search of the instance's node-sorted dispatch table.
+    /// search of the node-sorted dispatch table.
     #[inline]
     fn hop_at(&self, j: JobId, v: NodeId) -> Option<usize> {
         let leaf = self.jobs.leaf[j.as_usize()];
         debug_assert!(leaf != UNASSIGNED);
-        let hops = self.instance.node_hops_of(j, leaf);
+        let hops = match &self.topo {
+            Some(t) => t.leaf_hops(leaf),
+            None => self.instance.node_hops_of(j, leaf),
+        };
         hops.binary_search_by_key(&v, |&(u, _)| u)
             .ok()
             .map(|i| hops[i].1 as usize)
@@ -383,11 +436,41 @@ impl<'a> SimState<'a> {
     /// it anywhere yet. Allocation-free once the arenas are warm.
     // bct-lint: no_alloc
     pub(crate) fn admit(&mut self, j: JobId, leaf: NodeId) {
-        let inst = self.instance;
-        let path = inst.path_of(j, leaf);
+        debug_assert!(!self.jobs.released(j.as_usize()), "job admitted twice");
+        self.place(j, leaf);
+        self.frac_sum += 1.0;
+        self.unfinished += 1;
+    }
+
+    /// Re-admit a drained job at a fresh leaf after a topology
+    /// mutation: a new CSR span, hop 0, the full requirement again.
+    /// [`SimState::drain_job`] already restored the job's fractional
+    /// mass to 1, and the job never left the unfinished count, so
+    /// neither is touched here.
+    // bct-lint: no_alloc
+    pub(crate) fn readmit(&mut self, j: JobId, leaf: NodeId) {
+        let ji = j.as_usize();
+        debug_assert!(
+            self.jobs.released(ji) && !self.jobs.completed(ji),
+            "readmit outside a drain"
+        );
+        self.place(j, leaf);
+    }
+
+    /// Shared placement: span the CSR arenas at the end (an old span
+    /// simply becomes a dead hole on redispatch), register queue
+    /// membership and aggregates for every hop, and stage the job at
+    /// the first hop of its new path.
+    // bct-lint: no_alloc
+    fn place(&mut self, j: JobId, leaf: NodeId) {
+        // Field-precise borrow (not `path_to`): `path` must only hold
+        // `self.topo` so the column writes below stay legal.
+        let path: &[NodeId] = match &self.topo {
+            Some(t) => t.leaf_path(leaf),
+            None => self.instance.path_of(j, leaf),
+        };
         debug_assert!(!path.is_empty());
         let ji = j.as_usize();
-        debug_assert!(!self.jobs.released(ji), "job admitted twice");
         let off = self.jobs.q_pos.len() as u32;
         self.jobs.span[ji] = (off, path.len() as u32);
         self.jobs.leaf[ji] = leaf;
@@ -410,8 +493,6 @@ impl<'a> SimState<'a> {
         self.jobs.rem_as_of[ji] = self.now;
         self.jobs.hop_arrival[ji] = self.now;
         self.jobs.working[ji] = false;
-        self.frac_sum += 1.0;
-        self.unfinished += 1;
     }
 
     /// Make `j` available at node `v` (its current hop) and resolve
@@ -469,7 +550,7 @@ impl<'a> SimState<'a> {
         debug_assert!(!self.jobs.working[ji] && self.jobs.cur_node[ji] == v);
         self.jobs.working[ji] = true;
         self.jobs.rem_as_of[ji] = self.now;
-        if self.instance.tree().leaf_index(v).is_some() {
+        if self.tree().leaf_index(v).is_some() {
             self.frac_rate += self.speed(v) / self.p_at(j, v);
         }
     }
@@ -487,7 +568,7 @@ impl<'a> SimState<'a> {
         let ji = j.as_usize();
         debug_assert!(self.jobs.working[ji]);
         self.jobs.working[ji] = false;
-        if self.instance.tree().leaf_index(v).is_some() {
+        if self.tree().leaf_index(v).is_some() {
             self.frac_rate = snap_nonneg(self.frac_rate - self.speed(v) / self.p_at(j, v));
         }
     }
@@ -547,20 +628,24 @@ impl<'a> SimState<'a> {
         }
     }
 
-    /// Drop `j` from `Q_v` with position-tracked swap removal, and from
-    /// the node's aggregate.
+    /// Drop `j` from `Q_v` at the job's *current* hop (the hop index is
+    /// the job's hop column — no dispatch-table binary search needed).
     // bct-lint: no_alloc
     fn remove_from_q(&mut self, v: NodeId, j: JobId) {
-        let ji = j.as_usize();
-        // The only caller ([`Self::finish_current_hop`]) removes a job
-        // from its *current* hop node, so the hop index is the job's
-        // hop column — no dispatch-table binary search needed.
-        let h = self.jobs.hop[ji] as usize;
+        let h = self.jobs.hop[j.as_usize()] as usize;
         debug_assert_eq!(
             self.hop_at(j, v),
             Some(h),
             "remove_from_q called off the job's current hop"
         );
+        self.remove_from_q_at(v, j, h);
+    }
+
+    /// Drop `j` from `Q_v` at hop `h` of its path, with position-tracked
+    /// swap removal, and from the node's aggregate.
+    // bct-lint: no_alloc
+    fn remove_from_q_at(&mut self, v: NodeId, j: JobId, h: usize) {
+        let ji = j.as_usize();
         let off = self.jobs.span[ji].0 as usize;
         let pos = self.jobs.q_pos[off + h] as usize;
         let q = &mut self.q_members[v.as_usize()];
@@ -580,6 +665,105 @@ impl<'a> SimState<'a> {
                 "aggregate and queue membership diverged at {v}"
             );
         }
+    }
+
+    // --- dynamic-topology support -------------------------------------
+    //
+    // Everything below runs only at mutation events; steady state
+    // between mutations never enters these paths.
+
+    /// Collect the unfinished jobs routed through any node in `doomed`
+    /// into `out` as `(job, assigned leaf)`, sorted by job id and
+    /// deduplicated. Every such job is in `Q_leaf` of a doomed leaf
+    /// (its leaf hop is last to finish), so scanning the doomed nodes'
+    /// queue memberships covers the full set.
+    pub(crate) fn affected_jobs_into(&self, doomed: &[NodeId], out: &mut Vec<(JobId, NodeId)>) {
+        out.clear();
+        for &v in doomed {
+            for &(j, _) in &self.q_members[v.as_usize()] {
+                out.push((j, self.jobs.leaf[j.as_usize()]));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Pull `j` out of the system entirely ahead of a topology
+    /// mutation: stop or dequeue it at its current hop, drop it from
+    /// `Q_v` of every remaining hop, and restore its fractional mass to
+    /// a full unit (redispatch restarts the job, so partial leaf
+    /// progress is forfeited). Returns the node that was actively
+    /// processing `j`, if any, so the caller can offer it new work once
+    /// the mutation settles. The job stays released and unfinished;
+    /// [`SimState::readmit`] completes the hand-off.
+    pub(crate) fn drain_job(&mut self, j: JobId) -> Option<NodeId> {
+        let ji = j.as_usize();
+        debug_assert!(
+            self.jobs.released(ji) && !self.jobs.completed(ji),
+            "draining a job that is not in flight"
+        );
+        let v = self.jobs.cur_node[ji];
+        let freed = if self.jobs.working[ji] {
+            self.materialize_current(v);
+            self.stop_current(v);
+            Some(v)
+        } else {
+            // Waiting in its current hop's heap.
+            self.nodes[v.as_usize()].heap.retain(|&Reverse((_, jj))| jj != j);
+            None
+        };
+        let (_, len) = self.jobs.span[ji];
+        let hop = self.jobs.hop[ji] as usize;
+        if hop + 1 == len as usize {
+            // At the leaf hop the job's unit of fractional mass has
+            // partially drained; top it back up to 1.
+            let leaf = self.jobs.leaf[ji];
+            let frac = self.jobs.rem[ji] / self.p_at(j, leaf);
+            self.frac_sum += 1.0 - frac;
+        }
+        for h in hop..len as usize {
+            let u = self.path_of(j)[h];
+            self.remove_from_q_at(u, j, h);
+        }
+        freed
+    }
+
+    /// Install a changed effective speed at `v`: materialize the
+    /// in-flight job at the old speed first, fix the fractional drain
+    /// rate, and bump the node's version so the previously scheduled
+    /// finish event goes stale. Returns `true` when the node has a
+    /// current job — the caller must then push a fresh finish event at
+    /// [`SimState::predicted_finish`].
+    pub(crate) fn apply_speed_change(&mut self, v: NodeId, new_speed: f64) -> bool {
+        self.materialize_current(v);
+        let vi = v.as_usize();
+        let old = self.speeds[vi];
+        self.speeds[vi] = new_speed;
+        if let Some((j, _)) = self.nodes[vi].current {
+            if self.tree().leaf_index(v).is_some() {
+                let p = self.p_at(j, v);
+                self.frac_rate = snap_nonneg(self.frac_rate - old / p + new_speed / p);
+            }
+            self.nodes[vi].version += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Grow the node-indexed tables to cover nodes a mutation just
+    /// added. Slots retained from an earlier (warm) run keep their
+    /// capacity; genuinely new slots allocate here, at the mutation
+    /// event — never in the steady state between mutations.
+    pub(crate) fn grow_for_added(&mut self) {
+        let m = self.tree().len();
+        while self.nodes.len() < m {
+            self.nodes.push(NodeState::new());
+        }
+        while self.q_members.len() < m {
+            self.q_members.push(Vec::new());
+        }
+        self.aggs.grow_nodes(m);
     }
 
     /// Predicted finish time of `v`'s current job at its speed.
@@ -617,10 +801,12 @@ impl<'a> SimState<'a> {
     }
 
     /// Busy time per node into `out` (cleared first), counting
-    /// in-progress stretches up to `now`.
+    /// in-progress stretches up to `now`. One entry per node id of the
+    /// final tree — the node buffers themselves may be longer when a
+    /// warm scratch carried slots from an earlier, larger run.
     pub(crate) fn node_busy_into(&self, out: &mut Vec<Time>) {
         out.clear();
-        out.extend(self.nodes.iter().map(|ns| {
+        out.extend(self.nodes[..self.tree().len()].iter().map(|ns| {
             if ns.current.is_some() {
                 ns.busy + (self.now - ns.busy_since)
             } else {
@@ -649,6 +835,52 @@ impl<'s> SimView<'s> {
     #[inline]
     pub fn instance(&self) -> &'s Instance {
         self.state.instance
+    }
+
+    /// The tree the run is currently scheduling against: the live
+    /// mutable topology on dynamic runs (reflecting every mutation
+    /// applied so far), the instance's static tree otherwise. Policies
+    /// must route all leaf/path lookups through this — or through
+    /// [`SimView::path_for`] / [`SimView::entry_node`] /
+    /// [`SimView::eta_via`] — never through `instance().tree()`, which
+    /// is frozen at epoch 0.
+    #[inline]
+    pub fn tree(&self) -> &'s Tree {
+        match &self.state.topo {
+            Some(t) => t,
+            None => self.state.instance.tree(),
+        }
+    }
+
+    /// The root→leaf path job `j` would take if dispatched to `leaf`,
+    /// under the current epoch's topology. Equals
+    /// [`Instance::path_of`] on static runs bit-for-bit.
+    #[inline]
+    pub fn path_for(&self, j: JobId, leaf: NodeId) -> &'s [NodeId] {
+        match &self.state.topo {
+            Some(t) => t.leaf_path(leaf),
+            None => self.state.instance.path_of(j, leaf),
+        }
+    }
+
+    /// The root-adjacent node `j` would enter through if dispatched to
+    /// `leaf`, under the current epoch's topology.
+    #[inline]
+    pub fn entry_node(&self, j: JobId, leaf: NodeId) -> NodeId {
+        match &self.state.topo {
+            Some(t) => t.r_node(leaf),
+            None => self.state.instance.entry_node(j, leaf),
+        }
+    }
+
+    /// `η_{j,leaf}`: total processing `j` would require along its path
+    /// to `leaf`, under the current epoch's topology. Identical
+    /// summation order to [`Instance::eta_via`] on static runs.
+    pub fn eta_via(&self, j: JobId, leaf: NodeId) -> Time {
+        self.path_for(j, leaf)
+            .iter()
+            .map(|&v| self.state.p_at(j, v))
+            .sum()
     }
 
     /// Speed of node `v`.
@@ -962,7 +1194,7 @@ mod tests {
         let inst = fixture();
         let mut scratch = SimScratch::new();
         scratch.speeds = vec![1.0; inst.tree().len()];
-        let mut st = SimState::from_scratch(&inst, None, true, AggLayout::Flat, &mut scratch);
+        let mut st = SimState::from_scratch(&inst, None, true, AggLayout::Flat, false, &mut scratch);
         st.admit(JobId(0), NodeId(2));
         st.enqueue(NodeId(1), JobId(0), &SizeOrder);
         st.advance(4.0);
@@ -970,7 +1202,7 @@ mod tests {
         st.release_into(&mut scratch);
         // A state rebuilt from the used scratch starts pristine.
         scratch.speeds = vec![1.0; inst.tree().len()];
-        let st2 = SimState::from_scratch(&inst, None, true, AggLayout::Flat, &mut scratch);
+        let st2 = SimState::from_scratch(&inst, None, true, AggLayout::Flat, false, &mut scratch);
         assert_eq!(st2.now, 0.0);
         assert_eq!(st2.view().q_len(NodeId(1)), 0);
         assert!(!st2.view().released(JobId(0)));

@@ -21,6 +21,10 @@ pub enum TraceKind {
     /// Job completed entirely (its leaf hop finished). Emitted in
     /// addition to `FinishHop`.
     Complete,
+    /// A topology mutation removed the job's assigned leaf; the job was
+    /// drained and re-dispatched from the root to the given leaf
+    /// (stored in `node`), restarting from its first hop.
+    Redispatch,
 }
 
 /// One timestamped engine action.

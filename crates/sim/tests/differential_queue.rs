@@ -27,6 +27,7 @@ use bct_core::{Instance, Job, JobId, NodeId, SpeedProfile, Time, Tree};
 use bct_sim::policy::NoProbe;
 use bct_sim::{
     AggLayout, AssignmentPolicy, EventQueueKind, KeyCtx, NodePolicy, PolicyKey, SimConfig,
+    StatefulPolicy,
     SimView, Simulation,
 };
 use rand::Rng;
@@ -166,7 +167,7 @@ fn random_instance(seed: u64, dyadic: bool) -> Instance {
 }
 
 /// Run `inst` under `cfg` (trace on) and serialize the whole outcome.
-fn run_bytes(inst: &Instance, assignment: &mut dyn AssignmentPolicy, cfg: SimConfig) -> String {
+fn run_bytes(inst: &Instance, assignment: &mut dyn StatefulPolicy, cfg: SimConfig) -> String {
     let out =
         Simulation::run(inst, &Sjf, assignment, &mut NoProbe, &cfg.traced()).unwrap();
     serde_json::to_string(&out).unwrap()

@@ -15,10 +15,11 @@
 //! tests in the same process.
 
 use bct_core::tree::TreeBuilder;
-use bct_core::{Instance, Job, JobId, NodeId};
-use bct_sim::policy::NoProbe;
+use bct_core::{Instance, Job, JobId, NodeId, TreeMutation};
+use bct_sim::policy::{NoProbe, Probe};
 use bct_sim::{
     AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, SimConfig, SimScratch, SimView, Simulation,
+    StatefulPolicy, TopoMutation,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,6 +94,59 @@ impl AssignmentPolicy for AggGreedy {
     }
 }
 
+/// Cycle through the *live* leaves — the epoch-aware round robin a
+/// dynamic run needs (a fixed leaf list would dispatch to tombstones).
+/// Reads the view's leaf slice in place: no allocations of its own.
+struct DynRoundRobin {
+    next: usize,
+}
+
+impl AssignmentPolicy for DynRoundRobin {
+    fn name(&self) -> &'static str {
+        "dyn-round-robin"
+    }
+    fn assign(&mut self, view: &SimView<'_>, _job: JobId) -> NodeId {
+        let leaves = view.tree().leaves();
+        let leaf = leaves[self.next % leaves.len()];
+        self.next += 1;
+        leaf
+    }
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
+}
+
+/// Meters heap traffic *between* topology mutations: every inter-event
+/// interval that stays within one tree epoch is charged to `between`;
+/// intervals that cross an epoch bump (the mutation being applied,
+/// including its drain/redispatch work) are excluded — mutations are
+/// allowed to allocate, the steady state in between is not. Scalar
+/// fields only, so the probe itself never touches the allocator.
+#[derive(Default)]
+struct EpochAllocProbe {
+    last_epoch: Option<u64>,
+    last_mark: u64,
+    between: u64,
+    bumps: u64,
+}
+
+impl Probe for EpochAllocProbe {
+    fn on_event(&mut self, view: &SimView<'_>) {
+        let now = ALLOCATED.load(Ordering::SeqCst);
+        let epoch = view.tree().epoch();
+        match self.last_epoch {
+            Some(e) if e == epoch => self.between += now - self.last_mark,
+            Some(_) => self.bumps += 1,
+            None => {}
+        }
+        self.last_epoch = Some(epoch);
+        self.last_mark = now;
+    }
+    fn needs_aggregates(&self) -> bool {
+        false
+    }
+}
+
 /// Cycle through the leaves.
 struct RoundRobin {
     leaves: Vec<NodeId>,
@@ -151,7 +205,7 @@ fn assert_steady_state_zero_alloc(
     label: &str,
     inst: &Instance,
     cfg: &SimConfig,
-    mut mk: impl FnMut() -> Box<dyn AssignmentPolicy>,
+    mut mk: impl FnMut() -> Box<dyn StatefulPolicy>,
 ) {
     // Fresh-buffer baseline.
     let fresh = Simulation::run(inst, &Sjf, mk().as_mut(), &mut NoProbe, cfg).unwrap();
@@ -218,5 +272,61 @@ fn second_scratch_run_allocates_nothing_and_matches_fresh() {
         &inst,
         &cfg.clone().compat_structures(),
         || Box::new(AggGreedy),
+    );
+
+    // Dynamic topologies: mutations may allocate (arena growth, node
+    // tables for added ids), but every event interval *between* them
+    // must stay off the allocator once the scratch is warm.
+    let at = |t: f64, change: TreeMutation| TopoMutation { at: t, change };
+    let cfg_dyn = SimConfig::unit().with_mutations(vec![
+        at(20.0, TreeMutation::RemoveLeaf { leaf: NodeId(2) }),
+        at(50.0, TreeMutation::AddLeaf { parent: NodeId(1) }),
+        at(80.0, TreeMutation::SetSpeed { node: NodeId(11), factor: 2.0 }),
+        at(120.0, TreeMutation::RemoveLeaf { leaf: NodeId(12) }),
+        at(160.0, TreeMutation::AddLeaf { parent: NodeId(10) }),
+    ]);
+    let fresh = Simulation::run(
+        &inst,
+        &Sjf,
+        &mut DynRoundRobin { next: 0 },
+        &mut NoProbe,
+        &cfg_dyn,
+    )
+    .unwrap();
+    assert_eq!(fresh.unfinished, 0, "dynamic fixture must complete");
+    let fresh_json = serde_json::to_string(&fresh).unwrap();
+
+    let mut scratch = SimScratch::new();
+    let warm = Simulation::run_with_scratch(
+        &mut scratch,
+        &inst,
+        &Sjf,
+        &mut DynRoundRobin { next: 0 },
+        &mut NoProbe,
+        &cfg_dyn,
+    )
+    .unwrap();
+    scratch.recycle(warm);
+
+    let mut probe = EpochAllocProbe::default();
+    let steady = Simulation::run_with_scratch(
+        &mut scratch,
+        &inst,
+        &Sjf,
+        &mut DynRoundRobin { next: 0 },
+        &mut probe,
+        &cfg_dyn,
+    )
+    .unwrap();
+    assert_eq!(probe.bumps, 5, "all five mutations must apply");
+    assert_eq!(
+        probe.between, 0,
+        "dynamic: steady state between mutations allocated {} bytes",
+        probe.between
+    );
+    assert_eq!(
+        serde_json::to_string(&steady).unwrap(),
+        fresh_json,
+        "dynamic: warm scratch run diverged from fresh buffers"
     );
 }
