@@ -56,6 +56,37 @@ for w in 1 4 8; do
     diff specs/golden_sweep_dynamic.expected.jsonl "$golden_out"
 done
 
+# Sharded sweep merge: the same golden grid split 0/2 + 1/2 by cell
+# index, concatenated and re-sorted by cell, must be byte-identical to
+# the one-shot expected file — the partition-anywhere contract the
+# distributed runner builds on.
+shard_a=$(mktemp) && shard_b=$(mktemp)
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep.json --workers 2 --shard 0/2 --out "$shard_a" --quiet >/dev/null
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep.json --workers 2 --shard 1/2 --out "$shard_b" --quiet >/dev/null
+cat "$shard_a" "$shard_b" | sort -t: -k2 -n > "$golden_out"
+diff specs/golden_sweep.expected.jsonl "$golden_out"
+rm -f "$shard_a" "$shard_b"
+
+# Serve smoke: the online dispatch service under 10k open-loop Poisson
+# arrivals; the journal it writes must replay bit-for-bit (every
+# embedded state hash checked), and the bench report must parse with
+# sane tail-latency fields.
+cargo run -q --release -p bct-cli -- serve --bench \
+    --topo star:8,8 --policy sjf+greedy:0.5 --jobs 10000 --load 0.7 \
+    --log target/serve_bench.log --out target/BENCH_serve.json
+cargo run -q --release -p bct-cli -- replay --log target/serve_bench.log
+python3 - <<'EOF'
+import json
+d = json.load(open("target/BENCH_serve.json"))
+assert d["replay_verified"], "serve journal replay diverged"
+assert d["completed"] == d["jobs"] == 10000, (d["completed"], d["jobs"])
+assert 0 < d["p50_us"] <= d["p99_us"] <= d["p999_us"], (d["p50_us"], d["p99_us"], d["p999_us"])
+print(f"serve bench: p50 {d['p50_us']:.1f}us p99 {d['p99_us']:.1f}us p999 {d['p999_us']:.1f}us "
+      f"({d['throughput_per_s']:.0f} decisions/s, {d['log_records']} journal records)")
+EOF
+
 # Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
 # scaling at 4 workers only on machines with >=4 cores.
 cargo bench -q -p bct-bench --bench sweep_throughput

@@ -29,7 +29,7 @@ fn bench_spec() -> SweepSpec {
 
 /// Run the whole sweep once and return (elapsed, cells).
 fn run_once(spec: &SweepSpec, workers: usize) -> (Duration, usize) {
-    let opts = SweepOptions { workers, progress: ProgressMode::Silent };
+    let opts = SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() };
     let start = Instant::now();
     let report = run_sweep(spec, &opts, &mut NullSink).expect("sweep runs");
     let elapsed = start.elapsed();

@@ -53,6 +53,8 @@ fn main() {
         "lemmas" => cmd_lemmas(&opts),
         "packetize" => cmd_packetize(&opts),
         "gen" => cmd_gen(&opts),
+        "serve" => cmd_serve(&opts),
+        "replay" => cmd_replay(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -84,7 +86,15 @@ fn usage() -> String {
      gen          generate an instance file (bct run --instance FILE replays it)\n  \
      lemmas       check Lemmas 1-2 live on a chosen workload\n  \
      packetize    store-and-forward vs packetized routing (§2 extension)\n  \
-     experiments  regenerate the E1-E18 tables (EXPERIMENTS.md)\n\n\
+     experiments  regenerate the E1-E18 tables (EXPERIMENTS.md)\n  \
+     serve        online dispatch service on a live session, journaling accepted\n               \
+     commands to --log; --listen ADDR / --unix PATH for a socket\n               \
+     server, or --bench [--jobs N] [--load R] [--out FILE] for the\n               \
+     open-loop Poisson latency bench (writes target/BENCH_serve.json)\n  \
+     replay       re-execute a --log journal on a fresh replica and verify\n               \
+     every embedded state hash bit for bit (exit 1 on divergence);\n               \
+     --policy SPEC re-runs the stream under a candidate policy\n               \
+     instead (differential mode: hashes reported, not enforced)\n\n\
      run `bct <command>` with no flags to see its defaults in action; see the\n\
      crate docs for the full spec grammar (topologies, sizes, speeds, policies)."
         .to_string()
@@ -256,9 +266,25 @@ fn cmd_sweep(opts: &Opts) -> Result<(), String> {
 /// which is byte-identical at any `--workers` count. Failed cells never
 /// abort the sweep — they become `Failed` rows with reproducer seeds,
 /// and the process exits with code 3.
+/// Parse `--shard i/N` (e.g. `0/4`): run only cells with `cell % N == i`.
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let err = || format!("--shard expects i/N with 0 <= i < N, got '{s}'");
+    let (i, n) = s.split_once('/').ok_or_else(err)?;
+    let i: usize = i.parse().map_err(|_| err())?;
+    let n: usize = n.parse().map_err(|_| err())?;
+    if n == 0 || i >= n {
+        return Err(err());
+    }
+    Ok((i, n))
+}
+
 fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
     let sweep_spec = bct_harness::SweepSpec::load(std::path::Path::new(path))?;
     let workers = opts.get_usize("workers", bct_harness::exec::available_workers())?;
+    let shard = match opts.try_get("shard") {
+        None => None,
+        Some(s) => Some(parse_shard(&s)?),
+    };
     let run_opts = bct_harness::SweepOptions {
         workers,
         progress: if opts.get_bool("quiet") {
@@ -266,6 +292,7 @@ fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
         } else {
             bct_harness::sweep::ProgressMode::Stderr
         },
+        shard,
     };
     let out_path = opts.get("out", "sweep.jsonl");
     let file = std::fs::File::create(&out_path)
@@ -393,6 +420,151 @@ fn cmd_gen(opts: &Opts) -> Result<(), String> {
         if inst.has_origins() { ", with origins" } else { "" }
     );
     Ok(())
+}
+
+/// Assemble a [`bct_serve::ServeConfig`] from the shared spec flags.
+fn serve_config(opts: &Opts) -> Result<bct_serve::ServeConfig, String> {
+    Ok(bct_serve::ServeConfig {
+        topo: opts.get("topo", "fat-tree:2,2,2"),
+        topo_seed: opts.get_usize("seed", 1)? as u64,
+        policy: opts.get("policy", "sjf+greedy:0.5"),
+        speeds: opts.get("speeds", "uniform:1"),
+        capacity: match opts.try_get("capacity") {
+            None => None,
+            Some(c) => Some(c.parse().map_err(|_| format!("bad capacity '{c}'"))?),
+        },
+    })
+}
+
+/// Run the online dispatch service: either the built-in open-loop
+/// Poisson bench (`--bench`) or a socket server (`--listen` / `--unix`)
+/// journaling every accepted command to `--log`.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let cfg = serve_config(opts)?;
+    if opts.get_bool("bench") {
+        let bench = bct_serve::BenchConfig {
+            serve: cfg,
+            jobs: opts.get_usize("jobs", 10_000)?,
+            load: opts.get_f64("load", 0.7)?,
+            sizes: opts.get("sizes", "pow:2,4"),
+            seed: opts.get_usize("seed", 1)? as u64,
+        };
+        let log = opts.get("log", "target/serve_bench.log");
+        std::fs::create_dir_all(std::path::Path::new(&log).parent().unwrap_or(std::path::Path::new(".")))
+            .map_err(|e| format!("creating log dir: {e}"))?;
+        let report = bct_serve::run_bench(&bench, std::path::Path::new(&log))?;
+        let out = opts.get("out", "target/BENCH_serve.json");
+        std::fs::write(&out, bct_serve::bench::report_json(&report))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!(
+            "bench: {} jobs on {} under {} (ρ = {})",
+            report.jobs, report.topo, report.policy, report.load
+        );
+        println!(
+            "decision latency: p50 {:.1} µs, p99 {:.1} µs, p999 {:.1} µs, mean {:.1} µs, max {:.1} µs",
+            report.p50_us, report.p99_us, report.p999_us, report.mean_us, report.max_us
+        );
+        println!(
+            "throughput: {:.0} decisions/s; journal: {} records at {log}",
+            report.throughput_per_s, report.log_records
+        );
+        println!(
+            "replay: live {:#018x} vs replica {:#018x} — {}",
+            report.live_hash,
+            report.replay_hash,
+            if report.replay_verified { "verified ✓" } else { "MISMATCH" }
+        );
+        println!("report written to {out}");
+        if !report.replay_verified {
+            return Err("replay hash mismatch".into());
+        }
+        return Ok(());
+    }
+
+    let log = opts.get("log", "target/serve.log");
+    std::fs::create_dir_all(std::path::Path::new(&log).parent().unwrap_or(std::path::Path::new(".")))
+        .map_err(|e| format!("creating log dir: {e}"))?;
+    let file = std::fs::File::create(&log).map_err(|e| format!("creating {log}: {e}"))?;
+    let mut svc = bct_serve::Service::with_log(cfg, std::io::BufWriter::new(file))?;
+    svc.reserve(opts.get_usize("jobs", 100_000)?);
+    if let Some(path) = opts.try_get("unix") {
+        #[cfg(unix)]
+        {
+            println!("serving on unix socket {path}, journaling to {log}");
+            bct_serve::net::serve_unix(&mut svc, std::path::Path::new(&path))?;
+        }
+        #[cfg(not(unix))]
+        return Err(format!("unix sockets unsupported on this platform ({path})"));
+    } else {
+        let addr = opts.get("listen", "127.0.0.1:4733");
+        bct_serve::serve_tcp(&mut svc, addr.as_str(), |bound| {
+            println!("serving on {bound}, journaling to {log}");
+        })?;
+    }
+    svc.into_log().transpose()?;
+    println!("shutdown: journal sealed at {log}");
+    Ok(())
+}
+
+/// Re-execute a command log against a fresh replica and verify every
+/// embedded state hash bit for bit.
+fn cmd_replay(opts: &Opts) -> Result<(), String> {
+    let log = opts
+        .try_get("log")
+        .ok_or("replay needs --log PATH (a journal written by bct serve)")?;
+    let mut parsed = bct_serve::read_log(std::path::Path::new(&log))?;
+    // Differential mode: re-run the recorded arrival stream under a
+    // *candidate* policy. Embedded hashes describe the recorded
+    // policy's execution, so they are reported but not enforced —
+    // the point is comparing the final snapshots across policies.
+    let candidate = opts.try_get("policy");
+    if let Some(p) = &candidate {
+        parsed.config.policy.clone_from(p);
+    }
+    let outcome = bct_serve::replay_parsed(&parsed)?;
+    println!(
+        "replayed {} commands against {} / {} ({} epoch{}), clock {:.3}",
+        outcome.commands,
+        outcome.config.topo,
+        outcome.config.policy,
+        outcome.snapshot.epoch,
+        if outcome.snapshot.epoch == 1 { "" } else { "s" },
+        outcome.snapshot.now,
+    );
+    println!(
+        "jobs: {} accepted, {} completed, {} in flight; clean shutdown: {}",
+        outcome.snapshot.jobs,
+        outcome.snapshot.completed,
+        outcome.snapshot.unfinished,
+        if outcome.clean_shutdown { "yes" } else { "no (torn or live log)" },
+    );
+    println!("final state hash: {:#018x}", outcome.final_hash);
+    if let Some(p) = &candidate {
+        println!(
+            "candidate policy '{p}': {} of {} recorded probes matched (divergence expected \
+             unless the policies are equivalent on this stream)",
+            outcome.probes - outcome.mismatches.len(),
+            outcome.probes
+        );
+        return Ok(());
+    }
+    if outcome.verified() {
+        println!("{} of {} hash probes verified ✓", outcome.probes, outcome.probes);
+        Ok(())
+    } else {
+        for m in &outcome.mismatches {
+            eprintln!(
+                "probe {} (record {}): recorded {:#018x}, replayed {:#018x}",
+                m.probe, m.record, m.recorded, m.replayed
+            );
+        }
+        Err(format!(
+            "{} of {} hash probes diverged — the log does not describe this binary's \
+             execution (different build, corrupted log, or nondeterminism)",
+            outcome.mismatches.len(),
+            outcome.probes
+        ))
+    }
 }
 
 /// Check Lemmas 1 and 2 live on a user-specified workload.

@@ -1,0 +1,147 @@
+//! Deterministic 64-bit state digests (FNV-1a).
+//!
+//! One fold primitive shared by every layer that hashes live state: the
+//! serve layer's record checksums, the sim engine's per-epoch state
+//! hash, and [`crate::Tree::structure_digest`]. FNV-1a is not
+//! collision-resistant — it is a *desync detector*, not an integrity
+//! MAC — but it is byte-order-stable, dependency-free, and folds a u64
+//! per step with two instructions, which is what a warm-path hash
+//! needs.
+//!
+//! Floats are folded through [`f64::to_bits`], so the digest
+//! distinguishes every representable value (including `-0.0` vs `0.0`
+//! and NaN payloads) and two states hash equal only when the bits that
+//! produced them are equal — exactly the contract replica desync
+//! detection and replay verification need.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64-bit hasher over typed words.
+///
+/// Multi-byte values are folded as little-endian byte sequences, so a
+/// digest is reproducible across platforms of any endianness.
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Fnv64 {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    #[inline]
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Fold one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state = (self.state ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Fold a byte slice.
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Fold a `u32` (little-endian).
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a `u64` (little-endian).
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a `usize` widened to `u64` (stable across word sizes).
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold an `f64` by bit pattern.
+    #[inline]
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Fold a `bool` as one byte.
+    #[inline]
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// The digest so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a over a byte slice (the serve log's record checksum).
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn typed_writes_match_byte_folds() {
+        let mut h = Fnv64::new();
+        h.write_u64(0x0102_0304_0506_0708);
+        assert_eq!(h.finish(), fnv1a(&[8, 7, 6, 5, 4, 3, 2, 1]));
+
+        let mut h = Fnv64::new();
+        h.write_f64(1.5);
+        let mut g = Fnv64::new();
+        g.write_u64(1.5f64.to_bits());
+        assert_eq!(h.finish(), g.finish());
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fnv64::new();
+        a.write_u32(1);
+        a.write_u32(2);
+        let mut b = Fnv64::new();
+        b.write_u32(2);
+        b.write_u32(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_negative_zero() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

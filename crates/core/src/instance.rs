@@ -416,6 +416,40 @@ impl Instance {
     pub fn last_release(&self) -> Time {
         self.jobs.last().map(|j| j.release).unwrap_or(0.0)
     }
+
+    /// Append one identical-setting, root-origin job to the online
+    /// sequence, returning its id. This is the online-ingest path used
+    /// by the dispatch service: the same per-job validation as
+    /// [`Instance::new`], restricted to the shapes an online stream can
+    /// produce (release times non-decreasing, no custom origin, no
+    /// per-leaf size table — so the origin path cache needs no rebuild).
+    ///
+    /// Appending to an unrelated-setting instance is rejected: leaf-size
+    /// arity would tie the new job to one topology epoch.
+    pub fn push_job(&mut self, release: Time, size: Time) -> Result<JobId, CoreError> {
+        let id = JobId(self.jobs.len() as u32);
+        if self.setting == Setting::Unrelated {
+            return Err(CoreError::BadJobIds);
+        }
+        if !(size > 0.0 && size.is_finite()) {
+            return Err(CoreError::NonPositiveSize(id));
+        }
+        if !(release >= 0.0 && release.is_finite()) {
+            return Err(CoreError::NegativeRelease(id));
+        }
+        if self.jobs.last().is_some_and(|j| release < j.release) {
+            return Err(CoreError::BadJobIds);
+        }
+        self.jobs.push(Job::identical(id.0, release, size));
+        Ok(id)
+    }
+
+    /// Pre-reserve capacity for `additional` more [`Instance::push_job`]
+    /// appends, so a steady-state ingest loop never reallocates the job
+    /// vector mid-decision.
+    pub fn reserve_jobs(&mut self, additional: usize) {
+        self.jobs.reserve(additional);
+    }
 }
 
 #[cfg(test)]
@@ -669,6 +703,33 @@ mod tests {
         ));
         assert_eq!(inst.epoch(), 0);
         assert!(inst.tree().is_alive(NodeId(3)));
+    }
+
+    #[test]
+    fn push_job_appends_online() {
+        let mut inst = Instance::new(tree(), vec![Job::identical(0u32, 0.0, 1.0)]).unwrap();
+        let id = inst.push_job(2.0, 3.0).unwrap();
+        assert_eq!(id, JobId(1));
+        assert_eq!(inst.n(), 2);
+        assert_eq!(inst.job(id).size, 3.0);
+        assert_eq!(inst.last_release(), 2.0);
+        // Regressing release times, bad sizes, and unrelated instances
+        // are all rejected without mutating the sequence.
+        assert_eq!(inst.push_job(1.0, 1.0).unwrap_err(), CoreError::BadJobIds);
+        assert!(matches!(inst.push_job(3.0, 0.0), Err(CoreError::NonPositiveSize(_))));
+        assert!(matches!(inst.push_job(-1.0, 1.0), Err(CoreError::NegativeRelease(_))));
+        assert_eq!(inst.n(), 2);
+        let mut unrel =
+            Instance::new(tree(), vec![Job::unrelated(0u32, 0.0, 2.0, vec![7.0, 3.0])]).unwrap();
+        assert_eq!(unrel.push_job(1.0, 1.0).unwrap_err(), CoreError::BadJobIds);
+    }
+
+    #[test]
+    fn push_job_into_empty_instance() {
+        let mut inst = Instance::new(tree(), vec![]).unwrap();
+        assert_eq!(inst.push_job(5.0, 1.0).unwrap(), JobId(0));
+        assert_eq!(inst.setting(), Setting::Identical);
+        assert_eq!(inst.n(), 1);
     }
 
     #[test]

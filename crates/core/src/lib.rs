@@ -27,6 +27,9 @@
 //!   incremental path-table recompute and epoch tracking, making
 //!   [`Tree`] epoch-mutable while everything else above stays static
 //!   per epoch.
+//! * [`digest`] — the deterministic FNV-1a fold every state hash in
+//!   the stack shares (tree structure digests, the sim engine's
+//!   per-epoch state hash, the serve layer's record checksums).
 //!
 //! Everything dynamic (queues, schedules, flow-time accounting) lives in
 //! `bct-sim`; the paper's algorithms live in `bct-sched`.
@@ -36,6 +39,7 @@
 
 pub mod broomstick;
 pub mod classes;
+pub mod digest;
 pub mod error;
 pub mod ids;
 pub mod instance;
@@ -48,6 +52,7 @@ pub mod tree;
 
 pub use broomstick::Broomstick;
 pub use classes::ClassRounding;
+pub use digest::{fnv1a, Fnv64};
 pub use error::CoreError;
 pub use ids::{JobId, NodeId};
 pub use instance::{Instance, Setting};

@@ -645,7 +645,7 @@ mod tests {
         // from-scratch rebuild.
         let mut t = figure1();
         let mut z = 0x9E37_79B9_7F4A_7C15u64;
-        let mut step = |s: &mut u64| {
+        let step = |s: &mut u64| {
             *s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut x = *s;
             x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

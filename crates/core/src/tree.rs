@@ -443,6 +443,29 @@ impl Tree {
         self.epoch
     }
 
+    /// Deterministic digest of the tree's *semantic* structure: epoch,
+    /// per-node parent/liveness/speed-factor, and the live leaf set.
+    /// Cached-arena layout (span offsets, dead holes) is deliberately
+    /// excluded, so an incrementally mutated tree and its from-scratch
+    /// rebuild digest equal — this is the topology component of the
+    /// serve layer's per-epoch state hash.
+    // bct-lint: no_alloc
+    pub fn structure_digest(&self) -> u64 {
+        let mut h = crate::digest::Fnv64::new();
+        h.write_u64(self.epoch);
+        h.write_usize(self.parent.len());
+        for v in 0..self.parent.len() {
+            h.write_u32(self.parent[v].map_or(u32::MAX, |p| p.0));
+            h.write_bool(self.alive[v]);
+            h.write_f64(self.speed_factor[v]);
+        }
+        h.write_usize(self.leaves.len());
+        for &l in &self.leaves {
+            h.write_u32(l.0);
+        }
+        h.finish()
+    }
+
     /// Mutations queued but not yet applied, in queue order.
     #[inline]
     pub fn pending_mutations(&self) -> &[TreeMutation] {
@@ -783,6 +806,32 @@ mod tests {
         b.add_child(bb);
         b.add_child(c);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn structure_digest_tracks_semantic_changes_only() {
+        let t = figure1_tree();
+        let d0 = t.structure_digest();
+        assert_eq!(d0, figure1_tree().structure_digest(), "digest is deterministic");
+
+        let mut m = figure1_tree();
+        m.queue_remove_leaf(NodeId(7));
+        m.apply_mutations().unwrap();
+        assert_ne!(m.structure_digest(), d0, "mutations change the digest");
+        // An incrementally mutated tree and its from-scratch rebuild
+        // share the digest (arena layout is excluded) except for the
+        // epoch counter, which rebuilt() resets.
+        let rebuilt = m.rebuilt();
+        let mut back = figure1_tree();
+        back.queue_remove_leaf(NodeId(7));
+        back.apply_mutations().unwrap();
+        assert_eq!(m.structure_digest(), back.structure_digest());
+        assert_eq!(rebuilt.epoch(), 0);
+
+        let mut s = figure1_tree();
+        s.queue_set_speed(NodeId(6), 2.0);
+        s.apply_mutations().unwrap();
+        assert_ne!(s.structure_digest(), d0, "speed factors are folded in");
     }
 
     #[test]

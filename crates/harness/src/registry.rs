@@ -50,7 +50,10 @@ impl NodePolicyKind {
         }
     }
 
-    fn build(&self) -> Box<dyn NodePolicy> {
+    /// Instantiate the node policy. Public so long-lived consumers
+    /// (the serve layer's online sessions) can hold the boxed policy
+    /// across commands instead of re-running a whole combo per call.
+    pub fn build(&self) -> Box<dyn NodePolicy> {
         match *self {
             NodePolicyKind::Sjf => Box::new(Sjf::new()),
             NodePolicyKind::SjfClasses(eps) => Box::new(Sjf::with_classes(ClassRounding::new(eps))),
@@ -115,9 +118,11 @@ impl AssignKind {
         }
     }
 
-    /// `capacity` feeds the stateful kinds' per-endpoint ledger; the
-    /// stateless kinds ignore it.
-    fn build(&self, capacity: Option<f64>) -> Box<dyn StatefulPolicy> {
+    /// Instantiate the assignment policy. `capacity` feeds the stateful
+    /// kinds' per-endpoint ledger; the stateless kinds ignore it.
+    /// Public so long-lived consumers (the serve layer's online
+    /// sessions) can keep the boxed policy's state across commands.
+    pub fn build(&self, capacity: Option<f64>) -> Box<dyn StatefulPolicy> {
         match *self {
             AssignKind::GreedyIdentical(eps) => Box::new(GreedyIdentical::new(eps)),
             AssignKind::GreedyNoDistance(eps) => {

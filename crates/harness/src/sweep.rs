@@ -465,11 +465,22 @@ pub struct SweepOptions {
     pub workers: usize,
     /// Progress reporting.
     pub progress: ProgressMode,
+    /// Run only shard `i` of `n`: the cells with `cell % n == i`.
+    /// Because every cell's seed is a pure function of its global grid
+    /// index, any partition of the grid reproduces exactly the rows the
+    /// unsharded sweep would have produced for those cells — shard
+    /// outputs from separate processes concatenate and sort into the
+    /// byte-identical full JSONL.
+    pub shard: Option<(usize, usize)>,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { workers: exec::available_workers(), progress: ProgressMode::Silent }
+        SweepOptions {
+            workers: exec::available_workers(),
+            progress: ProgressMode::Silent,
+            shard: None,
+        }
     }
 }
 
@@ -543,7 +554,15 @@ pub fn run_sweep(
     sink: &mut dyn RowSink,
 ) -> Result<SweepReport, String> {
     spec.validate()?;
-    let tasks = expand(spec);
+    let mut tasks = expand(spec);
+    if let Some((i, n)) = opts.shard {
+        if n == 0 || i >= n {
+            return Err(format!("invalid shard {i}/{n}: need 0 <= i < n"));
+        }
+        // Filter *after* expansion so each retained task keeps its
+        // global cell index and index-derived seed.
+        tasks.retain(|t| t.cell % n == i);
+    }
     let total = tasks.len();
     // Progress cadence: ~20 updates per sweep, at least every 64 cells.
     let every = (total / 20).clamp(1, 64);
@@ -780,7 +799,7 @@ mod tests {
     fn dynamic_rows_are_worker_count_invariant() {
         let spec = dynamic_spec();
         let run = |workers| {
-            run_sweep(&spec, &SweepOptions { workers, progress: ProgressMode::Silent }, &mut NullSink)
+            run_sweep(&spec, &SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() }, &mut NullSink)
                 .unwrap()
                 .sorted_jsonl()
         };
@@ -802,6 +821,41 @@ mod tests {
         let mut bad = dynamic_spec();
         bad.workloads[0].churn = Some(ChurnCfg { events: 0 });
         assert!(bad.validate().is_err(), "zero churn events must be rejected");
+    }
+
+    #[test]
+    fn sharded_sweeps_merge_into_the_unsharded_golden() {
+        let spec = tiny_spec();
+        let full = run_sweep(&spec, &SweepOptions::default(), &mut NullSink).unwrap();
+        let mut merged: Vec<SweepRow> = Vec::new();
+        for i in 0..2 {
+            let opts = SweepOptions {
+                shard: Some((i, 2)),
+                progress: ProgressMode::Silent,
+                ..Default::default()
+            };
+            let part = run_sweep(&spec, &opts, &mut NullSink).unwrap();
+            assert_eq!(part.rows.len(), 4, "shard {i}/2 of 8 cells");
+            for row in &part.rows {
+                assert_eq!(row.cell % 2, i, "shard {i}/2 kept a foreign cell");
+            }
+            merged.extend(part.rows.iter().cloned());
+        }
+        // Concatenate + sort by cell index reproduces the one-shot
+        // sweep byte for byte: cell seeds are index-derived, so a
+        // shard runs exactly the rows the full sweep would have.
+        merged.sort_by_key(|r| r.cell);
+        assert_eq!(sorted_jsonl(&merged), full.sorted_jsonl());
+    }
+
+    #[test]
+    fn shard_bounds_are_validated() {
+        let spec = tiny_spec();
+        for bad in [(0, 0), (2, 2), (5, 3)] {
+            let opts = SweepOptions { shard: Some(bad), ..Default::default() };
+            let err = run_sweep(&spec, &opts, &mut NullSink).unwrap_err();
+            assert!(err.contains("invalid shard"), "{err}");
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn sorted_jsonl_is_byte_identical_across_worker_counts() {
     let spec = grid_spec();
     assert_eq!(spec.num_cells(), 16);
     let run = |workers: usize| {
-        let opts = SweepOptions { workers, progress: ProgressMode::Silent };
+        let opts = SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() };
         run_sweep(&spec, &opts, &mut NullSink).unwrap().sorted_jsonl()
     };
     let serial = run(1);
@@ -44,7 +44,7 @@ fn streamed_rows_equal_sorted_rows_up_to_order() {
     // completion order; sorting the streamed lines recovers the
     // canonical serialization exactly.
     let spec = grid_spec();
-    let opts = SweepOptions { workers: 4, progress: ProgressMode::Silent };
+    let opts = SweepOptions { workers: 4, progress: ProgressMode::Silent, ..Default::default() };
     let mut sink = JsonlSink::new(Vec::new());
     let report = run_sweep(&spec, &opts, &mut sink).unwrap();
     let streamed = String::from_utf8(sink.into_inner().unwrap()).unwrap();
@@ -103,7 +103,7 @@ fn warm_scratch_rows_match_fresh_buffer_runs() {
         .collect();
 
     for workers in [1, 4, 8] {
-        let opts = SweepOptions { workers, progress: ProgressMode::Silent };
+        let opts = SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() };
         let report = run_sweep(&sweep_spec, &opts, &mut NullSink).unwrap();
         for (task, row) in tasks.iter().zip(&report.rows) {
             let RowOutcome::Ok(m) = &row.outcome else {

@@ -24,7 +24,7 @@ fn chaos_spec(max_retries: u32) -> SweepSpec {
 #[test]
 fn panicking_cells_fail_without_taking_the_sweep_down() {
     let spec = chaos_spec(0);
-    let opts = SweepOptions { workers: 4, progress: ProgressMode::Silent };
+    let opts = SweepOptions { workers: 4, progress: ProgressMode::Silent, ..Default::default() };
     let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
     assert_eq!(report.rows.len(), 6);
     assert_eq!(report.failed, 2, "one chaos cell per speed profile");
@@ -52,7 +52,7 @@ fn panicking_cells_fail_without_taking_the_sweep_down() {
 #[test]
 fn retries_rerun_deterministic_panics_to_exhaustion() {
     let spec = chaos_spec(2);
-    let opts = SweepOptions { workers: 2, progress: ProgressMode::Silent };
+    let opts = SweepOptions { workers: 2, progress: ProgressMode::Silent, ..Default::default() };
     let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
     for row in &report.rows {
         if row.policy == "sjf+chaos" {
@@ -71,7 +71,7 @@ fn retries_rerun_deterministic_panics_to_exhaustion() {
 fn failed_rows_survive_the_jsonl_roundtrip() {
     use bct_harness::sweep::SweepRow;
     let spec = chaos_spec(0);
-    let opts = SweepOptions { workers: 1, progress: ProgressMode::Silent };
+    let opts = SweepOptions { workers: 1, progress: ProgressMode::Silent, ..Default::default() };
     let report = run_sweep(&spec, &opts, &mut NullSink).unwrap();
     for line in report.sorted_jsonl().lines() {
         let row: SweepRow = serde_json::from_str(line).unwrap();

@@ -21,11 +21,17 @@ pub struct Policy {
 }
 
 /// Crates whose outputs feed the byte-identical determinism contract
-/// (golden sweep, sorted JSONL, shard merges).
-const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "policies", "sched", "harness"];
+/// (golden sweep, sorted JSONL, shard merges, serve journal replay).
+const DETERMINISTIC_CRATES: &[&str] = &["core", "sim", "policies", "sched", "harness", "serve"];
 
 /// Crates allowed to read wall clocks (benchmarks; CLI progress/ETA).
 const CLOCK_CRATES: &[&str] = &["bench", "cli"];
+
+/// Individual files allowed to read wall clocks inside otherwise
+/// deterministic crates: the serve latency bench measures real
+/// decision latency but never feeds timestamps into scheduling state —
+/// its replay check proves the journal is clock-independent.
+const CLOCK_FILES: &[&str] = &["crates/serve/src/bench.rs"];
 
 /// Crates whose panics must be enumerable: the harness worker pool's
 /// `catch_unwind` fault isolation turns them into `Failed` rows, so
@@ -35,9 +41,15 @@ const PANIC_AUDITED_CRATES: &[&str] = &["sim", "harness"];
 /// Individual files under the panic audit beyond the audited crates:
 /// the dynamic-topology layer runs inside the engine's event loop (its
 /// panics reach the harness pool's `catch_unwind` like any sim panic),
-/// even though its home crates are not audited wholesale.
-const PANIC_AUDITED_FILES: &[&str] =
-    &["crates/core/src/mutate.rs", "crates/policies/src/stateful.rs"];
+/// even though its home crates are not audited wholesale. The serve
+/// decode/apply path faces untrusted bytes from the wire and the log,
+/// so a panic there is a remote crash — every one needs a reason.
+const PANIC_AUDITED_FILES: &[&str] = &[
+    "crates/core/src/mutate.rs",
+    "crates/policies/src/stateful.rs",
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/service.rs",
+];
 
 /// Files exempt from D3 wholesale: the one place float comparison is
 /// the point.
@@ -60,7 +72,7 @@ pub fn policy_for(rel_path: &str) -> Policy {
     let norm = rel_path.strip_prefix("./").unwrap_or(rel_path);
     Policy {
         d1: DETERMINISTIC_CRATES.contains(&krate),
-        d2: !CLOCK_CRATES.contains(&krate),
+        d2: !CLOCK_CRATES.contains(&krate) && !CLOCK_FILES.contains(&norm),
         d3: !D3_EXEMPT_FILES.contains(&norm),
         p1: PANIC_AUDITED_CRATES.contains(&krate) || PANIC_AUDITED_FILES.contains(&norm),
     }
@@ -102,5 +114,17 @@ mod tests {
         // …without dragging their whole crates into the audit.
         assert!(!policy_for("crates/core/src/tree.rs").p1);
         assert!(!policy_for("crates/policies/src/assign.rs").p1);
+
+        // The serve crate is deterministic, and its untrusted-input
+        // surface (wire decode, command apply) is panic-audited.
+        let proto = policy_for("crates/serve/src/protocol.rs");
+        assert!(proto.d1 && proto.d2 && proto.p1);
+        let svc = policy_for("crates/serve/src/service.rs");
+        assert!(svc.d1 && svc.p1);
+        // The latency bench alone may read the wall clock — nothing
+        // else in the crate, and it stays deterministic otherwise.
+        let bench = policy_for("crates/serve/src/bench.rs");
+        assert!(bench.d1 && !bench.d2 && !bench.p1);
+        assert!(policy_for("crates/serve/src/replay.rs").d2);
     }
 }

@@ -92,6 +92,35 @@ impl CapacityTracker {
         let a = &mut self.active[leaf.as_usize()];
         *a = a.saturating_sub(1);
     }
+
+    /// Deterministic FNV-1a digest of the ledger. Trailing all-zero
+    /// slots are skipped, so a ledger that merely grew (without any
+    /// commitment) digests the same as one that never saw the leaf —
+    /// `grow` is bookkeeping, not state.
+    // bct-lint: no_alloc
+    pub fn digest(&self) -> u64 {
+        let mut h = bct_core::Fnv64::new();
+        match self.capacity {
+            None => h.write_bool(false),
+            Some(c) => {
+                h.write_bool(true);
+                h.write_f64(c);
+            }
+        }
+        let live = self
+            .used
+            .iter()
+            .zip(&self.active)
+            // bct-lint: allow(d3) -- 0.0 is the exact never-touched sentinel, not a computed value
+            .rposition(|(&u, &a)| u != 0.0 || a != 0)
+            .map_or(0, |i| i + 1);
+        h.write_usize(live);
+        for i in 0..live {
+            h.write_f64(self.used[i]);
+            h.write_u32(self.active[i]);
+        }
+        h.finish()
+    }
 }
 
 /// The work `job` would put on `leaf` (its leaf-hop requirement).
@@ -163,6 +192,10 @@ impl StatefulPolicy for BestFit {
     fn on_drain(&mut self, view: &SimView<'_>, job: JobId, old_leaf: NodeId) {
         self.tracker.release(old_leaf, size_at(view, job, old_leaf));
     }
+
+    fn state_digest(&self) -> u64 {
+        self.tracker.digest()
+    }
 }
 
 /// Commit to the leaf with the fewest in-flight committed jobs (ties by
@@ -224,6 +257,10 @@ impl StatefulPolicy for MinActive {
 
     fn on_drain(&mut self, view: &SimView<'_>, job: JobId, old_leaf: NodeId) {
         self.tracker.release(old_leaf, size_at(view, job, old_leaf));
+    }
+
+    fn state_digest(&self) -> u64 {
+        self.tracker.digest()
     }
 }
 
@@ -289,6 +326,16 @@ impl StatefulPolicy for RandomFeasible {
 
     fn on_drain(&mut self, view: &SimView<'_>, job: JobId, old_leaf: NodeId) {
         self.tracker.release(old_leaf, size_at(view, job, old_leaf));
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = bct_core::Fnv64::new();
+        h.write_u64(self.tracker.digest());
+        // The RNG stream position is policy state too: two replicas
+        // whose ledgers agree but whose streams diverged would
+        // otherwise desync undetected on the next draw.
+        h.write_u64(self.rng.word_pos());
+        h.finish()
     }
 }
 

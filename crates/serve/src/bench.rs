@@ -1,0 +1,198 @@
+//! The built-in open-loop load generator: Poisson arrivals fired at
+//! the service as fast as it will take them, per-decision wall-clock
+//! latency folded into a log-bucket histogram, and a final
+//! replay-verification pass over the journal it produced.
+//!
+//! "Open loop" in the queueing sense: arrival *times* come from a
+//! Poisson process fixed up front, independent of how fast the service
+//! answers — the service can fall behind its logical clock but arrivals
+//! never wait for it. Decision latency is the wall time of one
+//! `Submit` round-trip through the service (drain + assign + dispatch
+//! + journal append).
+//!
+//! This is the one module in the crate allowed to read the wall clock
+//! (`bct-lint` pins `Instant::now` to this file); latencies are
+//! recorded in **microseconds** because the shared histogram's lowest
+//! bucket edge is 1e-3 — second-scale values of a few µs would all
+//! collapse into it.
+
+use std::io::BufWriter;
+use std::path::Path;
+use std::time::Instant;
+
+use bct_harness::agg::{Histogram, Scalar};
+use bct_harness::spec;
+use bct_workloads::jobs::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::{Command, Reply};
+use crate::replay::replay_file;
+use crate::service::{ServeConfig, Service};
+
+/// Bench knobs on top of a [`ServeConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchConfig {
+    /// Service under test.
+    pub serve: ServeConfig,
+    /// Number of jobs to fire.
+    pub jobs: usize,
+    /// Offered load ρ at the bottleneck layer.
+    pub load: f64,
+    /// Size-distribution spec, e.g. `"pow:2,4"`.
+    pub sizes: String,
+    /// Workload seed (arrival gaps and sizes).
+    pub seed: u64,
+}
+
+/// What the bench measured, as serialized into `BENCH_serve.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Topology spec.
+    pub topo: String,
+    /// Policy spec.
+    pub policy: String,
+    /// Jobs fired (all must be accepted).
+    pub jobs: usize,
+    /// Jobs completed after the final drain tick.
+    pub completed: usize,
+    /// Offered load.
+    pub load: f64,
+    /// Decision-latency quantiles, microseconds (upper bucket edges).
+    pub p50_us: f64,
+    /// 99th percentile decision latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile decision latency, microseconds.
+    pub p999_us: f64,
+    /// Mean decision latency, microseconds.
+    pub mean_us: f64,
+    /// Max decision latency, microseconds.
+    pub max_us: f64,
+    /// Decisions per wall-clock second over the submit phase.
+    pub throughput_per_s: f64,
+    /// Final epoch state hash of the live service.
+    pub live_hash: u64,
+    /// Final state hash recomputed by replaying the journal.
+    pub replay_hash: u64,
+    /// `live_hash == replay_hash` and every probe verified.
+    pub replay_verified: bool,
+    /// Journal records written.
+    pub log_records: u64,
+}
+
+/// Run the bench: journal to `log_path`, measure, replay-verify, and
+/// return the report. The caller decides where (whether) to write it.
+pub fn run_bench(cfg: &BenchConfig, log_path: &Path) -> Result<BenchReport, String> {
+    let tree = spec::parse_topology(&cfg.serve.topo, cfg.serve.topo_seed)?;
+    let sizes = spec::parse_sizes(&cfg.sizes)?;
+    let workload = WorkloadSpec::poisson_identical(cfg.jobs, cfg.load, sizes, &tree);
+    let arrivals = workload.generate(&tree, cfg.seed);
+
+    let file = std::fs::File::create(log_path)
+        .map_err(|e| format!("creating {}: {e}", log_path.display()))?;
+    let mut svc = Service::with_log(cfg.serve.clone(), BufWriter::new(file))?;
+    svc.reserve(cfg.jobs);
+
+    let mut hist = Histogram::default();
+    let mut scalar = Scalar::default();
+    let submit_started = Instant::now();
+    let probe_every = (cfg.jobs / 20).max(1);
+    for (i, job) in arrivals.iter().enumerate() {
+        let cmd = Command::Submit { release: job.release, size: job.size };
+        let started = Instant::now();
+        let reply = svc.apply(&cmd)?;
+        let us = started.elapsed().as_secs_f64() * 1e6;
+        hist.observe(us);
+        scalar.observe(us);
+        match reply {
+            Reply::Assigned { .. } => {}
+            other => return Err(format!("submit {i} rejected: {other:?}")),
+        }
+        if (i + 1) % probe_every == 0 {
+            svc.apply(&Command::HashProbe { expect: None })?;
+        }
+    }
+    let submit_elapsed = submit_started.elapsed().as_secs_f64();
+
+    // Drain everything, then seal the journal with a probe + shutdown.
+    let horizon = arrivals.last().map_or(0.0, |j| j.release) + 1e7;
+    if let Reply::Err(e) = svc.apply(&Command::Tick { t: horizon })? {
+        return Err(format!("final tick rejected: {e}"));
+    }
+    svc.apply(&Command::HashProbe { expect: None })?;
+    let live_hash = svc.state_hash();
+    let completed = svc.session().completed();
+    svc.apply(&Command::Shutdown)?;
+    let log_records = svc.commands();
+    match svc.into_log() {
+        Some(Ok(_)) => {}
+        Some(Err(e)) => return Err(e),
+        None => return Err("bench service lost its journal".into()),
+    }
+
+    let outcome = replay_file(log_path)?;
+    let quant = |q: f64| hist.quantile(q).unwrap_or(0.0);
+    Ok(BenchReport {
+        topo: cfg.serve.topo.clone(),
+        policy: cfg.serve.policy.clone(),
+        jobs: cfg.jobs,
+        completed,
+        load: cfg.load,
+        p50_us: quant(0.50),
+        p99_us: quant(0.99),
+        p999_us: quant(0.999),
+        mean_us: scalar.mean(),
+        max_us: scalar.max(),
+        throughput_per_s: if submit_elapsed > 0.0 {
+            cfg.jobs as f64 / submit_elapsed
+        } else {
+            0.0
+        },
+        live_hash,
+        replay_hash: outcome.final_hash,
+        replay_verified: outcome.verified() && outcome.final_hash == live_hash,
+        log_records,
+    })
+}
+
+/// Serialize a report to pretty JSON.
+pub fn report_json(report: &BenchReport) -> String {
+    // bct-lint: allow(p1) -- BenchReport has no map keys; serialization is infallible
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_verify_and_report() {
+        let dir = std::env::temp_dir().join("bct_serve_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("bench.log");
+        let cfg = BenchConfig {
+            serve: ServeConfig {
+                topo: "star:4,3".into(),
+                topo_seed: 1,
+                policy: "sjf+greedy:0.5".into(),
+                speeds: "uniform:1".into(),
+                capacity: None,
+            },
+            jobs: 300,
+            load: 0.7,
+            sizes: "pow:2,3".into(),
+            seed: 11,
+        };
+        let report = run_bench(&cfg, &log).unwrap();
+        assert_eq!(report.jobs, 300);
+        assert_eq!(report.completed, 300);
+        assert!(report.replay_verified, "replay hash diverged");
+        assert_eq!(report.live_hash, report.replay_hash);
+        assert!(report.p50_us > 0.0 && report.p50_us <= report.p99_us);
+        assert!(report.p99_us <= report.p999_us);
+        // 300 submits + 20 probes + tick + final probe + shutdown.
+        assert_eq!(report.log_records, 300 + 20 + 3);
+        let back: BenchReport = serde_json::from_str(&report_json(&report)).unwrap();
+        assert_eq!(back, report);
+        std::fs::remove_file(&log).ok();
+    }
+}

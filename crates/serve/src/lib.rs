@@ -1,0 +1,48 @@
+//! # bct-serve
+//!
+//! An online dispatch service over a live [`bct_sim::SimSession`]: the
+//! paper's immediate-dispatch model (§2 — a job must be assigned to a
+//! leaf the moment it arrives) turned into a long-running server with
+//! an audit trail.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`protocol`] — the length-prefixed, FNV-checksummed binary record
+//!   format shared by the wire and the log, and the [`protocol::Command`]
+//!   / [`protocol::Reply`] vocabulary (submit, mutate, tick, hash
+//!   probe, snapshot, shutdown).
+//! * [`log`] — the durable command journal: a config header naming the
+//!   topology/policy/speed specs, then every *accepted* command as a
+//!   framed record. Torn tail writes are detected per record.
+//! * [`service`] — the state machine: a session plus its policies,
+//!   applying commands and journaling the ones that changed state.
+//!   The epoch state hash ([`service::Service::state_hash`]) folds the
+//!   session digest with the assignment policy's own digest.
+//! * [`replay`] — rebuild a replica from a log's own header, re-run
+//!   the command stream, and diff every embedded hash bit for bit.
+//! * [`bench`] — the open-loop Poisson load generator: decision
+//!   latency quantiles (p50/p99/p999, microseconds) plus an end-to-end
+//!   replay verification of the log the bench itself produced.
+//! * [`net`] — TCP / Unix-socket transports and a blocking client;
+//!   the service itself only ever sees `Read + Write`.
+//!
+//! Everything observable is a pure function of the [`service::ServeConfig`]
+//! and the accepted command stream — the workspace determinism
+//! contract extended across process restarts.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod log;
+pub mod net;
+pub mod protocol;
+pub mod replay;
+pub mod service;
+
+pub use bench::{run_bench, BenchConfig, BenchReport};
+pub use log::{parse_log, read_log, LogWriter, ParsedLog};
+pub use net::{serve_connection, serve_tcp, Client};
+pub use protocol::{Command, Reply, WireError};
+pub use replay::{replay_file, replay_parsed, HashMismatch, ReplayOutcome};
+pub use service::{ServeConfig, Service, SnapshotInfo};

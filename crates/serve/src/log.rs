@@ -1,0 +1,250 @@
+//! The durable command log: a header naming the service configuration
+//! followed by the accepted commands as framed records.
+//!
+//! ```text
+//! [magic: b"BCTSRV01"]
+//! [hlen: u32 LE] [ServeConfig JSON: hlen bytes] [check: u64 LE]
+//! [command record]*
+//! ```
+//!
+//! Command records use the exact wire framing of [`crate::protocol`],
+//! so the same parser handles both. The log stores only commands that
+//! *changed state* (plus hash probes and the final shutdown): rejected
+//! commands leave the session untouched by construction, so replaying
+//! the accepted stream reproduces the live state bit for bit.
+//!
+//! Crash recovery: each record carries its own checksum, so a torn
+//! tail write is detected as [`WireError::Truncated`] / `Corrupt` and
+//! the log is valid up to the last intact record. A log ending in
+//! `Shutdown` is known complete.
+
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use bct_core::fnv1a;
+
+use crate::protocol::{
+    decode_command, encode_command, read_record, Command, WireError, MAX_PAYLOAD,
+};
+use crate::service::ServeConfig;
+
+/// Log file magic: format name + version.
+pub const MAGIC: &[u8; 8] = b"BCTSRV01";
+
+/// Append-side of the command log. Generic over the sink so tests can
+/// log into memory; production wraps a [`BufWriter`]`<File>`.
+pub struct LogWriter<W: Write> {
+    w: W,
+    buf: Vec<u8>,
+    records: u64,
+}
+
+impl<W: Write> LogWriter<W> {
+    /// Start a log on `w`: writes the header immediately.
+    pub fn new(mut w: W, cfg: &ServeConfig) -> Result<LogWriter<W>, String> {
+        let json = serde_json::to_string(cfg).map_err(|e| format!("config header: {e}"))?;
+        let bytes = json.as_bytes();
+        w.write_all(MAGIC).map_err(|e| format!("log header: {e}"))?;
+        w.write_all(&(bytes.len() as u32).to_le_bytes())
+            .map_err(|e| format!("log header: {e}"))?;
+        w.write_all(bytes).map_err(|e| format!("log header: {e}"))?;
+        w.write_all(&fnv1a(bytes).to_le_bytes())
+            .map_err(|e| format!("log header: {e}"))?;
+        Ok(LogWriter { w, buf: Vec::with_capacity(64), records: 0 })
+    }
+
+    /// Append one command record. Encoding reuses the writer's scratch
+    /// buffer, so the steady-state cost is the `write` itself.
+    // bct-lint: no_alloc
+    pub fn append(&mut self, cmd: &Command) -> Result<(), String> {
+        self.buf.clear();
+        encode_command(cmd, &mut self.buf);
+        self.w
+            .write_all(&self.buf)
+            // bct-lint: allow(a1) -- error path only: a failed journal write ends the run
+            .map_err(|e| format!("log append: {e}"))?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush buffered bytes to the sink.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.w.flush().map_err(|e| format!("log flush: {e}"))
+    }
+
+    /// Flush and hand back the sink.
+    pub fn into_inner(mut self) -> Result<W, String> {
+        self.flush()?;
+        Ok(self.w)
+    }
+}
+
+/// Open a file-backed log writer.
+pub fn create_file_log(
+    path: &Path,
+    cfg: &ServeConfig,
+) -> Result<LogWriter<BufWriter<std::fs::File>>, String> {
+    let f = std::fs::File::create(path)
+        .map_err(|e| format!("creating {}: {e}", path.display()))?;
+    LogWriter::new(BufWriter::new(f), cfg)
+}
+
+/// A fully parsed command log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedLog {
+    /// The service configuration the log was recorded under.
+    pub config: ServeConfig,
+    /// The accepted command stream, in order.
+    pub commands: Vec<Command>,
+    /// Whether the log ends with a clean `Shutdown` record.
+    pub clean_shutdown: bool,
+}
+
+/// Parse a log from bytes. Truncation *at a record boundary* yields a
+/// valid (but not cleanly shut down) log; truncation or corruption
+/// inside a record is an error naming the failing record index.
+pub fn parse_log(bytes: &[u8]) -> Result<ParsedLog, String> {
+    let rest = bytes
+        .strip_prefix(MAGIC.as_slice())
+        .ok_or("not a bct-serve log: bad magic")?;
+    if rest.len() < 4 {
+        return Err("log truncated inside the header length".into());
+    }
+    // bct-lint: allow(p1) -- length checked on the line above
+    let hlen = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+    if hlen > MAX_PAYLOAD as usize {
+        return Err(format!("header length {hlen} exceeds MAX_PAYLOAD"));
+    }
+    if rest.len() < 4 + hlen + 8 {
+        return Err("log truncated inside the config header".into());
+    }
+    let json = &rest[4..4 + hlen];
+    let want = u64::from_le_bytes(
+        // bct-lint: allow(p1) -- bounds checked above
+        rest[4 + hlen..4 + hlen + 8].try_into().expect("8 bytes"),
+    );
+    if want != fnv1a(json) {
+        return Err("config header checksum mismatch".into());
+    }
+    let json_str = std::str::from_utf8(json)
+        .map_err(|_| "config header is not UTF-8".to_string())?;
+    let config: ServeConfig = serde_json::from_str(json_str)
+        .map_err(|e| format!("config header does not parse: {e}"))?;
+    let mut r = std::io::Cursor::new(&rest[4 + hlen + 8..]);
+    let mut commands = Vec::new();
+    let mut payload = Vec::new();
+    loop {
+        match read_record(&mut r, &mut payload) {
+            Ok(false) => break,
+            Ok(true) => {
+                let cmd = decode_command(&payload)
+                    .map_err(|e| format!("record {}: {e}", commands.len()))?;
+                let done = cmd == Command::Shutdown;
+                commands.push(cmd);
+                if done {
+                    // Anything after a shutdown record is foreign bytes.
+                    let mut tail = Vec::new();
+                    // bct-lint: allow(p1) -- reading a Cursor<&[u8]> cannot fail
+                    r.read_to_end(&mut tail).expect("cursor reads are infallible");
+                    if !tail.is_empty() {
+                        return Err(format!(
+                            "{} trailing bytes after the shutdown record",
+                            tail.len()
+                        ));
+                    }
+                    return Ok(ParsedLog { config, commands, clean_shutdown: true });
+                }
+            }
+            Err(WireError::Truncated) => {
+                return Err(format!(
+                    "log truncated inside record {} (torn tail write?)",
+                    commands.len()
+                ))
+            }
+            Err(e) => return Err(format!("record {}: {e}", commands.len())),
+        }
+    }
+    Ok(ParsedLog { config, commands, clean_shutdown: false })
+}
+
+/// Read and parse a log file.
+pub fn read_log(path: &Path) -> Result<ParsedLog, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    parse_log(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            topo: "star:3,2".into(),
+            topo_seed: 5,
+            policy: "sjf+greedy:0.5".into(),
+            speeds: "uniform:1".into(),
+            capacity: None,
+        }
+    }
+
+    fn sample_log() -> Vec<u8> {
+        let mut w = LogWriter::new(Vec::new(), &cfg()).unwrap();
+        w.append(&Command::Submit { release: 0.5, size: 2.0 }).unwrap();
+        w.append(&Command::Tick { t: 3.0 }).unwrap();
+        w.append(&Command::HashProbe { expect: Some(77) }).unwrap();
+        w.append(&Command::Shutdown).unwrap();
+        w.into_inner().unwrap()
+    }
+
+    #[test]
+    fn logs_roundtrip() {
+        let parsed = parse_log(&sample_log()).unwrap();
+        assert_eq!(parsed.config, cfg());
+        assert_eq!(parsed.commands.len(), 4);
+        assert!(parsed.clean_shutdown);
+        assert_eq!(parsed.commands[2], Command::HashProbe { expect: Some(77) });
+    }
+
+    #[test]
+    fn boundary_truncation_parses_without_clean_shutdown() {
+        let full = sample_log();
+        // Chop the final (shutdown) record off exactly at its boundary.
+        let mut shutdown = Vec::new();
+        encode_command(&Command::Shutdown, &mut shutdown);
+        let cut = &full[..full.len() - shutdown.len()];
+        let parsed = parse_log(cut).unwrap();
+        assert_eq!(parsed.commands.len(), 3);
+        assert!(!parsed.clean_shutdown);
+    }
+
+    #[test]
+    fn torn_tail_is_an_error() {
+        let full = sample_log();
+        let err = parse_log(&full[..full.len() - 5]).unwrap_err();
+        assert!(err.contains("truncated inside record"), "{err}");
+    }
+
+    #[test]
+    fn payload_corruption_is_an_error() {
+        let mut full = sample_log();
+        let n = full.len();
+        full[n - 9] ^= 1; // the shutdown record's payload byte
+        let err = parse_log(&full).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
+    }
+
+    #[test]
+    fn header_corruption_is_an_error() {
+        let mut full = sample_log();
+        full[MAGIC.len() + 6] ^= 1; // inside the config JSON
+        let err = parse_log(&full).unwrap_err();
+        assert!(err.contains("header checksum"), "{err}");
+        let err = parse_log(b"NOTALOG!rest").unwrap_err();
+        assert!(err.contains("bad magic"), "{err}");
+    }
+}

@@ -1,0 +1,263 @@
+//! Transports: drive a [`Service`] from any byte stream.
+//!
+//! The service itself is transport-agnostic; this module adapts it to
+//! anything implementing `Read + Write` (an in-memory duplex in tests,
+//! a [`TcpStream`], a Unix socket). One connection is served at a time
+//! — the session is a single deterministic state machine, so command
+//! *order* is the semantic content of a run; concurrent connections
+//! would make the journal racy, which is exactly what this subsystem
+//! exists to rule out.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_command, decode_reply, encode_command, encode_reply, read_record, Command, Reply,
+    WireError,
+};
+use crate::service::Service;
+
+/// Serve one connection until the peer disconnects or sends
+/// `Shutdown`. Returns whether a shutdown was requested.
+pub fn serve_connection<S: Read + Write, W: Write>(
+    svc: &mut Service<W>,
+    mut stream: S,
+) -> Result<bool, String> {
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_record(&mut stream, &mut payload) {
+            Ok(false) => return Ok(false), // peer hung up cleanly
+            Ok(true) => {}
+            Err(WireError::Truncated) => return Ok(false), // peer died mid-record
+            Err(e) => return Err(format!("reading command: {e}")),
+        }
+        let reply = match decode_command(&payload) {
+            Ok(cmd) => {
+                let reply = svc.apply(&cmd)?;
+                if cmd == Command::Shutdown {
+                    out.clear();
+                    encode_reply(&reply, &mut out);
+                    stream.write_all(&out).map_err(|e| format!("writing reply: {e}"))?;
+                    stream.flush().ok();
+                    return Ok(true);
+                }
+                reply
+            }
+            Err(e) => Reply::Err(format!("bad command: {e}")),
+        };
+        out.clear();
+        encode_reply(&reply, &mut out);
+        stream.write_all(&out).map_err(|e| format!("writing reply: {e}"))?;
+        stream.flush().map_err(|e| format!("flushing reply: {e}"))?;
+    }
+}
+
+/// Bind `addr` and serve connections sequentially until a client sends
+/// `Shutdown`. Returns the locally bound address (useful with port 0).
+pub fn serve_tcp<A: ToSocketAddrs, W: Write>(
+    svc: &mut Service<W>,
+    addr: A,
+    mut on_bound: impl FnMut(std::net::SocketAddr),
+) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+    on_bound(local);
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept: {e}"))?;
+        if serve_connection(svc, stream)? {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Serve a Unix-domain socket at `path` (removed and re-created).
+#[cfg(unix)]
+pub fn serve_unix<W: Write>(
+    svc: &mut Service<W>,
+    path: &std::path::Path,
+) -> Result<(), String> {
+    let _ = std::fs::remove_file(path);
+    let listener =
+        std::os::unix::net::UnixListener::bind(path).map_err(|e| format!("bind: {e}"))?;
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept: {e}"))?;
+        if serve_connection(svc, stream)? {
+            let _ = std::fs::remove_file(path);
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// A blocking client: frames commands out, reads one reply per
+/// command. Works over any `Read + Write` stream.
+pub struct Client<S: Read + Write> {
+    stream: S,
+    out: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl Client<TcpStream> {
+    /// Connect over TCP.
+    pub fn connect_tcp<A: ToSocketAddrs>(addr: A) -> Result<Client<TcpStream>, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        Ok(Client::over(stream))
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wrap an already-connected stream.
+    pub fn over(stream: S) -> Client<S> {
+        Client { stream, out: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Send one command and read its reply.
+    pub fn call(&mut self, cmd: &Command) -> Result<Reply, String> {
+        self.out.clear();
+        encode_command(cmd, &mut self.out);
+        self.stream
+            .write_all(&self.out)
+            .map_err(|e| format!("sending command: {e}"))?;
+        self.stream.flush().map_err(|e| format!("flushing command: {e}"))?;
+        match read_record(&mut self.stream, &mut self.payload) {
+            Ok(true) => decode_reply(&self.payload).map_err(|e| format!("bad reply: {e}")),
+            Ok(false) => Err("server closed the connection".into()),
+            Err(e) => Err(format!("reading reply: {e}")),
+        }
+    }
+
+    /// Submit a job; returns `(job, leaf)`.
+    pub fn submit(&mut self, release: f64, size: f64) -> Result<(u32, u32), String> {
+        match self.call(&Command::Submit { release, size })? {
+            Reply::Assigned { job, leaf } => Ok((job, leaf)),
+            other => Err(format!("submit: unexpected reply {other:?}")),
+        }
+    }
+
+    /// Advance the server clock.
+    pub fn tick(&mut self, t: f64) -> Result<(), String> {
+        match self.call(&Command::Tick { t })? {
+            Reply::Ok => Ok(()),
+            other => Err(format!("tick: unexpected reply {other:?}")),
+        }
+    }
+
+    /// Fetch the server's epoch state hash.
+    pub fn probe_hash(&mut self) -> Result<u64, String> {
+        match self.call(&Command::HashProbe { expect: None })? {
+            Reply::Hash(h) => Ok(h),
+            other => Err(format!("probe: unexpected reply {other:?}")),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.call(&Command::Shutdown)? {
+            Reply::Ok => Ok(()),
+            other => Err(format!("shutdown: unexpected reply {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServeConfig;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            topo: "star:3,2".into(),
+            topo_seed: 5,
+            policy: "sjf+round-robin".into(),
+            speeds: "uniform:1".into(),
+            capacity: None,
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process() {
+        // Server thread: in-process service on an ephemeral port.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let mut svc = Service::without_log(cfg()).unwrap();
+            serve_tcp(&mut svc, ("127.0.0.1", 0), |addr| tx.send(addr).unwrap()).unwrap();
+            svc.state_hash()
+        });
+        let addr = rx.recv().unwrap();
+        let mut client = Client::connect_tcp(addr).unwrap();
+
+        // Mirror the same commands against a local service.
+        let mut local = Service::without_log(cfg()).unwrap();
+        for i in 0..10 {
+            let (release, size) = (i as f64 * 0.5, 1.0 + (i % 3) as f64);
+            let (job, leaf) = client.submit(release, size).unwrap();
+            let Reply::Assigned { job: lj, leaf: ll } =
+                local.apply(&Command::Submit { release, size }).unwrap()
+            else {
+                panic!("local submit rejected")
+            };
+            assert_eq!((job, leaf), (lj, ll), "remote and local must agree");
+        }
+        client.tick(50.0).unwrap();
+        local.apply(&Command::Tick { t: 50.0 }).unwrap();
+        assert_eq!(client.probe_hash().unwrap(), local.state_hash());
+        client.shutdown().unwrap();
+        let server_hash = server.join().unwrap();
+        // Shutdown journals a command on the server but not `local`
+        // (we never sent local a shutdown); hashes cover session +
+        // policy state, not the command counter, so they still agree.
+        assert_eq!(server_hash, local.state_hash());
+    }
+
+    #[test]
+    fn garbage_on_the_wire_gets_an_error_reply_not_a_crash() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let mut svc = Service::without_log(cfg()).unwrap();
+            serve_tcp(&mut svc, ("127.0.0.1", 0), |addr| tx.send(addr).unwrap()).unwrap();
+        });
+        let addr = rx.recv().unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // A framed record whose payload is a bogus kind tag.
+        let payload = [250u8];
+        let mut rec = Vec::new();
+        rec.extend_from_slice(&1u32.to_le_bytes());
+        rec.extend_from_slice(&payload);
+        rec.extend_from_slice(&bct_core::fnv1a(&payload).to_le_bytes());
+        stream.write_all(&rec).unwrap();
+        let mut reply_payload = Vec::new();
+        assert!(read_record(&mut stream, &mut reply_payload).unwrap());
+        let reply = decode_reply(&reply_payload).unwrap();
+        assert!(matches!(reply, Reply::Err(_)), "{reply:?}");
+        // Server is still alive: a clean shutdown works.
+        let mut client = Client::over(stream);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        let path = std::env::temp_dir().join("bct_serve_test.sock");
+        let p2 = path.clone();
+        let server = std::thread::spawn(move || {
+            let mut svc = Service::without_log(cfg()).unwrap();
+            serve_unix(&mut svc, &p2).unwrap();
+        });
+        // Wait for the socket to appear.
+        for _ in 0..200 {
+            if path.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let mut client = Client::over(stream);
+        let (job, _leaf) = client.submit(0.0, 1.0).unwrap();
+        assert_eq!(job, 0);
+        client.shutdown().unwrap();
+        server.join().unwrap();
+    }
+}

@@ -1,0 +1,552 @@
+//! The wire and log format: length-prefixed, checksummed binary records.
+//!
+//! Every message — client→server command or server→client reply — is
+//! one *record*:
+//!
+//! ```text
+//! [len: u32 LE] [payload: len bytes] [check: u64 LE = fnv1a(payload)]
+//! ```
+//!
+//! The payload's first byte is the kind tag; the remaining bytes are
+//! fixed-width little-endian fields (see [`Command`] and [`Reply`]).
+//! The trailing FNV-1a checksum makes torn writes and bit corruption
+//! detectable both on the wire and in the durable command log, which
+//! uses the identical record framing (see [`crate::log`]).
+//!
+//! One deliberate asymmetry: a `HashProbe` occupies 1 payload byte on
+//! the wire (the client asks, the server answers with its hash) but 9
+//! bytes in the log, where the server *embeds the live hash it
+//! answered with*. Replay recomputes the hash at that point and diffs
+//! it against the embedded value — that is the whole verification
+//! mechanism. [`decode_command`] accepts both forms.
+
+use bct_core::{fnv1a, NodeId, TreeMutation};
+
+/// Maximum accepted payload length (1 MiB). A length prefix beyond
+/// this is treated as corruption rather than honored with a huge
+/// allocation.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// A client→server command.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Command {
+    /// Submit a job: the service drains completions up to `release`,
+    /// asks the assignment policy for a leaf, and dispatches.
+    Submit {
+        /// Arrival time (must be ≥ the session clock).
+        release: f64,
+        /// Processing size.
+        size: f64,
+    },
+    /// Apply a topology mutation at the current session time.
+    Mutate(TreeMutation),
+    /// Advance the session clock to `t`, draining completions.
+    Tick {
+        /// Target time.
+        t: f64,
+    },
+    /// Ask for (wire) — or assert (log) — the epoch state hash.
+    HashProbe {
+        /// `None` on the wire; `Some(hash)` in the log, where the
+        /// server recorded the live hash it answered with.
+        expect: Option<u64>,
+    },
+    /// Ask for a JSON snapshot of the session counters.
+    Snapshot,
+    /// Stop serving; the log ends with this record on a clean close.
+    Shutdown,
+}
+
+/// A server→client reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Command applied; nothing else to say (tick, mutate-free ops).
+    Ok,
+    /// Job accepted and dispatched.
+    Assigned {
+        /// The id the session gave the job.
+        job: u32,
+        /// The leaf it was dispatched to.
+        leaf: u32,
+    },
+    /// Mutation applied; the new topology epoch.
+    Epoch(u64),
+    /// The state hash at this point in the command stream.
+    Hash(u64),
+    /// JSON snapshot of the session counters.
+    Snapshot(String),
+    /// The command was rejected; state is unchanged unless the message
+    /// says otherwise (non-leaf dispatch leaves the job parked).
+    Err(String),
+}
+
+const CMD_SUBMIT: u8 = 1;
+const CMD_MUTATE: u8 = 2;
+const CMD_TICK: u8 = 3;
+const CMD_PROBE: u8 = 4;
+const CMD_SNAPSHOT: u8 = 5;
+const CMD_SHUTDOWN: u8 = 6;
+
+const MUT_ADD_LEAF: u8 = 1;
+const MUT_REMOVE_LEAF: u8 = 2;
+const MUT_SET_SPEED: u8 = 3;
+const MUT_FAIL_NODE: u8 = 4;
+
+const REP_OK: u8 = 0;
+const REP_ASSIGNED: u8 = 1;
+const REP_EPOCH: u8 = 2;
+const REP_HASH: u8 = 3;
+const REP_SNAPSHOT: u8 = 4;
+const REP_ERR: u8 = 5;
+
+/// A framing / decoding failure. `Corrupt` means the bytes are
+/// actively wrong (bad checksum, bad tag, short payload) as opposed to
+/// merely truncated at a record boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireError {
+    /// Stream ended mid-record: `len` promised more bytes than arrived.
+    Truncated,
+    /// Structurally invalid bytes; the message says what and where.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "record truncated mid-stream"),
+            WireError::Corrupt(m) => write!(f, "corrupt record: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Append one framed record (`len`, payload, checksum) to `out`.
+/// The encode buffer is caller-owned so the warm path reuses one
+/// allocation forever.
+// bct-lint: no_alloc
+pub fn frame_into(payload_start: usize, out: &mut Vec<u8>) {
+    let len = (out.len() - payload_start) as u32;
+    let check = fnv1a(&out[payload_start..]);
+    // Splice the 4-byte length prefix in front of the payload...
+    out.splice(payload_start..payload_start, len.to_le_bytes());
+    // ...and the checksum after it.
+    out.extend_from_slice(&check.to_le_bytes());
+}
+
+/// Encode a command as a framed record appended to `out`.
+// bct-lint: no_alloc
+pub fn encode_command(cmd: &Command, out: &mut Vec<u8>) {
+    let start = out.len();
+    match *cmd {
+        Command::Submit { release, size } => {
+            out.push(CMD_SUBMIT);
+            out.extend_from_slice(&release.to_le_bytes());
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        Command::Mutate(m) => {
+            out.push(CMD_MUTATE);
+            match m {
+                TreeMutation::AddLeaf { parent } => {
+                    out.push(MUT_ADD_LEAF);
+                    out.extend_from_slice(&parent.0.to_le_bytes());
+                }
+                TreeMutation::RemoveLeaf { leaf } => {
+                    out.push(MUT_REMOVE_LEAF);
+                    out.extend_from_slice(&leaf.0.to_le_bytes());
+                }
+                TreeMutation::SetSpeed { node, factor } => {
+                    out.push(MUT_SET_SPEED);
+                    out.extend_from_slice(&node.0.to_le_bytes());
+                    out.extend_from_slice(&factor.to_le_bytes());
+                }
+                TreeMutation::FailNode { node } => {
+                    out.push(MUT_FAIL_NODE);
+                    out.extend_from_slice(&node.0.to_le_bytes());
+                }
+            }
+        }
+        Command::Tick { t } => {
+            out.push(CMD_TICK);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Command::HashProbe { expect } => {
+            out.push(CMD_PROBE);
+            if let Some(h) = expect {
+                out.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+        Command::Snapshot => out.push(CMD_SNAPSHOT),
+        Command::Shutdown => out.push(CMD_SHUTDOWN),
+    }
+    frame_into(start, out);
+}
+
+/// Encode a reply as a framed record appended to `out`.
+// bct-lint: no_alloc
+pub fn encode_reply(rep: &Reply, out: &mut Vec<u8>) {
+    let start = out.len();
+    match rep {
+        Reply::Ok => out.push(REP_OK),
+        Reply::Assigned { job, leaf } => {
+            out.push(REP_ASSIGNED);
+            out.extend_from_slice(&job.to_le_bytes());
+            out.extend_from_slice(&leaf.to_le_bytes());
+        }
+        Reply::Epoch(e) => {
+            out.push(REP_EPOCH);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        Reply::Hash(h) => {
+            out.push(REP_HASH);
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        Reply::Snapshot(json) => {
+            out.push(REP_SNAPSHOT);
+            out.extend_from_slice(json.as_bytes());
+        }
+        Reply::Err(msg) => {
+            out.push(REP_ERR);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    frame_into(start, out);
+}
+
+fn take_u32(b: &[u8], at: usize) -> Result<u32, WireError> {
+    let bytes: [u8; 4] = b
+        .get(at..at + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| WireError::Corrupt("short u32 field".into()))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+fn take_u64(b: &[u8], at: usize) -> Result<u64, WireError> {
+    let bytes: [u8; 8] = b
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| WireError::Corrupt("short u64 field".into()))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+fn take_f64(b: &[u8], at: usize) -> Result<f64, WireError> {
+    take_u64(b, at).map(f64::from_bits)
+}
+
+fn expect_len(b: &[u8], want: usize, what: &str) -> Result<(), WireError> {
+    if b.len() == want {
+        Ok(())
+    } else {
+        Err(WireError::Corrupt(format!(
+            "{what}: payload is {} bytes, expected {want}",
+            b.len()
+        )))
+    }
+}
+
+/// Decode a command payload (the bytes between length prefix and
+/// checksum, already verified).
+pub fn decode_command(payload: &[u8]) -> Result<Command, WireError> {
+    let (&kind, rest) = payload
+        .split_first()
+        .ok_or_else(|| WireError::Corrupt("empty payload".into()))?;
+    match kind {
+        CMD_SUBMIT => {
+            expect_len(rest, 16, "submit")?;
+            Ok(Command::Submit {
+                release: take_f64(rest, 0)?,
+                size: take_f64(rest, 8)?,
+            })
+        }
+        CMD_MUTATE => {
+            let (&op, mrest) = rest
+                .split_first()
+                .ok_or_else(|| WireError::Corrupt("empty mutation".into()))?;
+            let m = match op {
+                MUT_ADD_LEAF => {
+                    expect_len(mrest, 4, "add-leaf")?;
+                    TreeMutation::AddLeaf {
+                        parent: NodeId(take_u32(mrest, 0)?),
+                    }
+                }
+                MUT_REMOVE_LEAF => {
+                    expect_len(mrest, 4, "remove-leaf")?;
+                    TreeMutation::RemoveLeaf {
+                        leaf: NodeId(take_u32(mrest, 0)?),
+                    }
+                }
+                MUT_SET_SPEED => {
+                    expect_len(mrest, 12, "set-speed")?;
+                    TreeMutation::SetSpeed {
+                        node: NodeId(take_u32(mrest, 0)?),
+                        factor: take_f64(mrest, 4)?,
+                    }
+                }
+                MUT_FAIL_NODE => {
+                    expect_len(mrest, 4, "fail-node")?;
+                    TreeMutation::FailNode {
+                        node: NodeId(take_u32(mrest, 0)?),
+                    }
+                }
+                other => {
+                    return Err(WireError::Corrupt(format!("unknown mutation op {other}")))
+                }
+            };
+            Ok(Command::Mutate(m))
+        }
+        CMD_TICK => {
+            expect_len(rest, 8, "tick")?;
+            Ok(Command::Tick { t: take_f64(rest, 0)? })
+        }
+        CMD_PROBE => match rest.len() {
+            0 => Ok(Command::HashProbe { expect: None }),
+            8 => Ok(Command::HashProbe {
+                expect: Some(take_u64(rest, 0)?),
+            }),
+            n => Err(WireError::Corrupt(format!(
+                "hash probe: payload is {n} bytes, expected 0 or 8"
+            ))),
+        },
+        CMD_SNAPSHOT => {
+            expect_len(rest, 0, "snapshot")?;
+            Ok(Command::Snapshot)
+        }
+        CMD_SHUTDOWN => {
+            expect_len(rest, 0, "shutdown")?;
+            Ok(Command::Shutdown)
+        }
+        other => Err(WireError::Corrupt(format!("unknown command kind {other}"))),
+    }
+}
+
+/// Decode a reply payload.
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
+    let (&kind, rest) = payload
+        .split_first()
+        .ok_or_else(|| WireError::Corrupt("empty payload".into()))?;
+    match kind {
+        REP_OK => {
+            expect_len(rest, 0, "ok")?;
+            Ok(Reply::Ok)
+        }
+        REP_ASSIGNED => {
+            expect_len(rest, 8, "assigned")?;
+            Ok(Reply::Assigned {
+                job: take_u32(rest, 0)?,
+                leaf: take_u32(rest, 4)?,
+            })
+        }
+        REP_EPOCH => {
+            expect_len(rest, 8, "epoch")?;
+            Ok(Reply::Epoch(take_u64(rest, 0)?))
+        }
+        REP_HASH => {
+            expect_len(rest, 8, "hash")?;
+            Ok(Reply::Hash(take_u64(rest, 0)?))
+        }
+        REP_SNAPSHOT => Ok(Reply::Snapshot(
+            String::from_utf8(rest.to_vec())
+                .map_err(|_| WireError::Corrupt("snapshot is not UTF-8".into()))?,
+        )),
+        REP_ERR => Ok(Reply::Err(
+            String::from_utf8(rest.to_vec())
+                .map_err(|_| WireError::Corrupt("error message is not UTF-8".into()))?,
+        )),
+        other => Err(WireError::Corrupt(format!("unknown reply kind {other}"))),
+    }
+}
+
+/// Split the next framed record off the front of `buf`. Returns the
+/// verified payload slice bounds and the total record length, or
+/// `Ok(None)` if `buf` holds only an incomplete prefix of a record.
+pub fn next_record(buf: &[u8]) -> Result<Option<(std::ops::Range<usize>, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    // bct-lint: allow(p1) -- length checked on the line above
+    let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD as usize {
+        return Err(WireError::Corrupt(format!(
+            "length prefix {len} exceeds MAX_PAYLOAD"
+        )));
+    }
+    let total = 4 + len + 8;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = 4..4 + len;
+    let want = take_u64(buf, 4 + len)?;
+    let got = fnv1a(&buf[payload.clone()]);
+    if want != got {
+        return Err(WireError::Corrupt(format!(
+            "checksum mismatch: stored {want:#018x}, computed {got:#018x}"
+        )));
+    }
+    Ok(Some((payload, total)))
+}
+
+/// Read one framed record from a stream into `payload` (cleared
+/// first). `Ok(false)` means the stream ended cleanly *before* the
+/// record started; mid-record EOF is [`WireError::Truncated`] wrapped
+/// in an I/O-shaped error string.
+pub fn read_record<R: std::io::Read>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+) -> Result<bool, WireError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix) {
+        ReadOutcome::Eof => return Ok(false),
+        ReadOutcome::Short => return Err(WireError::Truncated),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Corrupt(format!(
+            "length prefix {len} exceeds MAX_PAYLOAD"
+        )));
+    }
+    payload.clear();
+    payload.resize(len as usize, 0);
+    let mut check = [0u8; 8];
+    if !matches!(read_exact_or_eof(r, payload), ReadOutcome::Full)
+        || !matches!(read_exact_or_eof(r, &mut check), ReadOutcome::Full)
+    {
+        return Err(WireError::Truncated);
+    }
+    let want = u64::from_le_bytes(check);
+    let got = fnv1a(payload);
+    if want != got {
+        return Err(WireError::Corrupt(format!(
+            "checksum mismatch: stored {want:#018x}, computed {got:#018x}"
+        )));
+    }
+    Ok(true)
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Short,
+}
+
+fn read_exact_or_eof<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Short },
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Short,
+        }
+    }
+    ReadOutcome::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_cmd(cmd: Command) {
+        let mut buf = Vec::new();
+        encode_command(&cmd, &mut buf);
+        let (range, total) = next_record(&buf).unwrap().unwrap();
+        assert_eq!(total, buf.len());
+        assert_eq!(decode_command(&buf[range]).unwrap(), cmd);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        roundtrip_cmd(Command::Submit { release: 1.5, size: 2.25 });
+        roundtrip_cmd(Command::Mutate(TreeMutation::AddLeaf { parent: NodeId(3) }));
+        roundtrip_cmd(Command::Mutate(TreeMutation::RemoveLeaf { leaf: NodeId(9) }));
+        roundtrip_cmd(Command::Mutate(TreeMutation::SetSpeed {
+            node: NodeId(2),
+            factor: 0.5,
+        }));
+        roundtrip_cmd(Command::Mutate(TreeMutation::FailNode { node: NodeId(7) }));
+        roundtrip_cmd(Command::Tick { t: 42.0 });
+        roundtrip_cmd(Command::HashProbe { expect: None });
+        roundtrip_cmd(Command::HashProbe { expect: Some(0xdead_beef) });
+        roundtrip_cmd(Command::Snapshot);
+        roundtrip_cmd(Command::Shutdown);
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        for rep in [
+            Reply::Ok,
+            Reply::Assigned { job: 7, leaf: 12 },
+            Reply::Epoch(3),
+            Reply::Hash(0x0123_4567_89ab_cdef),
+            Reply::Snapshot("{\"now\":1.0}".into()),
+            Reply::Err("no such node".into()),
+        ] {
+            let mut buf = Vec::new();
+            encode_reply(&rep, &mut buf);
+            let (range, total) = next_record(&buf).unwrap().unwrap();
+            assert_eq!(total, buf.len());
+            assert_eq!(decode_reply(&buf[range]).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        encode_command(&Command::Tick { t: 9.0 }, &mut buf);
+        // Flip one payload bit: checksum must catch it.
+        let mut bad = buf.clone();
+        bad[6] ^= 0x40;
+        assert!(matches!(next_record(&bad), Err(WireError::Corrupt(_))));
+        // Truncate mid-record: incomplete, not corrupt.
+        assert_eq!(next_record(&buf[..buf.len() - 3]).unwrap(), None);
+        // Unknown kind tag.
+        let mut payload = vec![200u8];
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&1u32.to_le_bytes());
+        framed.append(&mut payload);
+        framed.extend_from_slice(&fnv1a(&[200u8]).to_le_bytes());
+        let (range, _) = next_record(&framed).unwrap().unwrap();
+        assert!(matches!(
+            decode_command(&framed[range]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn stream_reader_matches_slice_parser() {
+        let mut buf = Vec::new();
+        encode_command(&Command::Submit { release: 0.0, size: 1.0 }, &mut buf);
+        encode_command(&Command::Shutdown, &mut buf);
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut payload = Vec::new();
+        assert!(read_record(&mut cursor, &mut payload).unwrap());
+        assert_eq!(
+            decode_command(&payload).unwrap(),
+            Command::Submit { release: 0.0, size: 1.0 }
+        );
+        assert!(read_record(&mut cursor, &mut payload).unwrap());
+        assert_eq!(decode_command(&payload).unwrap(), Command::Shutdown);
+        assert!(!read_record(&mut cursor, &mut payload).unwrap(), "clean EOF");
+    }
+
+    #[test]
+    fn mid_record_eof_is_truncation() {
+        let mut buf = Vec::new();
+        encode_command(&Command::Tick { t: 1.0 }, &mut buf);
+        buf.truncate(buf.len() - 2);
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut payload = Vec::new();
+        assert_eq!(
+            read_record(&mut cursor, &mut payload),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(next_record(&buf), Err(WireError::Corrupt(_))));
+    }
+}

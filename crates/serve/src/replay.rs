@@ -1,0 +1,214 @@
+//! Replay: re-execute a command log against a fresh replica and verify
+//! the embedded epoch state hashes bit for bit.
+//!
+//! The replica is built from the log's own config header, so it starts
+//! from the exact initial state of the live service (same topology
+//! seed, same policy spec — including policy RNG seeds). Every logged
+//! `HashProbe` carries the hash the live service answered with; the
+//! replica recomputes its hash at that point and any difference is a
+//! divergence, pinpointed to the probe index where it first appeared.
+
+use std::path::Path;
+
+use crate::log::{read_log, ParsedLog};
+use crate::protocol::Command;
+use crate::service::{ServeConfig, Service, SnapshotInfo};
+
+/// One probe whose recorded hash the replica failed to reproduce.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HashMismatch {
+    /// Index of the probe among the log's probes (0-based).
+    pub probe: usize,
+    /// Index of the command record carrying it.
+    pub record: usize,
+    /// The hash the live service recorded.
+    pub recorded: u64,
+    /// The hash the replica computed.
+    pub replayed: u64,
+}
+
+/// The result of replaying one log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayOutcome {
+    /// The config the log (and hence the replica) was built from.
+    pub config: ServeConfig,
+    /// Command records re-executed.
+    pub commands: usize,
+    /// Hash probes verified.
+    pub probes: usize,
+    /// Probes that failed verification (empty = bit-for-bit match).
+    pub mismatches: Vec<HashMismatch>,
+    /// Whether the log ended with a clean `Shutdown` record.
+    pub clean_shutdown: bool,
+    /// The replica's final state hash.
+    pub final_hash: u64,
+    /// The replica's final counters.
+    pub snapshot: SnapshotInfo,
+}
+
+impl ReplayOutcome {
+    /// Every probe verified (vacuously true for probe-free logs).
+    pub fn verified(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+}
+
+/// Replay a parsed log. Commands that were rejected live were never
+/// journaled, so every record replays against the same session state
+/// the live service saw; replies that signal rejection here mean the
+/// replica diverged, and surface as an error naming the record.
+pub fn replay_parsed(log: &ParsedLog) -> Result<ReplayOutcome, String> {
+    let mut svc = Service::without_log(log.config.clone())?;
+    let mut probes = 0usize;
+    let mut mismatches = Vec::new();
+    for (record, cmd) in log.commands.iter().enumerate() {
+        match cmd {
+            Command::HashProbe { expect } => {
+                let recorded = expect.ok_or_else(|| {
+                    format!("record {record}: log probe carries no hash (wire-form probe in a log)")
+                })?;
+                let replayed = svc.state_hash();
+                // Keep the replica's own journal-free apply in sync:
+                // probes mutate nothing, so only the counter matters.
+                svc.apply(&Command::HashProbe { expect: None })
+                    .map_err(|e| format!("record {record}: {e}"))?;
+                if replayed != recorded {
+                    mismatches.push(HashMismatch { probe: probes, record, recorded, replayed });
+                }
+                probes += 1;
+            }
+            other => {
+                let reply = svc
+                    .apply(other)
+                    .map_err(|e| format!("record {record}: {e}"))?;
+                if let crate::protocol::Reply::Err(msg) = reply {
+                    // The live service only journals state-changing
+                    // commands; a rejection on replay means the replica
+                    // diverged *before* this record — unless this is
+                    // the journaled non-leaf-dispatch case, which
+                    // rejects identically on both sides.
+                    if !msg.contains("non-leaf") {
+                        return Err(format!(
+                            "record {record}: replica rejected a journaled command: {msg}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let final_hash = svc.state_hash();
+    let snapshot = svc.snapshot();
+    Ok(ReplayOutcome {
+        config: log.config.clone(),
+        commands: log.commands.len(),
+        probes,
+        mismatches,
+        clean_shutdown: log.clean_shutdown,
+        final_hash,
+        snapshot,
+    })
+}
+
+/// Read, parse, and replay a log file.
+pub fn replay_file(path: &Path) -> Result<ReplayOutcome, String> {
+    let log = read_log(path)?;
+    replay_parsed(&log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{parse_log, LogWriter};
+    use crate::protocol::Reply;
+
+    fn cfg() -> ServeConfig {
+        ServeConfig {
+            topo: "fat-tree:2,2,2".into(),
+            topo_seed: 3,
+            policy: "sjf+best-fit".into(),
+            speeds: "uniform:1.5".into(),
+            capacity: Some(6.0),
+        }
+    }
+
+    fn drive(svc: &mut Service<Vec<u8>>) -> u64 {
+        for i in 0..25 {
+            let release = i as f64 * 0.4;
+            let size = 1.0 + (i % 4) as f64;
+            let r = svc.apply(&Command::Submit { release, size }).unwrap();
+            assert!(matches!(r, Reply::Assigned { .. }), "{r:?}");
+            if i % 5 == 4 {
+                let r = svc.apply(&Command::HashProbe { expect: None }).unwrap();
+                assert!(matches!(r, Reply::Hash(_)));
+            }
+        }
+        svc.apply(&Command::Tick { t: 500.0 }).unwrap();
+        svc.apply(&Command::HashProbe { expect: None }).unwrap();
+        let h = svc.state_hash();
+        svc.apply(&Command::Shutdown).unwrap();
+        h
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_hashes() {
+        let mut svc = Service::with_log(cfg(), Vec::new()).unwrap();
+        let live = drive(&mut svc);
+        let bytes = svc.into_log().unwrap().unwrap();
+        let out = replay_file_bytes(&bytes);
+        assert!(out.verified(), "{:?}", out.mismatches);
+        assert_eq!(out.final_hash, live);
+        assert_eq!(out.probes, 6);
+        assert!(out.clean_shutdown);
+        assert_eq!(out.snapshot.completed, 25);
+    }
+
+    fn replay_file_bytes(bytes: &[u8]) -> ReplayOutcome {
+        replay_parsed(&parse_log(bytes).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn a_doctored_probe_is_flagged() {
+        let mut svc = Service::with_log(cfg(), Vec::new()).unwrap();
+        drive(&mut svc);
+        let bytes = svc.into_log().unwrap().unwrap();
+        // Re-journal the same commands but lie in the 3rd probe.
+        let parsed = parse_log(&bytes).unwrap();
+        let mut w = LogWriter::new(Vec::new(), &parsed.config).unwrap();
+        let mut seen = 0;
+        for cmd in &parsed.commands {
+            let doctored = match cmd {
+                Command::HashProbe { expect: Some(h) } => {
+                    seen += 1;
+                    if seen == 3 {
+                        Command::HashProbe { expect: Some(h ^ 1) }
+                    } else {
+                        *cmd
+                    }
+                }
+                other => *other,
+            };
+            w.append(&doctored).unwrap();
+        }
+        let out = replay_file_bytes(&w.into_inner().unwrap());
+        assert_eq!(out.mismatches.len(), 1);
+        assert_eq!(out.mismatches[0].probe, 2);
+        assert_eq!(out.mismatches[0].recorded ^ 1, out.mismatches[0].replayed);
+    }
+
+    #[test]
+    fn truncated_logs_replay_their_intact_prefix() {
+        let mut svc = Service::with_log(cfg(), Vec::new()).unwrap();
+        drive(&mut svc);
+        let bytes = svc.into_log().unwrap().unwrap();
+        // Drop the tail until we land exactly on a record boundary.
+        for cut in 1..bytes.len() {
+            if let Ok(parsed) = parse_log(&bytes[..bytes.len() - cut]) {
+                assert!(!parsed.clean_shutdown);
+                let out = replay_parsed(&parsed).unwrap();
+                assert!(out.verified());
+                return;
+            }
+        }
+        panic!("no parseable prefix found");
+    }
+}

@@ -186,6 +186,19 @@ impl QueueAggregates {
         }
     }
 
+    /// Pre-size the shared arena for `total` simultaneously-live
+    /// entries (one per job per hop), so steady-state inserts recycle
+    /// free-list slots or land in reserved capacity.
+    pub fn reserve(&mut self, total: usize) {
+        self.entries.reserve(total.saturating_sub(self.entries.len()));
+        self.free.reserve(total.saturating_sub(self.free.len()));
+        // Descent/merge stacks are bounded by treap depth; with
+        // xorshift priorities that is O(log n) with high probability —
+        // 64 frames covers any arena this side of 2^40 entries.
+        self.path.reserve(64);
+        self.path2.reserve(64);
+    }
+
     // bct-lint: no_alloc
     fn next_prio(&mut self) -> u64 {
         // xorshift64: full-period, deterministic, plenty for treap shape.
@@ -513,6 +526,15 @@ impl FlatNode {
         self.keys.binary_search_by(|k| k.cmp(key))
     }
 
+    /// Pre-size for `per_queue` simultaneous entries.
+    fn reserve(&mut self, per_queue: usize) {
+        self.keys.reserve(per_queue.saturating_sub(self.keys.len()));
+        self.rem.reserve(per_queue.saturating_sub(self.rem.len()));
+        self.p.reserve(per_queue.saturating_sub(self.p.len()));
+        let blocks = per_queue.div_ceil(BLOCK);
+        self.sums.reserve(blocks.saturating_sub(self.sums.len()));
+    }
+
     /// Recompute the summary of block `b` from its entries, summing
     /// left to right — the canonical order every query also uses.
     // bct-lint: no_alloc
@@ -570,6 +592,13 @@ impl FlatAggregates {
     pub fn grow_nodes(&mut self, num_nodes: usize) {
         if self.nodes.len() < num_nodes {
             self.nodes.resize_with(num_nodes, FlatNode::default);
+        }
+    }
+
+    /// Pre-size every queue for `per_queue` simultaneous entries.
+    pub fn reserve(&mut self, per_queue: usize) {
+        for n in &mut self.nodes {
+            n.reserve(per_queue);
         }
     }
 
@@ -692,6 +721,17 @@ impl AggStore {
     pub fn grow_nodes(&mut self, num_nodes: usize) {
         self.flat.grow_nodes(num_nodes);
         self.treap.grow_nodes(num_nodes);
+    }
+
+    /// Pre-size the *active* layout: `per_queue` is the worst-case
+    /// occupancy of a single `Q_v` (all unfinished jobs), `total` the
+    /// worst-case live entries across all queues (jobs × hops). The
+    /// idle layout keeps its capacities but is not grown.
+    pub fn reserve(&mut self, per_queue: usize, total: usize) {
+        match self.layout {
+            AggLayout::Flat => self.flat.reserve(per_queue),
+            AggLayout::Treap => self.treap.reserve(total),
+        }
     }
 
     /// Insert a job entering `Q_v` with full requirement `p` remaining.

@@ -306,7 +306,7 @@ impl Simulation {
                         assignment,
                         &mut trace,
                         &mut evq,
-                        cfg,
+                        &cfg.speeds,
                         &mut scratch.drained,
                         &mut scratch.freed,
                         &mut scratch.doomed,
@@ -318,30 +318,19 @@ impl Simulation {
                     probe.on_event(&st.view());
                     continue;
                 }
-                if st.node_version(node) != version {
-                    continue; // stale: the node's job changed since scheduling
+                match Self::handle_finish(
+                    &mut st,
+                    node,
+                    version,
+                    node_policy,
+                    assignment,
+                    &mut trace,
+                    &mut evq,
+                ) {
+                    // Stale: the node's job changed since scheduling.
+                    None => continue,
+                    Some(job) => probe.on_hop_complete(&st.view(), job, node),
                 }
-                let job = st.finish_current_hop(node);
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(t, node, job, TraceKind::FinishHop);
-                    if st.view().completion(job).is_some() {
-                        tr.push(t, node, job, TraceKind::Complete);
-                    }
-                }
-                if st.view().completion(job).is_none() {
-                    match st.view().current_node_of(job) {
-                        Some(next) => {
-                            Self::offer(&mut st, next, job, node_policy, &mut trace, &mut evq)
-                        }
-                        None => debug_assert!(false, "unfinished job must be in flight"),
-                    }
-                } else {
-                    assignment.on_complete(&st.view(), job, node);
-                }
-                if st.pick_next(node) {
-                    Self::schedule_current(&mut st, node, &mut trace, &mut evq);
-                }
-                probe.on_hop_complete(&st.view(), job, node);
             } else {
                 let job = jobs_list[next_arrival].id;
                 next_arrival += 1;
@@ -373,6 +362,48 @@ impl Simulation {
         let out = Self::collect(st, scratch, trace, events);
         scratch.evq = evq;
         Ok(out)
+    }
+
+    /// Process one popped finish event: skip it if stale (the node's
+    /// current job changed since it was scheduled), otherwise finish
+    /// the hop, forward or complete the job, and let the node pull its
+    /// next waiting job. Returns the job whose hop finished, `None` on
+    /// a stale event. Shared by the batch run loop above and the online
+    /// session's event drain.
+    // bct-lint: no_alloc
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_finish(
+        st: &mut SimState<'_>,
+        node: NodeId,
+        version: u64,
+        node_policy: &dyn NodePolicy,
+        assignment: &mut dyn StatefulPolicy,
+        trace: &mut Option<Trace>,
+        evq: &mut EventQueue,
+    ) -> Option<JobId> {
+        if st.node_version(node) != version {
+            return None;
+        }
+        let t = st.view().now();
+        let job = st.finish_current_hop(node);
+        if let Some(tr) = trace.as_mut() {
+            tr.push(t, node, job, TraceKind::FinishHop);
+            if st.view().completion(job).is_some() {
+                tr.push(t, node, job, TraceKind::Complete);
+            }
+        }
+        if st.view().completion(job).is_none() {
+            match st.view().current_node_of(job) {
+                Some(next) => Self::offer(st, next, job, node_policy, trace, evq),
+                None => debug_assert!(false, "unfinished job must be in flight"),
+            }
+        } else {
+            assignment.on_complete(&st.view(), job, node);
+        }
+        if st.pick_next(node) {
+            Self::schedule_current(st, node, trace, evq);
+        }
+        Some(job)
     }
 
     /// Check a mutation schedule against the engine's dynamic-topology
@@ -419,14 +450,14 @@ impl Simulation {
     /// ids, let freed survivors pick new work, then redispatch the
     /// drained jobs through the assignment policy.
     #[allow(clippy::too_many_arguments)]
-    fn apply_topo(
+    pub(crate) fn apply_topo(
         st: &mut SimState<'_>,
         change: TreeMutation,
         node_policy: &dyn NodePolicy,
         assignment: &mut dyn StatefulPolicy,
         trace: &mut Option<Trace>,
         evq: &mut EventQueue,
-        cfg: &SimConfig,
+        speeds: &SpeedProfile,
         drained: &mut Vec<(JobId, NodeId)>,
         freed: &mut Vec<NodeId>,
         doomed: &mut Vec<NodeId>,
@@ -469,7 +500,7 @@ impl Simulation {
         //    node states, queue memberships, aggregates.
         for &v in &receipt.added {
             debug_assert_eq!(st.speeds.len(), v.as_usize(), "added ids are dense");
-            let s = cfg.speeds.speed_of(st.tree(), v);
+            let s = speeds.speed_of(st.tree(), v);
             st.speeds.push(s);
         }
         st.grow_for_added();
@@ -477,7 +508,7 @@ impl Simulation {
         //    finish event out (version bump), fresh prediction in. No
         //    Start/Preempt trace — the job never stopped.
         if let TreeMutation::SetSpeed { node, .. } = change {
-            let s = cfg.speeds.speed_of(st.tree(), node);
+            let s = speeds.speed_of(st.tree(), node);
             if st.apply_speed_change(node, s) {
                 // bct-lint: allow(p1) -- invariant: apply_speed_change returns true iff the node has a current job, which predicted_finish requires
                 let t_fin = st.predicted_finish(node).expect("current implies a finish");
@@ -514,7 +545,7 @@ impl Simulation {
     /// Offer `job` to `node`; if the node's current job changed,
     /// trace the preemption/start and (re-)schedule the finish event.
     // bct-lint: no_alloc
-    fn offer(
+    pub(crate) fn offer(
         st: &mut SimState<'_>,
         node: NodeId,
         job: JobId,
@@ -534,7 +565,7 @@ impl Simulation {
 
     /// Trace the start of `node`'s current job and push its finish event.
     // bct-lint: no_alloc
-    fn schedule_current(
+    pub(crate) fn schedule_current(
         st: &mut SimState<'_>,
         node: NodeId,
         trace: &mut Option<Trace>,

@@ -341,6 +341,19 @@ impl EventQueue {
         self.seq = 0;
     }
 
+    /// Pre-reserve `pending` slots in the heap and in every calendar
+    /// bucket, so a warm steady state that keeps at most `pending`
+    /// events in flight never grows a bucket mid-push. Bounded by the
+    /// count of *concurrently pending* events (≈ busy nodes), not total
+    /// pushes.
+    pub fn reserve(&mut self, pending: usize) {
+        self.heap.reserve(pending);
+        self.cal.front.reserve(pending);
+        for b in &mut self.cal.buckets {
+            b.reserve(pending);
+        }
+    }
+
     /// Push a finish event at time `t` for `node` at scheduling
     /// `version`. In calendar mode `t` must be at or after the last
     /// popped event's time (the engine's push sites guarantee it).

@@ -43,6 +43,7 @@ pub mod packet;
 pub mod policy;
 pub mod reference;
 pub mod scratch;
+pub mod session;
 pub mod state;
 pub mod trace;
 
@@ -51,6 +52,7 @@ pub use engine::{SimConfig, Simulation, TopoMutation};
 pub use evq::{EventQueue, EventQueueKind};
 pub use outcome::{HopFinishes, SimOutcome};
 pub use scratch::SimScratch;
+pub use session::{SessionConfig, SessionError, SimSession};
 pub use policy::{AssignmentPolicy, KeyCtx, NodePolicy, PolicyKey, Probe, StatefulPolicy};
 pub use state::SimView;
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -151,6 +151,15 @@ pub trait StatefulPolicy {
 
     /// A topology mutation was applied; `view.tree()` is the new epoch.
     fn on_topo(&mut self, view: &SimView<'_>) {}
+
+    /// Deterministic digest of any mutable state the policy carries
+    /// across decisions (capacity ledgers, round-robin cursors, RNG
+    /// positions). The serve layer folds this into its per-epoch state
+    /// hash so replica desync *inside the policy* is caught the same
+    /// way engine desync is. Stateless policies keep the default `0`.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 impl<T: AssignmentPolicy + ?Sized> StatefulPolicy for T {

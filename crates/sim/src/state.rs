@@ -108,6 +108,57 @@ impl JobTable {
         self.hop_finish.clear();
     }
 
+    /// Number of job rows.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.leaf.len()
+    }
+
+    /// Append one fresh row for an online-ingested job — the same
+    /// defaults [`JobTable::reset`] gives every row, without touching
+    /// the existing rows. The session layer calls this as jobs are
+    /// pushed onto the instance between suspend/resume cycles.
+    // bct-lint: no_alloc
+    pub(crate) fn push_job(&mut self, job: &Job) {
+        self.leaf.push(UNASSIGNED);
+        self.cur_node.push(UNASSIGNED);
+        self.hop.push(0);
+        self.rem.push(0.0);
+        self.rem_as_of.push(0.0);
+        self.working.push(false);
+        self.hop_arrival.push(0.0);
+        self.completion.push(f64::INFINITY);
+        self.release.push(job.release);
+        self.size.push(job.size);
+        self.span.push((0, 0));
+    }
+
+    /// Pre-reserve capacity for `rows` more jobs with paths of up to
+    /// `hops` nodes, so a steady-state ingest loop never grows a column
+    /// or arena mid-decision.
+    pub(crate) fn reserve_rows(&mut self, rows: usize, hops: usize) {
+        self.leaf.reserve(rows);
+        self.cur_node.reserve(rows);
+        self.hop.reserve(rows);
+        self.rem.reserve(rows);
+        self.rem_as_of.reserve(rows);
+        self.working.reserve(rows);
+        self.hop_arrival.reserve(rows);
+        self.completion.reserve(rows);
+        self.release.reserve(rows);
+        self.size.reserve(rows);
+        self.span.reserve(rows);
+        self.q_pos.reserve(rows * hops);
+        self.hop_finish.reserve(rows * hops);
+    }
+
+    /// Completion time of `j`, if finished (suspended-session read).
+    #[inline]
+    pub(crate) fn completion_time(&self, j: JobId) -> Option<Time> {
+        let c = self.completion[j.as_usize()];
+        c.is_finite().then_some(c)
+    }
+
     #[inline]
     fn released(&self, j: usize) -> bool {
         self.leaf[j] != UNASSIGNED
@@ -155,6 +206,21 @@ impl NodeState {
         self.busy = 0.0;
         self.busy_since = 0.0;
     }
+}
+
+/// The scalar accumulators a suspended session carries between
+/// commands — everything [`SimState`] holds that does not live in a
+/// pooled buffer. [`SimState::suspend_into`] saves them,
+/// [`SimState::resume`] restores them.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SavedScalars {
+    pub now: Time,
+    pub frac_sum: f64,
+    pub frac_rate: f64,
+    pub frac_integral: f64,
+    pub count_integral: f64,
+    pub unfinished: usize,
+    pub completed: usize,
 }
 
 /// The complete mutable simulation state.
@@ -300,6 +366,131 @@ impl<'a> SimState<'a> {
         if self.topo.is_some() {
             scratch.topo = self.topo;
         }
+    }
+
+    /// Re-animate a suspended session state: take the buffers back out
+    /// of `scratch` *without* resetting them, grow the job table for any
+    /// jobs appended to the instance since the last suspend, and restore
+    /// the scalar accumulators. The inverse of [`SimState::suspend_into`],
+    /// and the session counterpart of [`SimState::from_scratch`] (which
+    /// resets everything for a fresh batch run).
+    ///
+    /// The live topology is taken from `scratch.topo` as-is — never
+    /// re-cloned from the instance, whose tree is frozen at the epoch the
+    /// session started.
+    // bct-lint: no_alloc
+    pub(crate) fn resume(
+        instance: &'a Instance,
+        rounding: Option<ClassRounding>,
+        track_aggs: bool,
+        scratch: &mut SimScratch,
+        saved: &SavedScalars,
+    ) -> SimState<'a> {
+        let mut jobs = mem::take(&mut scratch.jobs);
+        for job in &instance.jobs()[jobs.len()..] {
+            jobs.push_job(job);
+        }
+        let topo = scratch.topo.take();
+        debug_assert!(topo.is_some(), "a session state always owns its topology");
+        SimState {
+            instance,
+            topo,
+            speeds: mem::take(&mut scratch.speeds),
+            now: saved.now,
+            nodes: mem::take(&mut scratch.nodes),
+            jobs,
+            q_members: mem::take(&mut scratch.q_members),
+            aggs: mem::take(&mut scratch.aggs),
+            rounding,
+            track_aggs,
+            identical: instance.setting() == Setting::Identical,
+            frac_sum: saved.frac_sum,
+            frac_rate: saved.frac_rate,
+            frac_integral: saved.frac_integral,
+            count_integral: saved.count_integral,
+            unfinished: saved.unfinished,
+            completed: saved.completed,
+        }
+    }
+
+    /// Suspend a session state between commands: hand the buffers back
+    /// to `scratch` untouched and return the scalar accumulators that
+    /// the buffers don't carry, for the next [`SimState::resume`].
+    // bct-lint: no_alloc
+    pub(crate) fn suspend_into(self, scratch: &mut SimScratch) -> SavedScalars {
+        let saved = SavedScalars {
+            now: self.now,
+            frac_sum: self.frac_sum,
+            frac_rate: self.frac_rate,
+            frac_integral: self.frac_integral,
+            count_integral: self.count_integral,
+            unfinished: self.unfinished,
+            completed: self.completed,
+        };
+        self.release_into(scratch);
+        saved
+    }
+
+    /// Deterministic FNV-1a digest over the complete semantic state:
+    /// topology structure, clock and objective accumulators, every job
+    /// column, recorded hop finishes, per-node scheduling state, queue
+    /// memberships, and effective speeds. Two runs that fold equal
+    /// digests at an epoch are bit-for-bit in the same state — the
+    /// serve layer's replay verifier and desync detector build on this.
+    ///
+    /// Heap *contents* are deliberately excluded (BinaryHeap iteration
+    /// order is unspecified); heap membership is exactly the node's
+    /// queue membership minus its current job and jobs still upstream,
+    /// all of which are folded, so divergence cannot hide there.
+    // bct-lint: no_alloc
+    pub(crate) fn state_digest(&self) -> u64 {
+        let mut h = bct_core::Fnv64::new();
+        let m = self.tree().len();
+        h.write_u64(self.tree().structure_digest());
+        h.write_f64(self.now);
+        h.write_f64(self.frac_sum);
+        h.write_f64(self.frac_rate);
+        h.write_f64(self.frac_integral);
+        h.write_f64(self.count_integral);
+        h.write_usize(self.unfinished);
+        h.write_usize(self.completed);
+        h.write_usize(m);
+        for &s in &self.speeds[..m] {
+            h.write_f64(s);
+        }
+        let n = self.jobs.len();
+        h.write_usize(n);
+        for ji in 0..n {
+            h.write_u32(self.jobs.leaf[ji].0);
+            h.write_u32(self.jobs.cur_node[ji].0);
+            h.write_u32(self.jobs.hop[ji]);
+            h.write_f64(self.jobs.rem[ji]);
+            h.write_f64(self.jobs.rem_as_of[ji]);
+            h.write_bool(self.jobs.working[ji]);
+            h.write_f64(self.jobs.hop_arrival[ji]);
+            h.write_f64(self.jobs.completion[ji]);
+            h.write_f64(self.jobs.release[ji]);
+            h.write_f64(self.jobs.size[ji]);
+            let (off, _) = self.jobs.span[ji];
+            for hop in 0..self.jobs.hop[ji] as usize {
+                h.write_f64(self.jobs.hop_finish[off as usize + hop]);
+            }
+        }
+        for ns in &self.nodes[..m] {
+            h.write_u32(ns.current.map_or(u32::MAX, |(j, _)| j.0));
+            h.write_u64(ns.version);
+            h.write_f64(ns.busy);
+            h.write_bool(ns.current.is_some());
+            h.write_usize(ns.heap.len());
+        }
+        for q in &self.q_members[..m] {
+            h.write_usize(q.len());
+            for &(j, hop) in q {
+                h.write_u32(j.0);
+                h.write_u32(hop);
+            }
+        }
+        h.finish()
     }
 
     /// The tree this run schedules against: the owned mutable clone on

@@ -18,6 +18,9 @@
 //! * [`analysis`] — metrics and the E1–E18 experiment harness.
 //! * [`harness`] — the parallel, fault-isolated sweep engine (worker
 //!   pool, declarative sweep specs, streaming JSONL + aggregation).
+//! * [`serve`] — the online dispatch service (binary command protocol,
+//!   durable command journal, epoch state hashing, bit-for-bit replay,
+//!   open-loop latency bench).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system map.
 
@@ -32,5 +35,6 @@ pub use bct_harness as harness;
 pub use bct_lp as lp;
 pub use bct_policies as policies;
 pub use bct_sched as sched;
+pub use bct_serve as serve;
 pub use bct_sim as sim;
 pub use bct_workloads as workloads;

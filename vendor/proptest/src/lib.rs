@@ -124,6 +124,27 @@ macro_rules! range_strategies {
 
 range_strategies!(u8, u16, u32, u64, usize, i32, f64);
 
+macro_rules! tuple_strategies {
+    ($(($($s:ident / $i:tt),*)),*) => {$(
+        impl<$($s: Strategy),*> Strategy for ($($s,)*)
+        where
+            $($s::Value: fmt::Debug),*
+        {
+            type Value = ($($s::Value,)*);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$i.generate(rng),)*)
+            }
+        }
+    )*};
+}
+
+tuple_strategies!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
 /// Uniform over a type's "arbitrary" domain (subset of upstream `any`).
 pub fn any<T: Arbitrary>() -> T::Strategy {
     T::arbitrary()

@@ -31,6 +31,20 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 }
 
 impl ChaCha8Rng {
+    /// Number of 32-bit words drawn from the keystream so far.
+    ///
+    /// Stateful-policy digests fold this to detect stream-position
+    /// divergence between a live session and its replay. (Upstream
+    /// `rand_chacha` exposes `get_word_pos`; this stub's buffering
+    /// differs, so the name differs too.)
+    pub fn word_pos(&self) -> u64 {
+        if self.counter == 0 {
+            0
+        } else {
+            (self.counter - 1).wrapping_mul(16).wrapping_add(self.index as u64)
+        }
+    }
+
     fn refill(&mut self) {
         let mut state = [0u32; 16];
         state[0] = 0x6170_7865;
