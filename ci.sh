@@ -56,6 +56,19 @@ for w in 1 4 8; do
     diff specs/golden_sweep_dynamic.expected.jsonl "$golden_out"
 done
 
+# Batched golden sweep: replication groups routed through the batched
+# multi-cell runner (the default path) must reproduce the checked-in
+# JSONL byte for byte at every worker count, and --no-batch (the
+# per-cell escape hatch) must emit the same bytes.
+for w in 1 4 8; do
+    cargo run -q --release -p bct-cli -- sweep \
+        --spec specs/golden_sweep_batch.json --workers "$w" --out "$golden_out" --quiet >/dev/null
+    diff specs/golden_sweep_batch.expected.jsonl "$golden_out"
+done
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep_batch.json --workers 2 --no-batch --out "$golden_out" --quiet >/dev/null
+diff specs/golden_sweep_batch.expected.jsonl "$golden_out"
+
 # Sharded sweep merge: the same golden grid split 0/2 + 1/2 by cell
 # index, concatenated and re-sorted by cell, must be byte-identical to
 # the one-shot expected file — the partition-anywhere contract the
@@ -88,8 +101,18 @@ print(f"serve bench: p50 {d['p50_us']:.1f}us p99 {d['p99_us']:.1f}us p999 {d['p9
 EOF
 
 # Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
-# scaling at 4 workers only on machines with >=4 cores.
+# scaling at 4 workers only on machines with >=4 cores. On smaller
+# boxes say so explicitly, so a core-starved CI container reads as
+# "gate skipped", never as "gate passed".
 cargo bench -q -p bct-bench --bench sweep_throughput
+python3 - <<'EOF'
+import json
+d = json.load(open("target/BENCH_sweep.json"))
+if d["cores"] >= 4:
+    print(f"sweep scaling gate: PASSED ({d['speedup']:.2f}x at 4 workers, {d['cores']} cores)")
+else:
+    print(f"sweep scaling gate: SKIPPED ({d['cores']} cores)")
+EOF
 
 # Simulator-core throughput: emits target/BENCH_sim.json (jobs/s fresh
 # vs. scratch-reuse) and asserts the zero-allocation steady state
@@ -104,6 +127,30 @@ rate, floor = d["jobs_per_s_scratch"], 0.9 * base["jobs_per_s_scratch"]
 print(f"sim bench: {rate} jobs/s with scratch (floor {floor:.0f}, PR-{base['recorded_pr']} baseline {base['jobs_per_s_scratch']})")
 if rate < floor:
     raise SystemExit(f"sim throughput regressed >10% vs the recorded PR-{base['recorded_pr']} baseline: {rate} < {floor:.0f}")
+EOF
+
+# Batched-runner throughput: emits target/BENCH_batch.json (batched vs
+# isolated vs warm per-cell at widths 1/4/8/16, outcomes cross-checked
+# lane-by-lane inside the bench) and gates the width-8 figures against
+# the recorded PR-8 baseline. Floors are loose (~10% run-to-run noise
+# on a 1-core host); the byte-identity contract is enforced by the
+# golden diffs above, this gate only catches throughput collapses.
+cargo bench -q -p bct-bench --bench batch_throughput
+python3 - <<'EOF'
+import json
+d = json.load(open("target/BENCH_batch.json"))
+base = json.load(open("specs/BENCH_batch_baseline.json"))
+w8 = d["widths"].index(8)
+rate = d["jobs_per_s_batched"][w8]
+checks = [
+    ("batched w8 jobs/s", rate, 0.80 * base["jobs_per_s_batched_w8"]),
+    ("speedup_w8 (batched/isolated)", d["speedup_w8"], 0.85 * base["speedup_w8"]),
+    ("parity_w8 (batched/warm)", d["parity_w8"], 0.85 * base["parity_w8"]),
+]
+for name, got, floor in checks:
+    print(f"batch bench: {name} = {got:.3f} (floor {floor:.3f}, PR-{base['recorded_pr']} baseline)")
+    if got < floor:
+        raise SystemExit(f"batched runner regressed vs the recorded PR-{base['recorded_pr']} baseline: {name} {got:.3f} < {floor:.3f}")
 EOF
 
 # Event-queue microbenchmark: calendar/radix queue vs the binary-heap

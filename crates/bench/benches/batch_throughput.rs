@@ -1,0 +1,231 @@
+//! Batched multi-cell throughput: jobs/second pushing K replication
+//! cells of the 1024-leaf acceptance cell through `run_batch` versus
+//! the same K cells run in isolation.
+//!
+//! Two baselines, both reported:
+//!
+//! * **unbatched (isolated)** — what a cell costs with nothing shared:
+//!   rebuild the topology (path tables included), regenerate the
+//!   instance, run on fresh buffers (`Simulation::run`). This is the
+//!   per-cell cost the batched runner exists to amortize, and the
+//!   figure the ci gate compares against.
+//! * **unbatched (warm)** — the per-cell path a long-lived sweep worker
+//!   already gets: same rebuilds, but one warm `SimScratch` reused
+//!   across cells. The batched-over-warm ratio is a *parity* check:
+//!   run-to-completion batching may only pay the bounded residency tax
+//!   of K live instances, never the interleaving cliff (see `batch.rs`
+//!   docs for both measurements).
+//!
+//! Outcomes are cross-checked lane-by-lane against solo runs before any
+//! timing is trusted — the speedup must never buy a different answer.
+//! Emits `target/BENCH_batch.json`; ci.sh gates the width-8 ratios
+//! against `specs/BENCH_batch_baseline.json`.
+
+use bct_core::{Instance, Tree};
+use bct_policies::{RoundRobin, Sjf};
+use bct_sim::engine::SimError;
+use bct_sim::policy::NoProbe;
+use bct_sim::{
+    run_batch, BatchCell, BatchScratch, SimConfig, SimOutcome, SimScratch, Simulation,
+};
+use bct_workloads::jobs::{SizeDist, WorkloadSpec};
+use bct_workloads::topo;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+
+const JOBS: usize = 50_000;
+const WIDTHS: [usize; 4] = [1, 4, 8, 16];
+// Best-of-REPS per (width, variant): the min filters scheduler noise.
+const REPS: usize = 7;
+
+fn acceptance_tree() -> Tree {
+    // 1024 leaves: 16 pods x 8 racks x 8 machines.
+    topo::fat_tree(16, 8, 8)
+}
+
+fn acceptance_instance(tree: &Tree, seed: u64) -> Instance {
+    WorkloadSpec::poisson_identical(
+        JOBS,
+        0.95,
+        SizeDist::PowerOfBase { base: 2.0, max_k: 4 },
+        tree,
+    )
+    .instance(tree, seed)
+    .expect("bench instance generates")
+}
+
+/// One isolated per-cell run: rebuild the topology, regenerate the
+/// instance, simulate on fresh buffers.
+fn run_isolated(seed: u64, cfg: &SimConfig) -> SimOutcome {
+    let tree = acceptance_tree();
+    let inst = acceptance_instance(&tree, seed);
+    Simulation::run(&inst, &Sjf::new(), &mut RoundRobin::default(), &mut NoProbe, cfg)
+        .expect("bench run succeeds")
+}
+
+/// One warm per-cell run: same rebuilds, pooled buffers.
+fn run_warm(scratch: &mut SimScratch, seed: u64, cfg: &SimConfig) -> SimOutcome {
+    let tree = acceptance_tree();
+    let inst = acceptance_instance(&tree, seed);
+    Simulation::run_with_scratch(
+        scratch,
+        &inst,
+        &Sjf::new(),
+        &mut RoundRobin::default(),
+        &mut NoProbe,
+        cfg,
+    )
+    .expect("bench run succeeds")
+}
+
+/// One K-wide group, priced like the harness batched path: one tree,
+/// per-lane instances, one `run_batch` call on a warm pool.
+fn run_batched(
+    scratch: &mut BatchScratch,
+    out: &mut Vec<Result<SimOutcome, SimError>>,
+    width: usize,
+    cfg: &SimConfig,
+) {
+    let tree = acceptance_tree();
+    let instances: Vec<Instance> =
+        (0..width).map(|i| acceptance_instance(&tree, 17 + i as u64)).collect();
+    let node = Sjf::new();
+    let mut assigns: Vec<RoundRobin> = (0..width).map(|_| RoundRobin::default()).collect();
+    let mut probes: Vec<NoProbe> = (0..width).map(|_| NoProbe).collect();
+    let mut cells: Vec<_> = instances
+        .iter()
+        .zip(assigns.iter_mut())
+        .zip(probes.iter_mut())
+        .map(|((instance, assignment), probe)| BatchCell {
+            instance,
+            cfg,
+            node_policy: &node,
+            assignment,
+            probe,
+        })
+        .collect();
+    run_batch(scratch, &mut cells, out);
+    for (lane, result) in out.drain(..).enumerate() {
+        let outcome = result.expect("bench lane succeeds");
+        assert_eq!(outcome.unfinished, 0, "lane {lane} must drain");
+        scratch.recycle(lane, outcome);
+    }
+}
+
+fn batch_throughput(c: &mut Criterion) {
+    let cfg = SimConfig::unit();
+
+    // Cross-check: every lane of the widest batch must reproduce its
+    // solo run bit-for-bit before any timing is trusted.
+    let tree = acceptance_tree();
+    let solo: Vec<SimOutcome> = (0..16u64)
+        .map(|i| {
+            let inst = acceptance_instance(&tree, 17 + i);
+            Simulation::run(&inst, &Sjf::new(), &mut RoundRobin::default(), &mut NoProbe, &cfg)
+                .expect("solo run succeeds")
+        })
+        .collect();
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    {
+        let instances: Vec<Instance> =
+            (0..16u64).map(|i| acceptance_instance(&tree, 17 + i)).collect();
+        let node = Sjf::new();
+        let mut assigns: Vec<RoundRobin> = (0..16).map(|_| RoundRobin::default()).collect();
+        let mut probes: Vec<NoProbe> = (0..16).map(|_| NoProbe).collect();
+        let mut cells: Vec<_> = instances
+            .iter()
+            .zip(assigns.iter_mut())
+            .zip(probes.iter_mut())
+            .map(|((instance, assignment), probe)| BatchCell {
+                instance,
+                cfg: &cfg,
+                node_policy: &node,
+                assignment,
+                probe,
+            })
+            .collect();
+        run_batch(&mut scratch, &mut cells, &mut out);
+        for (lane, result) in out.drain(..).enumerate() {
+            let got = result.expect("lane succeeds");
+            assert_eq!(got.events, solo[lane].events, "lane {lane} event count diverged");
+            assert_eq!(got.makespan, solo[lane].makespan, "lane {lane} makespan diverged");
+            assert_eq!(
+                got.completions, solo[lane].completions,
+                "lane {lane} completions diverged"
+            );
+            scratch.recycle(lane, got);
+        }
+    }
+
+    let mut g = c.benchmark_group("batch_throughput");
+    g.sample_size(10);
+    let mut rates_batched = Vec::new();
+    let mut rates_isolated = Vec::new();
+    let mut rates_warm = Vec::new();
+    let mut warm_scratch = SimScratch::new();
+    for &width in &WIDTHS {
+        let mut t_batched = Duration::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            run_batched(&mut scratch, &mut out, width, &cfg);
+            t_batched = t_batched.min(start.elapsed());
+        }
+        let mut t_isolated = Duration::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for i in 0..width as u64 {
+                let outcome = run_isolated(17 + i, &cfg);
+                assert_eq!(outcome.unfinished, 0);
+            }
+            t_isolated = t_isolated.min(start.elapsed());
+        }
+        let mut t_warm = Duration::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            for i in 0..width as u64 {
+                let outcome = run_warm(&mut warm_scratch, 17 + i, &cfg);
+                warm_scratch.recycle(outcome);
+            }
+            t_warm = t_warm.min(start.elapsed());
+        }
+        let jobs = (JOBS * width) as f64;
+        rates_batched.push(jobs / t_batched.as_secs_f64());
+        rates_isolated.push(jobs / t_isolated.as_secs_f64());
+        rates_warm.push(jobs / t_warm.as_secs_f64());
+        g.bench_function(format!("width-{width}/batched"), |b| b.iter_custom(|_| t_batched));
+        g.bench_function(format!("width-{width}/isolated"), |b| b.iter_custom(|_| t_isolated));
+    }
+    g.finish();
+
+    let w8 = WIDTHS.iter().position(|&w| w == 8).expect("width 8 is benched");
+    let speedup_w8 = rates_batched[w8] / rates_isolated[w8];
+    let parity_w8 = rates_batched[w8] / rates_warm[w8];
+    let fmt =
+        |rates: &[f64]| rates.iter().map(|r| format!("{r:.0}")).collect::<Vec<_>>().join(", ");
+    let json = format!(
+        "{{\"bench\": \"batch_throughput\", \"leaves\": 1024, \"jobs_per_cell\": {JOBS}, \
+         \"widths\": [1, 4, 8, 16], \
+         \"jobs_per_s_batched\": [{batched}], \"jobs_per_s_unbatched\": [{isolated}], \
+         \"jobs_per_s_unbatched_warm\": [{warm}], \
+         \"speedup_w8\": {speedup_w8:.3}, \"parity_w8\": {parity_w8:.3}}}\n",
+        batched = fmt(&rates_batched),
+        isolated = fmt(&rates_isolated),
+        warm = fmt(&rates_warm),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_batch.json");
+    std::fs::write(path, &json).expect("write BENCH_batch.json");
+    for (i, &width) in WIDTHS.iter().enumerate() {
+        println!(
+            "batch_throughput width {width:2}: {:.0} jobs/s batched, {:.0} isolated, \
+             {:.0} warm per-cell ({:.2}x vs isolated)",
+            rates_batched[i],
+            rates_isolated[i],
+            rates_warm[i],
+            rates_batched[i] / rates_isolated[i],
+        );
+    }
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

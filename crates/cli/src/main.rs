@@ -78,8 +78,9 @@ fn usage() -> String {
      run          simulate one policy on one workload; print flow statistics\n  \
      sweep        with --spec FILE: parallel sweep over a declarative grid\n               \
      (topologies × workloads × policies × speeds × replications) with\n               \
-     [--workers N] [--out rows.jsonl] [--summary-out FILE] [--quiet];\n               \
-     exits 3 if cells failed.\n               \
+     [--workers N] [--out rows.jsonl] [--summary-out FILE] [--quiet]\n               \
+     [--shard i/N] [--no-batch: disable the batched multi-cell runner;\n               \
+     rows are byte-identical either way]; exits 3 if cells failed.\n               \
      without --spec: inline policies × speeds table on one workload\n  \
      bound        OPT lower bounds (LP-certified + combinatorial)\n  \
      verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
@@ -293,6 +294,10 @@ fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
             bct_harness::sweep::ProgressMode::Stderr
         },
         shard,
+        // Replication groups interleave through the batched runner by
+        // default; --no-batch is the per-cell escape hatch (and the
+        // oracle the smoke test diffs the batched output against).
+        batch: !opts.get_bool("no-batch"),
     };
     let out_path = opts.get("out", "sweep.jsonl");
     let file = std::fs::File::create(&out_path)

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod agg;
+pub mod batch;
 pub mod engine;
 pub mod evq;
 pub mod gantt;
@@ -48,6 +49,7 @@ pub mod state;
 pub mod trace;
 
 pub use agg::AggLayout;
+pub use batch::{run_batch, run_batch_with_burst, BatchCell, BatchScratch, MAX_BATCH_WIDTH};
 pub use engine::{SimConfig, Simulation, TopoMutation};
 pub use evq::{EventQueue, EventQueueKind};
 pub use outcome::{HopFinishes, SimOutcome};

@@ -690,7 +690,7 @@ impl<'a> SimState<'a> {
     /// preemption. Returns `true` iff the node's current job changed
     /// (caller must bump scheduling).
     // bct-lint: no_alloc
-    pub(crate) fn enqueue(&mut self, v: NodeId, j: JobId, policy: &dyn NodePolicy) -> bool {
+    pub(crate) fn enqueue<N: NodePolicy + ?Sized>(&mut self, v: NodeId, j: JobId, policy: &N) -> bool {
         let key = self.key_of(policy, v, j, self.live_rem(j));
         let vi = v.as_usize();
         match self.nodes[vi].current {
@@ -718,7 +718,7 @@ impl<'a> SimState<'a> {
         }
     }
 
-    fn key_of(&self, policy: &dyn NodePolicy, v: NodeId, j: JobId, remaining: Time) -> PolicyKey {
+    fn key_of<N: NodePolicy + ?Sized>(&self, policy: &N, v: NodeId, j: JobId, remaining: Time) -> PolicyKey {
         policy.key(&KeyCtx {
             instance: self.instance,
             node: v,

@@ -1,0 +1,340 @@
+//! Differential proof that the batched multi-cell runner is a drop-in
+//! for solo runs: the same cells executed through [`run_batch`] and
+//! through [`Simulation::run_with_scratch`] must serialize to the
+//! *same bytes*, trace included — no tolerance, no normalization.
+//!
+//! Covered axes:
+//! * mixed cell shapes and seeds in one batch (lanes are independent);
+//! * batches wider than [`MAX_BATCH_WIDTH`] (chunking);
+//! * aggregate-tracking and aggregate-free assignments side by side in
+//!   one chunk (per-lane `track_aggs` gating);
+//! * mutation schedules riding some lanes but not others (the engine's
+//!   dynamic path composes with batching at the sim layer — the
+//!   harness's churn-cell fallback is policy, not necessity);
+//! * a failing lane (event-budget blowout) that must not perturb its
+//!   chunk-mates.
+
+use bct_core::tree::TreeBuilder;
+use bct_core::{Instance, Job, JobId, NodeId, SpeedProfile, Time, TreeMutation};
+use bct_sim::policy::NoProbe;
+use bct_sim::{
+    run_batch, AssignmentPolicy, BatchCell, BatchScratch, KeyCtx, NodePolicy, PolicyKey,
+    SimConfig, SimScratch, SimView, Simulation, StatefulPolicy, TopoMutation,
+};
+
+/// SJF on original size, ties by release then id — the paper's rule.
+struct Sjf;
+
+impl NodePolicy for Sjf {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+    fn key(&self, ctx: &KeyCtx<'_>) -> PolicyKey {
+        let p = ctx.instance.p(ctx.job, ctx.node);
+        let r = ctx.instance.job(ctx.job).release;
+        PolicyKey::new(p, r, ctx.job.0)
+    }
+}
+
+/// Aggregate-free assignment: a deterministic hash of the job id picks
+/// the leaf.
+struct HashedLeaf;
+
+impl AssignmentPolicy for HashedLeaf {
+    fn name(&self) -> &'static str {
+        "hashed"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let leaves = view.instance().tree().leaves();
+        let h = (u64::from(job.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        leaves[(h % leaves.len() as u64) as usize]
+    }
+}
+
+/// Aggregate-driven assignment (forces `track_aggs` on): first strict
+/// minimum of `volume_before + count_larger + depth` over the leaves.
+struct AggGreedy;
+
+impl AssignmentPolicy for AggGreedy {
+    fn name(&self) -> &'static str {
+        "agg-greedy"
+    }
+    fn assign(&mut self, view: &SimView<'_>, job: JobId) -> NodeId {
+        let inst = view.instance();
+        let leaves = inst.tree().leaves();
+        let release = inst.job(job).release;
+        let mut best = leaves[0];
+        let mut best_score = f64::INFINITY;
+        for &v in leaves {
+            let p = inst.p(job, v);
+            let score = view.volume_before(v, p, release, job.0)
+                + view.count_larger(v, p) as f64
+                + f64::from(inst.tree().depth(v));
+            if score < best_score {
+                best_score = score;
+                best = v;
+            }
+        }
+        best
+    }
+    fn needs_aggregates(&self) -> bool {
+        true
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic "replication cell": a small fat-tree-ish shape whose
+/// arm count varies with the seed, and a splitmix-driven job stream.
+fn cell_instance(seed: u64) -> Instance {
+    let mut b = TreeBuilder::new();
+    let arms = 2 + (seed % 3) as usize;
+    for _ in 0..arms {
+        let r = b.add_child(NodeId::ROOT);
+        b.add_child(r);
+        b.add_child(r);
+    }
+    let tree = b.build().unwrap();
+    let n = 24 + (seed % 17) as usize;
+    let mut release: Time = 0.0;
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let z = splitmix64(seed ^ splitmix64(i as u64));
+            release += ((z >> 8) % 97) as f64 / 64.0;
+            let size = 1.0 + ((z % 31) as f64) / 4.0;
+            Job::identical(i as u32, release, size)
+        })
+        .collect();
+    Instance::new(tree, jobs).unwrap()
+}
+
+/// The cell's config: traced (so comparisons cover the full event
+/// stream), speeds varying by seed, and — for every third cell — a
+/// mutation schedule, to prove dynamic lanes batch too.
+fn cell_cfg(seed: u64, inst: &Instance) -> SimConfig {
+    let speed = [1.0, 1.5, 2.0][(seed % 3) as usize];
+    let mut cfg = SimConfig::with_speeds(SpeedProfile::Uniform(speed)).traced();
+    if seed % 3 == 0 {
+        // A speed dip mid-run and a late extra leaf under the first
+        // router: both always applicable on the shape above.
+        let router = inst.tree().leaves()[0];
+        let parent = inst.tree().parent(router).unwrap();
+        cfg = cfg.with_mutations(vec![
+            TopoMutation { at: 3.0, change: TreeMutation::SetSpeed { node: parent, factor: 0.5 } },
+            TopoMutation { at: 9.0, change: TreeMutation::AddLeaf { parent } },
+        ]);
+    }
+    cfg
+}
+
+fn solo_bytes(inst: &Instance, cfg: &SimConfig, agg: bool) -> String {
+    let mut scratch = SimScratch::new();
+    let out = if agg {
+        Simulation::run_with_scratch(&mut scratch, inst, &Sjf, &mut AggGreedy, &mut NoProbe, cfg)
+    } else {
+        Simulation::run_with_scratch(&mut scratch, inst, &Sjf, &mut HashedLeaf, &mut NoProbe, cfg)
+    };
+    serde_json::to_string(&out.unwrap()).unwrap()
+}
+
+#[test]
+fn batched_cells_match_solo_runs_byte_for_byte() {
+    // 21 cells: wider than one chunk, mixed aggregate/static lanes,
+    // mutation schedules on every third lane.
+    let seeds: Vec<u64> = (0..21).map(|i| splitmix64(0xBA7C4 ^ i)).collect();
+    let instances: Vec<Instance> = seeds.iter().map(|&s| cell_instance(s)).collect();
+    let cfgs: Vec<SimConfig> =
+        seeds.iter().zip(&instances).map(|(&s, inst)| cell_cfg(s, inst)).collect();
+    let aggy: Vec<bool> = seeds.iter().map(|&s| s % 2 == 0).collect();
+
+    let solo: Vec<String> = instances
+        .iter()
+        .zip(&cfgs)
+        .zip(&aggy)
+        .map(|((inst, cfg), &agg)| solo_bytes(inst, cfg, agg))
+        .collect();
+
+    // Fresh per-cell policy state, exactly as the solo runs had.
+    let mut hashed: Vec<HashedLeaf> = (0..seeds.len()).map(|_| HashedLeaf).collect();
+    let mut greedy: Vec<AggGreedy> = (0..seeds.len()).map(|_| AggGreedy).collect();
+    let sjf = Sjf;
+    let mut probes: Vec<NoProbe> = (0..seeds.len()).map(|_| NoProbe).collect();
+    let mut cells: Vec<BatchCell<'_>> = Vec::new();
+    let mut h = hashed.iter_mut();
+    let mut g = greedy.iter_mut();
+    for ((inst, cfg), (&agg, probe)) in
+        instances.iter().zip(&cfgs).zip(aggy.iter().zip(probes.iter_mut()))
+    {
+        let assignment: &mut dyn StatefulPolicy =
+            if agg { g.next().unwrap() } else { h.next().unwrap() };
+        cells.push(BatchCell { instance: inst, cfg, node_policy: &sjf, assignment, probe });
+    }
+
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    run_batch(&mut scratch, &mut cells, &mut out);
+    assert_eq!(out.len(), solo.len());
+    for (i, (res, want)) in out.into_iter().zip(&solo).enumerate() {
+        let got = serde_json::to_string(&res.unwrap()).unwrap();
+        assert_eq!(&got, want, "cell {i} diverged between batched and solo runs");
+    }
+}
+
+#[test]
+fn warm_batches_stay_byte_identical_and_recycle() {
+    // Re-running the same batch through one warm scratch (with outcome
+    // recycling) must reproduce the cold bytes — the lane reset
+    // contract, end to end.
+    let seeds: Vec<u64> = (0..8).map(|i| splitmix64(0x5EED ^ i)).collect();
+    let instances: Vec<Instance> = seeds.iter().map(|&s| cell_instance(s)).collect();
+    let cfgs: Vec<SimConfig> =
+        seeds.iter().zip(&instances).map(|(&s, inst)| cell_cfg(s, inst)).collect();
+    let sjf = Sjf;
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    let mut rounds: Vec<Vec<String>> = Vec::new();
+    for _ in 0..3 {
+        let mut assigns: Vec<AggGreedy> = (0..seeds.len()).map(|_| AggGreedy).collect();
+        let mut probes: Vec<NoProbe> = (0..seeds.len()).map(|_| NoProbe).collect();
+        let mut cells: Vec<_> = instances
+            .iter()
+            .zip(&cfgs)
+            .zip(assigns.iter_mut().zip(probes.iter_mut()))
+            .map(|((inst, cfg), (a, p))| BatchCell {
+                instance: inst,
+                cfg,
+                node_policy: &sjf,
+                assignment: a,
+                probe: p,
+            })
+            .collect();
+        run_batch(&mut scratch, &mut cells, &mut out);
+        let mut bytes = Vec::new();
+        for (i, res) in out.drain(..).enumerate() {
+            let o = res.unwrap();
+            bytes.push(serde_json::to_string(&o).unwrap());
+            scratch.recycle(i, o);
+        }
+        rounds.push(bytes);
+    }
+    assert_eq!(rounds[0], rounds[1]);
+    assert_eq!(rounds[1], rounds[2]);
+}
+
+#[test]
+fn a_failing_lane_does_not_perturb_its_chunk_mates() {
+    let seeds: Vec<u64> = (0..5).map(|i| splitmix64(0xFA11 ^ i)).collect();
+    let instances: Vec<Instance> = seeds.iter().map(|&s| cell_instance(s)).collect();
+    let mut cfgs: Vec<SimConfig> =
+        seeds.iter().zip(&instances).map(|(&s, inst)| cell_cfg(s, inst)).collect();
+    // Lane 2 gets a one-event budget: it must error out alone.
+    cfgs[2].max_events = 1;
+    let solo: Vec<Option<String>> = instances
+        .iter()
+        .zip(&cfgs)
+        .enumerate()
+        .map(|(i, (inst, cfg))| (i != 2).then(|| solo_bytes(inst, cfg, false)))
+        .collect();
+
+    let sjf = Sjf;
+    let mut assigns: Vec<HashedLeaf> = (0..seeds.len()).map(|_| HashedLeaf).collect();
+    let mut probes: Vec<NoProbe> = (0..seeds.len()).map(|_| NoProbe).collect();
+    let mut cells: Vec<_> = instances
+        .iter()
+        .zip(&cfgs)
+        .zip(assigns.iter_mut().zip(probes.iter_mut()))
+        .map(|((inst, cfg), (a, p))| BatchCell {
+            instance: inst,
+            cfg,
+            node_policy: &sjf,
+            assignment: a,
+            probe: p,
+        })
+        .collect();
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    run_batch(&mut scratch, &mut cells, &mut out);
+    for (i, res) in out.into_iter().enumerate() {
+        match (res, &solo[i]) {
+            (Ok(o), Some(want)) => {
+                assert_eq!(&serde_json::to_string(&o).unwrap(), want, "lane {i}");
+            }
+            (Err(e), None) => {
+                assert!(matches!(e, bct_sim::engine::SimError::EventBudgetExceeded(1)), "{e}");
+            }
+            (res, want) => panic!("lane {i}: batched {res:?} vs solo {:?}", want.is_some()),
+        }
+    }
+
+    // The scratch survives the failed lane: the same batch with a sane
+    // budget runs clean through the same lanes.
+    cfgs[2].max_events = 1 << 34;
+    let mut assigns: Vec<HashedLeaf> = (0..seeds.len()).map(|_| HashedLeaf).collect();
+    let mut probes: Vec<NoProbe> = (0..seeds.len()).map(|_| NoProbe).collect();
+    let mut cells: Vec<_> = instances
+        .iter()
+        .zip(&cfgs)
+        .zip(assigns.iter_mut().zip(probes.iter_mut()))
+        .map(|((inst, cfg), (a, p))| BatchCell {
+            instance: inst,
+            cfg,
+            node_policy: &sjf,
+            assignment: a,
+            probe: p,
+        })
+        .collect();
+    let mut out = Vec::new();
+    run_batch(&mut scratch, &mut cells, &mut out);
+    assert!(out.iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn every_interleaving_burst_yields_the_same_bytes() {
+    // The schedule-invariance contract behind run_batch's freedom to
+    // pick its lane schedule: one event per visit, small odd bursts,
+    // and the default run-to-completion schedule must all serialize
+    // every cell to the same bytes as its solo run.
+    let seeds: Vec<u64> = (0..9).map(|i| splitmix64(0x1EAF ^ i)).collect();
+    let instances: Vec<Instance> = seeds.iter().map(|&s| cell_instance(s)).collect();
+    let cfgs: Vec<SimConfig> =
+        seeds.iter().zip(&instances).map(|(&s, inst)| cell_cfg(s, inst)).collect();
+    let solo: Vec<String> = instances
+        .iter()
+        .zip(&cfgs)
+        .map(|(inst, cfg)| solo_bytes(inst, cfg, true))
+        .collect();
+    let sjf = Sjf;
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    for burst in [1usize, 3, 17, usize::MAX] {
+        let mut assigns: Vec<AggGreedy> = (0..seeds.len()).map(|_| AggGreedy).collect();
+        let mut probes: Vec<NoProbe> = (0..seeds.len()).map(|_| NoProbe).collect();
+        let mut cells: Vec<_> = instances
+            .iter()
+            .zip(&cfgs)
+            .zip(assigns.iter_mut().zip(probes.iter_mut()))
+            .map(|((inst, cfg), (a, p))| BatchCell {
+                instance: inst,
+                cfg,
+                node_policy: &sjf,
+                assignment: a,
+                probe: p,
+            })
+            .collect();
+        bct_sim::run_batch_with_burst(&mut scratch, &mut cells, &mut out, burst);
+        for (i, res) in out.drain(..).enumerate() {
+            let o = res.unwrap();
+            assert_eq!(
+                serde_json::to_string(&o).unwrap(),
+                solo[i],
+                "cell {i} diverged at burst {burst}"
+            );
+            scratch.recycle(i, o);
+        }
+    }
+}
