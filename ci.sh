@@ -21,10 +21,23 @@ cargo test -q --release -p bct-sim --test scratch_alloc
 # above). The property test lives with the core tree algebra.
 cargo test -q --release -p bct-core --test properties mutation_walks_match_from_scratch_rebuild
 
-# Determinism/zero-alloc contract lint: fails on any unbaselined
-# violation (see DESIGN.md §11). Runs before clippy so contract breaks
-# surface with bct-lint's spans, not clippy's generic diagnostics.
-cargo run -q --release -p bct-lint -- --machine target/LINT.json
+# Determinism/zero-alloc contract lint, local rules plus the
+# call-graph reachability pass (a2/p2/d4) and the stale-allow audit
+# (l2) — see DESIGN.md §11 and §16. No baseline: every finding is a
+# hard failure. Runs before clippy so contract breaks surface with
+# bct-lint's spans and call chains, not clippy's generic diagnostics.
+# The full pass (parse + graph + reachability over the workspace) must
+# stay interactive-fast; gate at 5s so a complexity regression in the
+# analyzer itself fails CI rather than slowly rotting the dev loop.
+lint_start=$(date +%s%N)
+cargo run -q --release -p bct-lint -- \
+    --machine target/LINT.json --graph target/LINT_GRAPH.json
+lint_ms=$(( ($(date +%s%N) - lint_start) / 1000000 ))
+echo "bct-lint full pass: ${lint_ms}ms (budget 5000ms)"
+if [ "$lint_ms" -ge 5000 ]; then
+    echo "bct-lint exceeded its 5s budget" >&2
+    exit 1
+fi
 
 # float_cmp and unwrap_used stay advisory under -D warnings (force-warn
 # outranks the blanket deny): each production site is already audited

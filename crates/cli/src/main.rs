@@ -31,6 +31,12 @@ use opts::Opts;
 const EXIT_PARTIAL_FAILURE: i32 = 3;
 
 fn main() {
+    // `lint` has its own flag grammar (--machine/--baseline/--graph), so it
+    // bypasses Opts and runs the exact same driver as the standalone binary.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        std::process::exit(i32::from(bct_lint::run_cli(&argv[1..])));
+    }
     let opts = match Opts::parse(std::env::args().skip(1)) {
         Ok(o) => o,
         Err(e) => {
@@ -95,7 +101,11 @@ fn usage() -> String {
      replay       re-execute a --log journal on a fresh replica and verify\n               \
      every embedded state hash bit for bit (exit 1 on divergence);\n               \
      --policy SPEC re-runs the stream under a candidate policy\n               \
-     instead (differential mode: hashes reported, not enforced)\n\n\
+     instead (differential mode: hashes reported, not enforced)\n  \
+     lint         run the workspace contract linter (same driver as the\n               \
+     standalone bct-lint binary): local rules plus call-graph\n               \
+     reachability; [--root DIR] [--machine FILE] [--baseline FILE]\n               \
+     [--graph FILE]; exit 0 clean / 1 findings / 2 usage or IO error\n\n\
      run `bct <command>` with no flags to see its defaults in action; see the\n\
      crate docs for the full spec grammar (topologies, sizes, speeds, policies)."
         .to_string()

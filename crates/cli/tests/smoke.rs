@@ -180,3 +180,32 @@ fn sweep_rejects_a_bad_spec_with_exit_1() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
     let _ = std::fs::remove_file(&spec);
 }
+
+/// `bct lint` runs the same driver as the standalone bct-lint binary:
+/// same exit codes (0 clean / 1 findings / 2 usage error) on the same
+/// inputs.
+#[test]
+fn lint_subcommand_matches_the_standalone_exit_codes() {
+    let clean_root = tmp("lint_clean");
+    std::fs::create_dir_all(clean_root.join("crates/sim/src")).unwrap();
+    std::fs::write(clean_root.join("crates/sim/src/lib.rs"), "pub fn ok() -> u32 { 1 }\n")
+        .unwrap();
+    let out = bct(&["lint", "--root", clean_root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 violation(s)"));
+
+    let dirty_root = tmp("lint_dirty");
+    std::fs::create_dir_all(dirty_root.join("crates/sim/src")).unwrap();
+    std::fs::write(
+        dirty_root.join("crates/sim/src/lib.rs"),
+        "use std::collections::HashMap;\n",
+    )
+    .unwrap();
+    let out = bct(&["lint", "--root", dirty_root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[d1]"));
+
+    let out = bct(&["lint", "--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

@@ -371,6 +371,7 @@ impl Instance {
         let li = self
             .tree
             .leaf_index(leaf)
+            // bct-lint: allow(p2) -- assignments are leaf-validated at construction; see doc above
             .unwrap_or_else(|| panic!("path_of target {leaf} is not a leaf"));
         row as usize * self.tree.num_leaves() + li
     }

@@ -250,6 +250,7 @@ impl Tree {
                 }
                 let v = NodeId(self.len() as u32);
                 self.parent.push(Some(p));
+                // bct-lint: allow(a2) -- growing the tree must allocate; mutations are rare control events, not `Service::apply`'s steady state
                 self.children.push(Vec::new());
                 self.depth.push(self.depth[p.as_usize()] + 1);
                 self.r_node.push(self.r_node[p.as_usize()]);

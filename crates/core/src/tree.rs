@@ -547,6 +547,7 @@ impl Tree {
     pub fn leaf_path(&self, leaf: NodeId) -> &[NodeId] {
         let i = self
             .leaf_index[leaf.as_usize()]
+            // bct-lint: allow(p2) -- documented `# Panics` precondition; dispatch only passes leaves
             .unwrap_or_else(|| panic!("leaf_path({leaf}): not a leaf"))
             as usize;
         let (off, len) = self.leaf_span[i];
@@ -564,6 +565,7 @@ impl Tree {
     pub fn leaf_hops(&self, leaf: NodeId) -> &[(NodeId, u32)] {
         let i = self
             .leaf_index[leaf.as_usize()]
+            // bct-lint: allow(p2) -- documented `# Panics` precondition; dispatch only passes leaves
             .unwrap_or_else(|| panic!("leaf_hops({leaf}): not a leaf"))
             as usize;
         let (off, len) = self.leaf_span[i];
@@ -574,13 +576,13 @@ impl Tree {
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut a, mut b) = (a, b);
         while self.depth(a) > self.depth(b) {
-            a = self.parent(a).expect("deeper node has a parent");
+            a = self.parent(a).expect("deeper node has a parent"); // bct-lint: allow(p2) -- depth > 0 implies a parent
         }
         while self.depth(b) > self.depth(a) {
-            b = self.parent(b).expect("deeper node has a parent");
+            b = self.parent(b).expect("deeper node has a parent"); // bct-lint: allow(p2) -- depth > 0 implies a parent
         }
         while a != b {
-            a = self.parent(a).expect("non-root");
+            a = self.parent(a).expect("non-root"); // bct-lint: allow(p2) -- unequal nodes at equal depth are below the root
             b = self.parent(b).expect("non-root");
         }
         a
@@ -602,14 +604,14 @@ impl Tree {
         let mut up = Vec::new();
         let mut cur = origin;
         while cur != l {
-            cur = self.parent(cur).expect("walking up to the LCA");
+            cur = self.parent(cur).expect("walking up to the LCA"); // bct-lint: allow(p2) -- the LCA is an ancestor of `origin`
             up.push(cur);
         }
         let mut down = Vec::new();
         let mut cur = leaf;
         while cur != l {
             down.push(cur);
-            cur = self.parent(cur).expect("walking up from the leaf");
+            cur = self.parent(cur).expect("walking up from the leaf"); // bct-lint: allow(p2) -- the LCA is an ancestor of `leaf`
         }
         down.reverse();
         up.extend(down);
@@ -660,6 +662,7 @@ impl Tree {
     /// Only live nodes appear (tombstoned children are pruned from
     /// `children`).
     pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        // bct-lint: allow(a2) -- reached from `Service::apply` only via tree mutations, rare control events outside the steady-state submit path
         let mut out = Vec::new();
         self.subtree_into(v, &mut out);
         out

@@ -13,12 +13,15 @@ pub struct Violation {
     pub line: u32,
     /// 1-based column.
     pub col: u32,
-    /// Rule id (`d1`, `d2`, `d3`, `a1`, `p1`, `l1`).
+    /// Rule id (`d1`…`d4`, `a1`, `a2`, `p1`, `p2`, `l1`, `l2`).
     pub rule: &'static str,
     /// What was found.
     pub message: String,
     /// How to fix or suppress it.
     pub help: &'static str,
+    /// For transitive rules (a2/p2/d4): the call chain from the source
+    /// function to the sink, as graph node ids. Empty for local rules.
+    pub chain: Vec<String>,
 }
 
 /// Static description of a rule, used by `--help` and the docs test.
@@ -50,8 +53,24 @@ pub const RULES: &[RuleInfo] = &[
         summary: "unwrap/expect/panic! in non-test bct-sim/bct-harness code needs a justified allow",
     },
     RuleInfo {
+        id: "d4",
+        summary: "no function reachable from bct-core/sim/policies/sched may reach a wall clock or HashMap, even via another crate",
+    },
+    RuleInfo {
+        id: "a2",
+        summary: "`no_alloc` functions must not reach an allocating call through in-workspace calls",
+    },
+    RuleInfo {
+        id: "p2",
+        summary: "wire-facing serve files and panic-audited code must not reach an unjustified panic (unwrap/expect/panic!/indexing)",
+    },
+    RuleInfo {
         id: "l1",
         summary: "bct-lint directives themselves must be well-formed and justified",
+    },
+    RuleInfo {
+        id: "l2",
+        summary: "allow directives that no longer suppress any finding are stale and must be deleted",
     },
 ];
 
@@ -68,6 +87,9 @@ pub fn render_text(vs: &[Violation]) -> String {
     let mut out = String::new();
     for v in vs {
         let _ = writeln!(out, "{}:{}:{}: [{}] {}", v.file, v.line, v.col, v.rule, v.message);
+        if !v.chain.is_empty() {
+            let _ = writeln!(out, "    chain: {}", v.chain.join(" -> "));
+        }
         let _ = writeln!(out, "    help: {}", v.help);
     }
     out
@@ -77,7 +99,7 @@ pub fn render_text(vs: &[Violation]) -> String {
 /// the (already sorted) input order, so the bytes are deterministic.
 pub fn render_machine(vs: &[Violation], files_scanned: usize, allows_used: usize) -> String {
     let mut out = String::new();
-    out.push_str("{\"tool\":\"bct-lint\",\"version\":1,");
+    out.push_str("{\"tool\":\"bct-lint\",\"version\":2,");
     let _ = write!(out, "\"files_scanned\":{files_scanned},");
     let _ = write!(out, "\"allows_used\":{allows_used},");
 
@@ -99,7 +121,7 @@ pub fn render_machine(vs: &[Violation], files_scanned: usize, allows_used: usize
         }
         let _ = write!(
             out,
-            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\",\"help\":\"{}\"",
             escape_json(&v.file),
             v.line,
             v.col,
@@ -107,6 +129,17 @@ pub fn render_machine(vs: &[Violation], files_scanned: usize, allows_used: usize
             escape_json(&v.message),
             escape_json(v.help),
         );
+        if !v.chain.is_empty() {
+            out.push_str(",\"chain\":[");
+            for (j, hop) in v.chain.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", escape_json(hop));
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     out.push_str("]}\n");
     out
@@ -143,7 +176,20 @@ mod tests {
             rule,
             message: format!("test {rule}"),
             help: "h",
+            chain: Vec::new(),
         }
+    }
+
+    #[test]
+    fn machine_json_carries_chains_for_transitive_findings() {
+        let mut t = v("a.rs", 3, "a2");
+        t.chain = vec!["sim::engine::step".to_string(), "sim::agg::rebuild".to_string()];
+        let json = render_machine(&[t], 1, 0);
+        assert!(json.contains("\"version\":2"));
+        assert!(json.contains("\"chain\":[\"sim::engine::step\",\"sim::agg::rebuild\"]"));
+        // Local findings carry no chain key at all.
+        let json = render_machine(&[v("a.rs", 1, "d1")], 1, 0);
+        assert!(!json.contains("\"chain\""));
     }
 
     #[test]

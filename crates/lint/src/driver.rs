@@ -1,0 +1,135 @@
+//! The linter's command-line driver, shared verbatim by the standalone
+//! `bct-lint` binary and the `bct lint` subcommand — one argument
+//! grammar, one exit-code contract (0 clean, 1 violations, 2 usage or
+//! IO error), whichever door it is invoked through.
+
+use std::path::PathBuf;
+
+use crate::{diag, graph, walk};
+
+fn usage() -> String {
+    let mut s = String::from(
+        "bct-lint: static checks for the workspace determinism and zero-alloc contracts\n\
+         \n\
+         usage: bct-lint [--root DIR] [--machine PATH] [--baseline FILE] [--graph PATH]\n\
+         \n\
+         --root DIR       workspace root to scan (default: current directory)\n\
+         --machine PATH   also write a JSON report to PATH (`-` for stdout)\n\
+         --baseline FILE  tolerate the violations listed in FILE\n\
+         \u{20}                (lines of `<rule> <file> [line]`; `#` comments)\n\
+         --graph PATH     write the resolved call graph as JSON to PATH\n\
+         \n\
+         rules:\n",
+    );
+    for r in diag::RULES {
+        s.push_str(&format!("  {:<4} {}\n", r.id, r.summary));
+    }
+    s.push_str(
+        "\nsuppress inline with `// bct-lint: allow(<rules>) -- <justification>`;\n\
+         mark zero-alloc functions with `// bct-lint: no_alloc` on the line above `fn`.\n",
+    );
+    s
+}
+
+struct Args {
+    root: PathBuf,
+    machine: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    graph: Option<PathBuf>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        machine: None,
+        baseline: None,
+        graph: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
+            "--machine" => args.machine = Some(it.next().ok_or("--machine needs a value")?.into()),
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a value")?.into())
+            }
+            "--graph" => args.graph = Some(it.next().ok_or("--graph needs a value")?.into()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Run the linter with the given arguments (everything after the
+/// program/subcommand name). Returns the process exit code.
+pub fn run_cli(argv: &[String]) -> u8 {
+    let args = match parse_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return 0;
+            }
+            eprintln!("bct-lint: {msg}\n\n{}", usage());
+            return 2;
+        }
+    };
+
+    let baseline = match &args.baseline {
+        None => walk::Baseline::default(),
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bct-lint: cannot read baseline {}: {e}", path.display());
+                    return 2;
+                }
+            };
+            match walk::Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bct-lint: {e}");
+                    return 2;
+                }
+            }
+        }
+    };
+
+    let mut report = match walk::check_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bct-lint: scan failed under {}: {e}", args.root.display());
+            return 2;
+        }
+    };
+    report.violations.retain(|v| !baseline.covers(v));
+
+    if let Some(path) = &args.graph {
+        let json = graph::render_graph(&report.graph);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bct-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+
+    if let Some(path) = &args.machine {
+        let json =
+            diag::render_machine(&report.violations, report.files_scanned, report.allows_used);
+        if path.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("bct-lint: cannot write {}: {e}", path.display());
+            return 2;
+        }
+    }
+
+    print!("{}", diag::render_text(&report.violations));
+    println!(
+        "bct-lint: {} violation(s) in {} file(s) scanned ({} allow(s) used)",
+        report.violations.len(),
+        report.files_scanned,
+        report.allows_used
+    );
+    u8::from(!report.violations.is_empty())
+}

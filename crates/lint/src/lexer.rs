@@ -260,12 +260,21 @@ impl<'a> Lexer<'a> {
     }
 
     /// Does the cursor start one of the `r`/`b`-prefixed literal forms?
+    /// The lookahead must be exact: `break`, `branch`, … start with
+    /// `br` but are plain identifiers, and treating them as byte-string
+    /// prefixes desyncs every span after them.
     fn raw_or_byte_prefix(&self) -> bool {
         let c = self.bytes[self.pos];
         let rest = &self.bytes[self.pos + 1..];
         match c {
             b'r' => matches!(rest.first(), Some(b'"') | Some(b'#')),
-            b'b' => matches!(rest.first(), Some(b'"') | Some(b'\'') | Some(b'r')),
+            b'b' => match rest.first() {
+                Some(b'"') | Some(b'\'') => true,
+                // `br` is a raw byte string only when a quote or guard
+                // hashes follow (`br"…"`, `br#"…"#`).
+                Some(b'r') => matches!(rest.get(1), Some(b'"') | Some(b'#')),
+                _ => false,
+            },
             _ => false,
         }
     }
@@ -526,6 +535,60 @@ mod tests {
     #[test]
     fn raw_identifiers_lex_as_idents() {
         assert_eq!(idents("let r#match = 1;"), vec!["let", "r#match"]);
+    }
+
+    #[test]
+    fn idents_starting_with_br_are_not_byte_strings() {
+        // Regression: `break`/`branch` begin with `br` and used to be
+        // consumed as a bogus byte-string prefix, splitting the token
+        // and desyncing every later span.
+        assert_eq!(
+            idents("loop { break; } let branch = brand;"),
+            vec!["loop", "break", "let", "branch", "brand"]
+        );
+        let src = "let b = brace(); let m = HashMap::new();";
+        let lexed = lex(src);
+        let t = lexed.tokens.iter().find(|t| text(src, t) == "HashMap").unwrap();
+        assert_eq!((t.line, t.col), (1, 26));
+    }
+
+    #[test]
+    fn byte_string_literals_track_spans() {
+        // Byte strings (plain, escaped, raw) must consume exactly their
+        // own bytes so the following token's span is exact.
+        for (src, col) in [
+            (r#"let s = b"bytes"; let z = 1;"#, 23),
+            (r#"let s = b"qu\"ote"; let z = 1;"#, 25),
+            (r###"let s = br#"raw "b" bytes"#; let z = 1;"###, 34),
+            (r#"let c = b'\''; let z = 1;"#, 20),
+        ] {
+            let lexed = lex(src);
+            let t = lexed.tokens.iter().find(|t| text(src, t) == "z").unwrap();
+            assert_eq!((t.line, t.col), (1, col), "{src}");
+        }
+        // Hidden identifiers stay hidden.
+        assert!(!idents(r#"let s = b"HashMap"; let r = br"HashMap";"#)
+            .iter()
+            .any(|n| n == "HashMap"));
+    }
+
+    #[test]
+    fn raw_identifier_spans_do_not_shift_following_tokens() {
+        let src = "fn r#type(x: u32) -> u32 { x }\nlet y = HashMap::new();";
+        let lexed = lex(src);
+        assert_eq!(text(src, &lexed.tokens[1]), "r#type");
+        let t = lexed.tokens.iter().find(|t| text(src, t) == "HashMap").unwrap();
+        assert_eq!((t.line, t.col), (2, 9));
+    }
+
+    #[test]
+    fn nested_block_comments_keep_line_accounting() {
+        let src = "/* outer /* inner */ still\ncomment */ let x = 1;\nlet y = 2;";
+        let lexed = lex(src);
+        let x = lexed.tokens.iter().find(|t| text(src, t) == "x").unwrap();
+        let y = lexed.tokens.iter().find(|t| text(src, t) == "y").unwrap();
+        assert_eq!((x.line, x.col), (2, 16));
+        assert_eq!((y.line, y.col), (3, 5));
     }
 
     #[test]

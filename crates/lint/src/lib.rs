@@ -18,18 +18,34 @@
 //! | `p1` | `unwrap`/`expect`/`panic!` in sim/harness needs a justified allow |
 //! | `l1` | the directives themselves must be well-formed |
 //!
+//! On top of the local rules, a call-graph pass (`parser` → `graph` →
+//! `reach`) closes the contracts under function calls:
+//!
+//! | rule | contract |
+//! |------|----------|
+//! | `a2` | `no_alloc` fns must not *reach* an allocating call |
+//! | `p2` | wire-facing/panic-audited fns must not reach an unjustified panic |
+//! | `d4` | bct-core/sim/policies/sched must not reach clocks or `HashMap` |
+//! | `l2` | allows that no longer suppress anything are stale |
+//!
 //! Suppression is inline and justified:
 //! `// bct-lint: allow(p1) -- invariant: heap nonempty after peek`.
 //! The crate has no dependencies so the gate builds (and runs first in
 //! CI) even when the rest of the workspace is broken.
 
 pub mod diag;
+pub mod driver;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod policy;
+pub mod reach;
 pub mod rules;
 pub mod walk;
 
 pub use diag::{render_machine, render_text, Violation, RULES};
+pub use driver::run_cli;
+pub use graph::{render_graph, Graph};
 pub use policy::{policy_for, Policy};
 pub use rules::{check_src, FileReport};
-pub use walk::{check_workspace, Baseline, WorkspaceReport};
+pub use walk::{check_sources, check_workspace, Baseline, WorkspaceReport};

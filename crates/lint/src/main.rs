@@ -1,128 +1,16 @@
 //! CLI for `bct-lint`.
 //!
 //! ```text
-//! bct-lint [--root DIR] [--machine PATH] [--baseline FILE]
+//! bct-lint [--root DIR] [--machine PATH] [--baseline FILE] [--graph PATH]
 //! ```
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or IO error.
+//! The `bct lint` subcommand runs this exact driver; see
+//! `bct_lint::driver`.
 
-use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bct_lint::{diag, walk};
-
-fn usage() -> String {
-    let mut s = String::from(
-        "bct-lint: static checks for the workspace determinism and zero-alloc contracts\n\
-         \n\
-         usage: bct-lint [--root DIR] [--machine PATH] [--baseline FILE]\n\
-         \n\
-         --root DIR       workspace root to scan (default: current directory)\n\
-         --machine PATH   also write a JSON report to PATH (`-` for stdout)\n\
-         --baseline FILE  tolerate the violations listed in FILE\n\
-         \u{20}                (lines of `<rule> <file> [line]`; `#` comments)\n\
-         \n\
-         rules:\n",
-    );
-    for r in diag::RULES {
-        s.push_str(&format!("  {:<4} {}\n", r.id, r.summary));
-    }
-    s.push_str(
-        "\nsuppress inline with `// bct-lint: allow(<rules>) -- <justification>`;\n\
-         mark zero-alloc functions with `// bct-lint: no_alloc` on the line above `fn`.\n",
-    );
-    s
-}
-
-struct Args {
-    root: PathBuf,
-    machine: Option<PathBuf>,
-    baseline: Option<PathBuf>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
-        root: PathBuf::from("."),
-        machine: None,
-        baseline: None,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--root" => args.root = it.next().ok_or("--root needs a value")?.into(),
-            "--machine" => args.machine = Some(it.next().ok_or("--machine needs a value")?.into()),
-            "--baseline" => {
-                args.baseline = Some(it.next().ok_or("--baseline needs a value")?.into())
-            }
-            "--help" | "-h" => return Err(String::new()),
-            other => return Err(format!("unknown argument `{other}`")),
-        }
-    }
-    Ok(args)
-}
-
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            if msg.is_empty() {
-                print!("{}", usage());
-                return ExitCode::from(0);
-            }
-            eprintln!("bct-lint: {msg}\n\n{}", usage());
-            return ExitCode::from(2);
-        }
-    };
-
-    let baseline = match &args.baseline {
-        None => walk::Baseline::default(),
-        Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
-                Err(e) => {
-                    eprintln!("bct-lint: cannot read baseline {}: {e}", path.display());
-                    return ExitCode::from(2);
-                }
-            };
-            match walk::Baseline::parse(&text) {
-                Ok(b) => b,
-                Err(e) => {
-                    eprintln!("bct-lint: {e}");
-                    return ExitCode::from(2);
-                }
-            }
-        }
-    };
-
-    let mut report = match walk::check_workspace(&args.root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("bct-lint: scan failed under {}: {e}", args.root.display());
-            return ExitCode::from(2);
-        }
-    };
-    report.violations.retain(|v| !baseline.covers(v));
-
-    if let Some(path) = &args.machine {
-        let json = diag::render_machine(&report.violations, report.files_scanned, report.allows_used);
-        if path.as_os_str() == "-" {
-            print!("{json}");
-        } else if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("bct-lint: cannot write {}: {e}", path.display());
-            return ExitCode::from(2);
-        }
-    }
-
-    print!("{}", diag::render_text(&report.violations));
-    println!(
-        "bct-lint: {} violation(s) in {} file(s) scanned ({} allow(s) used)",
-        report.violations.len(),
-        report.files_scanned,
-        report.allows_used
-    );
-    if report.violations.is_empty() {
-        ExitCode::from(0)
-    } else {
-        ExitCode::from(1)
-    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(bct_lint::run_cli(&argv))
 }

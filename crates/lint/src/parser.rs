@@ -1,0 +1,663 @@
+//! A lightweight item parser on top of the lexer: just deep enough to
+//! extract every function item (with its module/impl context, span,
+//! `cfg(test)` status, and `// bct-lint: no_alloc` annotation) and the
+//! call sites inside its body.
+//!
+//! This is **not** a Rust parser. It walks the token stream with a
+//! brace-depth scope stack, recognizing `mod NAME {`, `impl … {`,
+//! `trait NAME {`, `use …;`, and `fn NAME`. Everything it cannot
+//! classify it skips, which makes it total over arbitrary input (the
+//! compiler owns real syntax errors). The output feeds the workspace
+//! call graph (`graph.rs`) and the reachability rules (`reach.rs`);
+//! both are documented best-effort analyses, so the parser errs on the
+//! side of *missing* an edge rather than inventing one.
+
+use crate::lexer::{self, DirectiveKind, Lexed, TokKind, Token};
+
+/// How a call site names its target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallTarget {
+    /// `f(…)` — an unqualified call.
+    Bare(String),
+    /// `a::b::f(…)` — a path call; segments in source order.
+    Path(Vec<String>),
+    /// `.m(…)` — a method call (receiver type unknown at token level).
+    Method(String),
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// What the call names.
+    pub target: CallTarget,
+    /// 1-based line of the callee token.
+    pub line: u32,
+    /// 1-based column of the callee token.
+    pub col: u32,
+}
+
+/// One parsed `fn` item.
+#[derive(Clone, Debug)]
+pub struct ParsedFn {
+    /// The function's own name (`step`, `r#type`, …).
+    pub name: String,
+    /// Enclosing scope path inside the file: module names and impl/
+    /// trait type names, `::`-joined (empty at top level).
+    pub scope: String,
+    /// The `impl`/`trait` type the fn is a method of, if any.
+    pub impl_type: Option<String>,
+    /// 1-based position of the name token.
+    pub line: u32,
+    pub col: u32,
+    /// Inside a `#[test]`/`#[cfg(test)]` region?
+    pub is_test: bool,
+    /// Annotated `// bct-lint: no_alloc`?
+    pub no_alloc: bool,
+    /// Token index range `[open_brace, close_brace]` of the body;
+    /// `None` for bodyless declarations (trait methods, extern).
+    pub body: Option<(usize, usize)>,
+    /// Call sites in the body, excluding nested `fn` items' bodies.
+    pub calls: Vec<Call>,
+}
+
+/// Parser output for one file.
+#[derive(Debug, Default)]
+pub struct FileFns {
+    /// All `fn` items in source order.
+    pub fns: Vec<ParsedFn>,
+    /// `use` aliases: last-segment-or-`as`-name → full path segments.
+    pub imports: Vec<(String, Vec<String>)>,
+}
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "loop", "return", "fn", "move", "in", "as", "where", "let",
+    "else", "break", "continue", "unsafe", "dyn", "ref", "mut",
+];
+
+/// Parse every `fn` item out of one file's token stream.
+pub fn parse_fns(src: &str, lexed: &Lexed) -> FileFns {
+    let toks = &lexed.tokens;
+    let in_test = test_regions(src, toks);
+    let no_alloc_fns = no_alloc_fn_tokens(src, toks, lexed);
+
+    // Scope stack entries: (name, brace depth *inside* the scope).
+    struct Scope {
+        name: String,
+        is_impl: bool,
+        depth: usize,
+    }
+
+    let mut out = FileFns::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match lexer::text(src, t) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    while scopes.last().is_some_and(|s| s.depth > depth) {
+                        scopes.pop();
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match lexer::text(src, t) {
+            "mod" => {
+                // `mod name {` opens a scope; `mod name;` is a file ref.
+                if let (Some(name_tok), true) = (toks.get(i + 1), is_punct(src, toks, i + 2, "{"))
+                {
+                    if name_tok.kind == TokKind::Ident {
+                        scopes.push(Scope {
+                            name: strip_raw(lexer::text(src, name_tok)).to_string(),
+                            is_impl: false,
+                            depth: depth + 1,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            "impl" | "trait" => {
+                let kw = lexer::text(src, t);
+                // Scan the header up to its `{` (or `;`/eof) and pull
+                // out the Self-type name (after `for` if present).
+                let mut j = i + 1;
+                let mut open = None;
+                while j < toks.len() {
+                    if is_punct(src, toks, j, "{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if is_punct(src, toks, j, ";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let name = impl_type_name(src, toks, i + 1, open, kw == "trait");
+                    scopes.push(Scope {
+                        name: name.unwrap_or_default(),
+                        is_impl: true,
+                        depth: depth + 1,
+                    });
+                    // Skip the header; the `{` is handled by the main
+                    // walk so depth stays consistent.
+                    i = open;
+                    continue;
+                }
+                i = j + 1;
+            }
+            "use" => {
+                i = parse_use(src, toks, i + 1, &mut out.imports);
+            }
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                    i += 1; // `fn(u32) -> u32` type position
+                    continue;
+                };
+                let name = strip_raw(lexer::text(src, name_tok)).to_string();
+                // Find the body's `{`; a `;` first means no body.
+                let mut k = i + 2;
+                let open = loop {
+                    if k >= toks.len() || is_punct(src, toks, k, ";") {
+                        break None;
+                    }
+                    if is_punct(src, toks, k, "{") {
+                        break Some(k);
+                    }
+                    k += 1;
+                };
+                let body = open.map(|o| (o, item_end(src, toks, o).saturating_sub(1)));
+                let scope = scopes
+                    .iter()
+                    .filter(|s| !s.name.is_empty())
+                    .map(|s| s.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join("::");
+                let impl_type = scopes
+                    .iter()
+                    .rev()
+                    .find(|s| s.is_impl && !s.name.is_empty())
+                    .map(|s| s.name.clone());
+                out.fns.push(ParsedFn {
+                    name,
+                    scope,
+                    impl_type,
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    is_test: in_test[i],
+                    no_alloc: no_alloc_fns.contains(&i),
+                    body,
+                    calls: Vec::new(),
+                });
+                // Continue INTO the body so nested items are found; the
+                // body range is recorded, call extraction happens below.
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    extract_calls(src, toks, &mut out.fns);
+    out
+}
+
+/// Fill in each fn's call list from its body range, skipping the body
+/// ranges of fns nested strictly inside it (their calls are their own).
+fn extract_calls(src: &str, toks: &[Token], fns: &mut [ParsedFn]) {
+    let bodies: Vec<Option<(usize, usize)>> = fns.iter().map(|f| f.body).collect();
+    for (fi, f) in fns.iter_mut().enumerate() {
+        let Some((open, close)) = f.body else { continue };
+        // Nested fn bodies to skip.
+        let mut skip: Vec<(usize, usize)> = bodies
+            .iter()
+            .enumerate()
+            .filter(|&(oi, b)| {
+                oi != fi && b.is_some_and(|(o, c)| o > open && c <= close)
+            })
+            .map(|(_, b)| b.unwrap())
+            .collect();
+        skip.sort_unstable();
+        let mut i = open + 1;
+        while i < close {
+            if let Some(&(o, c)) = skip.iter().find(|&&(o, _)| o == i) {
+                i = c + 1;
+                let _ = o;
+                continue;
+            }
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let full = lexer::text(src, t);
+            let txt = strip_raw(full);
+            // A call: ident followed by `(`, or by a `::<` turbofish.
+            // Raw identifiers (`r#match()`) are never keywords.
+            let called = is_punct(src, toks, i + 1, "(")
+                || (is_punct(src, toks, i + 1, "::") && is_punct(src, toks, i + 2, "<"));
+            if !called || (full == txt && CALL_KEYWORDS.contains(&txt)) {
+                i += 1;
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| &toks[p]);
+            let prev_txt = prev.map(|p| lexer::text(src, p));
+            let target = if prev.is_some_and(|p| p.kind == TokKind::Punct) && prev_txt == Some(".")
+            {
+                Some(CallTarget::Method(txt.to_string()))
+            } else if prev.is_some_and(|p| p.kind == TokKind::Punct) && prev_txt == Some("::") {
+                // Walk the path backwards: `a::b::f(`.
+                let mut segs = vec![txt.to_string()];
+                let mut j = i;
+                while j >= 2
+                    && is_punct(src, toks, j - 1, "::")
+                    && toks[j - 2].kind == TokKind::Ident
+                {
+                    segs.insert(0, strip_raw(lexer::text(src, &toks[j - 2])).to_string());
+                    j -= 2;
+                }
+                Some(CallTarget::Path(segs))
+            } else if prev.is_none_or(|p| {
+                p.kind == TokKind::Punct || !matches!(lexer::text(src, p), "fn" | "struct" | "enum")
+            }) {
+                Some(CallTarget::Bare(txt.to_string()))
+            } else {
+                None
+            };
+            if let Some(target) = target {
+                f.calls.push(Call { target, line: t.line, col: t.col });
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Pull the Self-type name out of an `impl`/`trait` header
+/// (`[i, open)`): skip leading generics, honor `… for Type`, and take
+/// the last path segment before any generic arguments.
+fn impl_type_name(
+    src: &str,
+    toks: &[Token],
+    mut i: usize,
+    open: usize,
+    is_trait: bool,
+) -> Option<String> {
+    // Skip `<…>` generic params right after the keyword.
+    if is_punct(src, toks, i, "<") {
+        let mut angle = 1usize;
+        i += 1;
+        while i < open && angle > 0 {
+            match (toks[i].kind, lexer::text(src, &toks[i])) {
+                (TokKind::Punct, "<") => angle += 1,
+                (TokKind::Punct, ">") => angle -= 1,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // For `impl Trait for Type`, restart after the `for` (at angle
+    // depth 0). A trait decl has no `for`.
+    let mut start = i;
+    if !is_trait {
+        let mut angle = 0usize;
+        for j in i..open {
+            match (toks[j].kind, lexer::text(src, &toks[j])) {
+                (TokKind::Punct, "<") => angle += 1,
+                (TokKind::Punct, ">") => angle = angle.saturating_sub(1),
+                (TokKind::Ident, "for") if angle == 0 => start = j + 1,
+                (TokKind::Ident, "where") if angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    // Last plain path segment before generics/where: `a::b::C<..>` → C.
+    let mut name = None;
+    for j in start..open {
+        match (toks[j].kind, lexer::text(src, &toks[j])) {
+            (TokKind::Ident, "where") => break,
+            (TokKind::Punct, "<") => break,
+            (TokKind::Ident, "dyn" | "mut" | "const") => {}
+            (TokKind::Ident, s) => name = Some(strip_raw(s).to_string()),
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Parse a `use …;` item starting just past the `use` keyword; returns
+/// the index one past the terminating `;`. Handles `a::b::c`,
+/// `a::b::{c, d as e}`, and `as` aliases; globs and nested groups are
+/// skipped (best effort — they only ever *lose* resolution precision).
+fn parse_use(
+    src: &str,
+    toks: &[Token],
+    mut i: usize,
+    imports: &mut Vec<(String, Vec<String>)>,
+) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    let mut entry: Vec<String> = Vec::new();
+    let mut alias: Option<String> = None;
+    let mut in_group = false;
+    let mut group_depth = 0usize;
+    let push_entry =
+        |prefix: &[String], entry: &mut Vec<String>, alias: &mut Option<String>, imports: &mut Vec<(String, Vec<String>)>| {
+            if entry.is_empty() {
+                return;
+            }
+            let mut full = prefix.to_vec();
+            full.append(entry);
+            let name = alias.take().unwrap_or_else(|| full.last().cloned().unwrap_or_default());
+            if !name.is_empty() && name != "*" {
+                imports.push((name, full));
+            }
+        };
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, lexer::text(src, t)) {
+            (TokKind::Punct, ";") => {
+                push_entry(&prefix, &mut entry, &mut alias, imports);
+                return i + 1;
+            }
+            (TokKind::Punct, "{") => {
+                group_depth += 1;
+                if group_depth == 1 {
+                    // Everything before the group is the shared prefix.
+                    prefix.append(&mut entry);
+                    in_group = true;
+                }
+            }
+            (TokKind::Punct, "}") => {
+                if group_depth == 1 {
+                    push_entry(&prefix, &mut entry, &mut alias, imports);
+                    in_group = false;
+                }
+                group_depth = group_depth.saturating_sub(1);
+            }
+            (TokKind::Punct, ",") if in_group && group_depth == 1 => {
+                push_entry(&prefix, &mut entry, &mut alias, imports);
+            }
+            (TokKind::Ident, "as") => {
+                if let Some(a) = toks.get(i + 1).filter(|a| a.kind == TokKind::Ident) {
+                    alias = Some(strip_raw(lexer::text(src, a)).to_string());
+                    i += 1;
+                }
+            }
+            // Glob imports bind no name — drop the pending entry.
+            (TokKind::Punct, "*") => entry.clear(),
+            (TokKind::Ident, s) if group_depth <= 1 => entry.push(strip_raw(s).to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Token indices of `fn` keywords targeted by a `no_alloc` directive
+/// (same attachment rule as the a1 region computation in `rules.rs`:
+/// the first `fn` token strictly after the directive's line).
+fn no_alloc_fn_tokens(src: &str, toks: &[Token], lexed: &Lexed) -> Vec<usize> {
+    let mut out = Vec::new();
+    for d in &lexed.directives {
+        if d.kind != DirectiveKind::NoAlloc {
+            continue;
+        }
+        if let Some(idx) = toks.iter().position(|t| {
+            t.line > d.line && t.kind == TokKind::Ident && lexer::text(src, t) == "fn"
+        }) {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+/// `r#ident` → `ident`.
+pub(crate) fn strip_raw(s: &str) -> &str {
+    s.strip_prefix("r#").unwrap_or(s)
+}
+
+/// Per-token flag: is this token inside a `#[test]`/`#[cfg(test)]`
+/// item (including the attribute itself)?
+pub(crate) fn test_regions(src: &str, toks: &[Token]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !is_punct(src, toks, i, "#") || !is_punct(src, toks, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute's bracket group.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() && depth > 0 {
+            if is_punct(src, toks, j, "[") {
+                depth += 1;
+            } else if is_punct(src, toks, j, "]") {
+                depth -= 1;
+            } else if toks[j].kind == TokKind::Ident {
+                match lexer::text(src, &toks[j]) {
+                    "test" => has_test = true,
+                    "not" => has_not = true,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        if !(has_test && !has_not) {
+            i = j;
+            continue;
+        }
+        // A test attribute: skip any stacked attributes, then the item.
+        let mut k = j;
+        while is_punct(src, toks, k, "#") && is_punct(src, toks, k + 1, "[") {
+            let mut d = 1usize;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if is_punct(src, toks, k, "[") {
+                    d += 1;
+                } else if is_punct(src, toks, k, "]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        let end = item_end(src, toks, k);
+        for f in flags.iter_mut().take(end.min(toks.len())).skip(i) {
+            *f = true;
+        }
+        i = end;
+    }
+    flags
+}
+
+/// Token index one past the end of the item starting at `k`: either the
+/// matching `}` of its first brace group, or a `;` before any brace.
+pub(crate) fn item_end(src: &str, toks: &[Token], mut k: usize) -> usize {
+    let mut depth = 0usize;
+    let mut entered = false;
+    while k < toks.len() {
+        if is_punct(src, toks, k, "{") {
+            depth += 1;
+            entered = true;
+        } else if is_punct(src, toks, k, "}") {
+            depth = depth.saturating_sub(1);
+            if entered && depth == 0 {
+                return k + 1;
+            }
+        } else if is_punct(src, toks, k, ";") && !entered {
+            return k + 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+pub(crate) fn is_punct(src: &str, toks: &[Token], i: usize, p: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && lexer::text(src, t) == p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileFns {
+        parse_fns(src, &lex(src))
+    }
+
+    #[test]
+    fn fn_items_get_scope_and_impl_context() {
+        let src = "
+            pub fn free() {}
+            mod inner {
+                pub struct Engine;
+                impl Engine {
+                    pub fn step(&mut self) {}
+                }
+                impl std::fmt::Display for Engine {
+                    fn fmt(&self) {}
+                }
+                trait Probe {
+                    fn probe(&self) -> u32 { 1 }
+                    fn decl(&self);
+                }
+            }
+        ";
+        let fns = parse(src).fns;
+        let summary: Vec<(String, String, Option<String>)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.scope.clone(), f.impl_type.clone()))
+            .collect();
+        assert_eq!(
+            summary,
+            [
+                ("free".into(), "".into(), None),
+                ("step".into(), "inner::Engine".into(), Some("Engine".into())),
+                ("fmt".into(), "inner::Engine".into(), Some("Engine".into())),
+                ("probe".into(), "inner::Probe".into(), Some("Probe".into())),
+                ("decl".into(), "inner::Probe".into(), Some("Probe".into())),
+            ]
+        );
+        assert!(fns[4].body.is_none(), "trait decl has no body");
+    }
+
+    #[test]
+    fn call_sites_are_classified() {
+        let src = "
+            fn f(xs: &[u32]) {
+                helper(1);
+                self.step();
+                bct_core::tree::depth(xs);
+                Tree::rebuilt(xs);
+                xs.iter().collect::<Vec<_>>();
+                let v = vec![1];
+                if xs.is_empty() { return; }
+            }
+        ";
+        let fns = parse(src).fns;
+        let calls: Vec<CallTarget> = fns[0].calls.iter().map(|c| c.target.clone()).collect();
+        assert_eq!(
+            calls,
+            [
+                CallTarget::Bare("helper".into()),
+                CallTarget::Method("step".into()),
+                CallTarget::Path(vec!["bct_core".into(), "tree".into(), "depth".into()]),
+                CallTarget::Path(vec!["Tree".into(), "rebuilt".into()]),
+                CallTarget::Method("iter".into()),
+                CallTarget::Method("collect".into()),
+                CallTarget::Method("is_empty".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fn_calls_stay_with_the_nested_fn() {
+        let src = "
+            fn outer() {
+                before();
+                fn inner() { deep(); }
+                after();
+            }
+        ";
+        let fns = parse(src).fns;
+        assert_eq!(fns.len(), 2);
+        let outer: Vec<_> = fns[0].calls.iter().map(|c| c.target.clone()).collect();
+        assert_eq!(
+            outer,
+            [CallTarget::Bare("before".into()), CallTarget::Bare("after".into())]
+        );
+        assert_eq!(fns[1].calls[0].target, CallTarget::Bare("deep".into()));
+    }
+
+    #[test]
+    fn test_regions_and_no_alloc_are_attached() {
+        let src = "
+            // bct-lint: no_alloc
+            fn hot() {}
+            fn cold() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn t() {}
+            }
+        ";
+        let fns = parse(src).fns;
+        let flags: Vec<(String, bool, bool)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.no_alloc, f.is_test))
+            .collect();
+        assert_eq!(
+            flags,
+            [
+                ("hot".into(), true, false),
+                ("cold".into(), false, false),
+                ("helper".into(), false, true),
+                ("t".into(), false, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn use_imports_resolve_aliases_and_groups() {
+        let src = "
+            use bct_core::{Tree, mutate::TreeMutation as Mut};
+            use std::collections::BTreeMap;
+            use crate::agg::*;
+        ";
+        let imports = parse(src).imports;
+        assert_eq!(
+            imports,
+            [
+                ("Tree".to_string(), vec!["bct_core".to_string(), "Tree".to_string()]),
+                (
+                    "Mut".to_string(),
+                    vec!["bct_core".to_string(), "mutate".to_string(), "TreeMutation".to_string()]
+                ),
+                (
+                    "BTreeMap".to_string(),
+                    vec!["std".to_string(), "collections".to_string(), "BTreeMap".to_string()]
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifier_fns_are_normalized() {
+        let fns = parse("fn r#type() { r#match(); }").fns;
+        assert_eq!(fns[0].name, "type");
+        assert_eq!(fns[0].calls[0].target, CallTarget::Bare("match".into()));
+    }
+}

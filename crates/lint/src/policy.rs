@@ -49,7 +49,43 @@ const PANIC_AUDITED_FILES: &[&str] = &[
     "crates/policies/src/stateful.rs",
     "crates/serve/src/protocol.rs",
     "crates/serve/src/service.rs",
+    "crates/serve/src/log.rs",
+    "crates/serve/src/replay.rs",
 ];
+
+/// The serve crate's untrusted-input surface: files that decode or
+/// apply bytes from the wire or the journal. These are the p2
+/// reachability sources (and the only files where indexing counts as a
+/// panic sink — a bad length prefix must surface as a decode error,
+/// not an out-of-bounds crash).
+const WIRE_FILES: &[&str] = &[
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/service.rs",
+    "crates/serve/src/log.rs",
+    "crates/serve/src/replay.rs",
+];
+
+/// Crates whose functions are d4 reachability sources: everything the
+/// deterministic scheduling pipeline executes. (The d1/d2 *local*
+/// rules cover a wider set; d4 asks where these four can *get to*,
+/// including through crates with no local obligations.)
+const D4_ENTRY_CRATES: &[&str] = &["core", "sim", "policies", "sched"];
+
+/// Is this file on the serve crate's wire/journal decode surface?
+pub fn is_wire_file(rel_path: &str) -> bool {
+    let norm = rel_path.strip_prefix("./").unwrap_or(rel_path);
+    WIRE_FILES.contains(&norm)
+}
+
+/// Is this file under the p1 panic audit (crate-level or file-level)?
+pub fn panic_audited(rel_path: &str) -> bool {
+    policy_for(rel_path).p1
+}
+
+/// Are this file's functions d4 reachability sources?
+pub fn d4_entry(rel_path: &str) -> bool {
+    D4_ENTRY_CRATES.contains(&crate_of(rel_path))
+}
 
 /// Files exempt from D3 wholesale: the one place float comparison is
 /// the point.
@@ -132,5 +168,24 @@ mod tests {
         let bench = policy_for("crates/serve/src/bench.rs");
         assert!(bench.d1 && !bench.d2 && !bench.p1);
         assert!(policy_for("crates/serve/src/replay.rs").d2);
+
+        // The journal decode/apply path joined the audit with the
+        // transitive rules: replaying a corrupt log must surface a
+        // typed error, not a panic.
+        assert!(policy_for("crates/serve/src/log.rs").p1);
+        assert!(policy_for("crates/serve/src/replay.rs").p1);
+    }
+
+    #[test]
+    fn reachability_scoping_tables() {
+        assert!(is_wire_file("crates/serve/src/protocol.rs"));
+        assert!(is_wire_file("./crates/serve/src/log.rs"));
+        assert!(!is_wire_file("crates/serve/src/bench.rs"));
+        assert!(panic_audited("crates/sim/src/engine.rs"));
+        assert!(!panic_audited("crates/core/src/tree.rs"));
+        assert!(d4_entry("crates/core/src/tree.rs"));
+        assert!(d4_entry("crates/sched/src/greedy.rs"));
+        assert!(!d4_entry("crates/serve/src/service.rs"));
+        assert!(!d4_entry("crates/lp/src/simplex.rs"));
     }
 }

@@ -1,0 +1,322 @@
+//! Reachability over the call graph: the transitive rules a2/p2/d4.
+//!
+//! Each rule pairs a *source set* (functions carrying an obligation)
+//! with a *sink kind* (calls that would break it):
+//!
+//! | rule | sources | sinks |
+//! |------|---------|-------|
+//! | `a2` | `no_alloc` fns | allocating calls (the a1 set) |
+//! | `p2` | wire-file fns + p1-audited fns | `unwrap`/`expect`/`panic!`, plus `[]`-indexing in wire files |
+//! | `d4` | fns in bct-core/sim/policies/sched | `Instant::now`/`SystemTime`, `HashMap`/`HashSet` |
+//!
+//! Findings are **anchored at the sink** and deduplicated per sink:
+//! if forty `no_alloc` fns reach one stray `Vec::new`, that is one
+//! diagnostic (with the shortest chain from the nearest source), and
+//! one `allow` at the sink justifies all forty paths. Chains of length
+//! zero are the local rules' territory (a1/p1/d1/d2 already anchor
+//! there), except `[]`-indexing, which no local rule owns.
+//!
+//! A justified sink that *is* reached marks its allow as used — so the
+//! stale-allow rule (l2) knows a transitive justification is earning
+//! its keep; one that is never reached goes stale and must be deleted.
+//!
+//! The walk is a reverse BFS from each sink-carrying node: sinks are
+//! rare, sources are plentiful, and the dedup-per-sink semantics fall
+//! out for free.
+
+use std::collections::VecDeque;
+
+use crate::diag::Violation;
+use crate::graph::{Graph, SinkKind};
+use crate::policy;
+
+/// Result of the transitive pass.
+#[derive(Debug, Default)]
+pub struct ReachReport {
+    /// Unjustified transitive findings, anchored at sink tokens.
+    pub violations: Vec<Violation>,
+    /// `(file, allow line)` of sink justifications that were actually
+    /// exercised by a reaching chain.
+    pub used_allows: Vec<(String, u32)>,
+}
+
+/// Minimum chain length (source → sink fn) for a finding: zero-length
+/// chains belong to the local rules, except indexing (no local owner).
+fn min_dist(kind: SinkKind) -> u32 {
+    match kind {
+        SinkKind::Index => 0,
+        _ => 1,
+    }
+}
+
+/// Run a2/p2/d4 over the graph.
+pub fn check_graph(g: &Graph) -> ReachReport {
+    let n = g.nodes.len();
+    // Reverse adjacency: callee -> callers.
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in &g.edges {
+        rev[b].push(a);
+    }
+
+    // Source sets, precomputed per node.
+    let a2_src: Vec<bool> = g.nodes.iter().map(|x| !x.is_test && x.no_alloc).collect();
+    let p2_src: Vec<bool> = g
+        .nodes
+        .iter()
+        .map(|x| !x.is_test && (policy::is_wire_file(&x.file) || policy::panic_audited(&x.file)))
+        .collect();
+    let d4_src: Vec<bool> = g
+        .nodes
+        .iter()
+        .map(|x| !x.is_test && policy::d4_entry(&x.file))
+        .collect();
+
+    let mut out = ReachReport::default();
+
+    for (sink_node, node) in g.nodes.iter().enumerate() {
+        if node.sinks.is_empty() || node.is_test {
+            continue;
+        }
+        // One reverse BFS serves every sink in this node.
+        let mut dist: Vec<u32> = vec![u32::MAX; n];
+        let mut next: Vec<usize> = vec![usize::MAX; n]; // toward the sink
+        dist[sink_node] = 0;
+        let mut q = VecDeque::new();
+        q.push_back(sink_node);
+        while let Some(v) = q.pop_front() {
+            for &u in &rev[v] {
+                if dist[u] == u32::MAX {
+                    dist[u] = dist[v] + 1;
+                    next[u] = v;
+                    q.push_back(u);
+                }
+            }
+        }
+
+        for sink in &node.sinks {
+            let (rule, sources): (&'static str, &[bool]) = match sink.kind {
+                SinkKind::Alloc => ("a2", &a2_src),
+                SinkKind::Panic | SinkKind::Index => ("p2", &p2_src),
+                SinkKind::Clock | SinkKind::Hash => ("d4", &d4_src),
+            };
+            // Nearest source; ties broken by node id (nodes are sorted
+            // by id, so the first hit wins deterministically).
+            let mut best: Option<usize> = None;
+            for (u, &is_src) in sources.iter().enumerate() {
+                if !is_src || dist[u] == u32::MAX || dist[u] < min_dist(sink.kind) {
+                    continue;
+                }
+                if best.is_none_or(|b| dist[u] < dist[b]) {
+                    best = Some(u);
+                }
+            }
+            let Some(src) = best else { continue };
+            if let Some(allow_line) = sink.allow_line {
+                out.used_allows.push((node.file.clone(), allow_line));
+                continue;
+            }
+            if sink.locally_ruled && dist[src] >= 1 {
+                // The sink token is already owned (and reported or
+                // suppressed) by its local rule; a second, transitive
+                // report of the same token would be noise.
+                continue;
+            }
+            // Chain: source → … → sink node.
+            let mut chain = Vec::new();
+            let mut v = src;
+            loop {
+                chain.push(g.nodes[v].id.clone());
+                if v == sink_node {
+                    break;
+                }
+                v = next[v];
+            }
+            let (message, help): (String, &'static str) = match rule {
+                "a2" => (
+                    format!(
+                        "`no_alloc` fn `{}` reaches allocating call `{}`",
+                        g.nodes[src].id, sink.what
+                    ),
+                    "hoist the allocation out of the chain (reuse a scratch buffer) or drop `no_alloc` from the entry; if the path cannot run in steady state, justify at the sink with `// bct-lint: allow(a2) -- <why>`",
+                ),
+                "p2" => (
+                    format!(
+                        "`{}` is reachable from {} `{}`",
+                        sink.what,
+                        if policy::is_wire_file(&g.nodes[src].file) {
+                            "wire-facing fn"
+                        } else {
+                            "panic-audited fn"
+                        },
+                        g.nodes[src].id
+                    ),
+                    "make the chain return a typed error; if the panic is a checked invariant, justify at the sink with `// bct-lint: allow(p2) -- <why>`",
+                ),
+                _ => (
+                    format!(
+                        "`{}` is reachable from deterministic entry point `{}`",
+                        sink.what, g.nodes[src].id
+                    ),
+                    "the deterministic pipeline must not depend on wall clocks or default-hasher order, even indirectly; justify at the sink with `// bct-lint: allow(d4) -- <why>` only if the result never feeds scheduling state",
+                ),
+            };
+            out.violations.push(Violation {
+                file: node.file.clone(),
+                line: sink.line,
+                col: sink.col,
+                rule,
+                message,
+                help,
+                chain,
+            });
+        }
+    }
+    out.used_allows.sort();
+    out.used_allows.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::lexer::lex;
+
+    fn reach_of(files: &[(&str, &str)]) -> ReachReport {
+        let mut b = GraphBuilder::new();
+        for (rel, src) in files {
+            let lexed = lex(src);
+            let rep = crate::rules::check_src(rel, src, crate::policy::policy_for(rel));
+            b.add_file(rel, src, &lexed, &rep.allows);
+        }
+        check_graph(&b.build())
+    }
+
+    #[test]
+    fn a2_sees_through_helpers_and_reports_the_chain() {
+        let rep = reach_of(&[(
+            "crates/sim/src/engine.rs",
+            "
+            // bct-lint: no_alloc
+            fn step() { redistribute(); }
+            fn redistribute() { grow(); }
+            fn grow() { let v = Vec::new(); }
+            ",
+        )]);
+        assert_eq!(rep.violations.len(), 1);
+        let v = &rep.violations[0];
+        assert_eq!(v.rule, "a2");
+        assert_eq!((v.line, v.col), (5, 33));
+        assert_eq!(
+            v.chain,
+            ["sim::engine::step", "sim::engine::redistribute", "sim::engine::grow"]
+        );
+        assert!(v.message.contains("`no_alloc` fn `sim::engine::step`"));
+        assert!(v.message.contains("`Vec::new`"));
+    }
+
+    #[test]
+    fn a2_skips_direct_allocs_and_locally_ruled_sinks() {
+        let rep = reach_of(&[(
+            "crates/sim/src/engine.rs",
+            "
+            // bct-lint: no_alloc
+            fn hot() { let v = Vec::new(); other_hot(); }
+            // bct-lint: no_alloc
+            fn other_hot() { let v = Vec::new(); }
+            ",
+        )]);
+        // Both sinks sit inside no_alloc fns: a1 owns them locally, so
+        // a2 stays silent (no double report of the same token).
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn p2_crosses_crates_and_allows_anchor_at_the_sink() {
+        let files = [
+            (
+                "crates/serve/src/protocol.rs",
+                "pub fn decode(b: &[u8]) { bct_core::parse::header(b); }",
+            ),
+            (
+                "crates/core/src/parse.rs",
+                "pub fn header(b: &[u8]) { b.first().unwrap(); }",
+            ),
+        ];
+        let rep = reach_of(&files);
+        assert_eq!(rep.violations.len(), 1);
+        let v = &rep.violations[0];
+        assert_eq!(v.rule, "p2");
+        assert_eq!(v.file, "crates/core/src/parse.rs");
+        assert_eq!(v.chain, ["serve::protocol::decode", "core::parse::header"]);
+
+        // Same shape with a justified sink: no finding, allow is used.
+        let rep = reach_of(&[
+            files[0],
+            (
+                "crates/core/src/parse.rs",
+                "pub fn header(b: &[u8]) {
+                     // bct-lint: allow(p2) -- caller length-checks the frame
+                     b.first().unwrap();
+                 }",
+            ),
+        ]);
+        assert!(rep.violations.is_empty());
+        assert_eq!(rep.used_allows, [("crates/core/src/parse.rs".to_string(), 2)]);
+    }
+
+    #[test]
+    fn p2_flags_local_indexing_in_wire_files_only() {
+        let rep = reach_of(&[(
+            "crates/serve/src/protocol.rs",
+            "pub fn decode(b: &[u8]) -> u8 { b[0] }",
+        )]);
+        assert_eq!(rep.violations.len(), 1);
+        assert_eq!(rep.violations[0].rule, "p2");
+        assert_eq!(rep.violations[0].chain, ["serve::protocol::decode"]);
+
+        let rep = reach_of(&[(
+            "crates/sim/src/engine.rs",
+            "pub fn peek(b: &[u8]) -> u8 { b[0] }",
+        )]);
+        assert!(rep.violations.is_empty());
+    }
+
+    #[test]
+    fn d4_taints_through_uncovered_crates() {
+        let rep = reach_of(&[
+            (
+                "crates/sched/src/greedy.rs",
+                "pub fn assign() { bct_workloads::cache::lookup(); }",
+            ),
+            (
+                "crates/workloads/src/cache.rs",
+                "pub fn lookup() { let m: HashMap<u32, u32> = HashMap::new(); }",
+            ),
+        ]);
+        // workloads has no d1 obligation of its own (no local finding),
+        // but sched reaching into it is a d4 violation.
+        let d4: Vec<_> = rep.violations.iter().filter(|v| v.rule == "d4").collect();
+        assert_eq!(d4.len(), 2, "both HashMap tokens are reached");
+        assert_eq!(d4[0].chain, ["sched::greedy::assign", "workloads::cache::lookup"]);
+    }
+
+    #[test]
+    fn unreached_sinks_and_test_code_stay_silent() {
+        let rep = reach_of(&[(
+            "crates/sim/src/engine.rs",
+            "
+            // bct-lint: no_alloc
+            fn hot() { noop(); }
+            fn noop() {}
+            fn cold() { let v = Vec::new(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { crate::engine::hot(); panic!(\"x\"); }
+            }
+            ",
+        )]);
+        assert!(rep.violations.is_empty());
+        assert!(rep.used_allows.is_empty());
+    }
+}

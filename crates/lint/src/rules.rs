@@ -12,7 +12,23 @@
 
 use crate::diag::{Violation, RULES};
 use crate::lexer::{self, DirectiveKind, Lexed, TokKind, Token};
+use crate::parser::{is_punct, item_end, test_regions};
 use crate::policy::Policy;
+
+/// One `allow` directive and whether anything used it. The walker
+/// carries these workspace-wide so the transitive rules can mark
+/// additional uses before the stale-allow check (l2) runs.
+#[derive(Clone, Debug)]
+pub struct AllowRecord {
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// 1-based column of the comment opener.
+    pub col: u32,
+    /// Rule ids the allow names.
+    pub rules: Vec<String>,
+    /// Did any finding get suppressed by this allow?
+    pub used: bool,
+}
 
 /// Result of checking one file.
 #[derive(Debug, Default)]
@@ -21,16 +37,23 @@ pub struct FileReport {
     pub violations: Vec<Violation>,
     /// How many allow directives suppressed at least one finding.
     pub allows_used: usize,
+    /// Every allow directive in the file, with local usage state.
+    pub allows: Vec<AllowRecord>,
 }
 
 /// Check one file's source against `policy`.
 pub fn check_src(rel_path: &str, src: &str, policy: Policy) -> FileReport {
-    let lexed = lexer::lex(src);
+    check_lexed(rel_path, src, &lexer::lex(src), policy)
+}
+
+/// Check an already-lexed file (the walker lexes each file once and
+/// shares the token stream with the call-graph parser).
+pub fn check_lexed(rel_path: &str, src: &str, lexed: &Lexed, policy: Policy) -> FileReport {
     let toks = &lexed.tokens;
 
     let in_test = test_regions(src, toks);
-    let (in_no_alloc, orphan_no_allocs) = no_alloc_regions(src, toks, &lexed);
-    let mut allows = collect_allows(&lexed);
+    let (in_no_alloc, orphan_no_allocs) = no_alloc_regions(src, toks, lexed);
+    let mut allows = collect_allows(lexed);
 
     let mut out = FileReport::default();
 
@@ -54,6 +77,7 @@ pub fn check_src(rel_path: &str, src: &str, policy: Policy) -> FileReport {
             rule,
             message,
             help,
+            chain: Vec::new(),
         });
     };
 
@@ -158,16 +182,13 @@ pub fn check_src(rel_path: &str, src: &str, policy: Policy) -> FileReport {
     }
 
     out.allows_used = allows.iter().filter(|a| a.used).count();
+    out.allows = allows;
     out
 }
 
 // --- allow directives -----------------------------------------------------
 
-struct AllowEntry {
-    line: u32,
-    rules: Vec<String>,
-    used: bool,
-}
+use AllowRecord as AllowEntry;
 
 fn collect_allows(lexed: &Lexed) -> Vec<AllowEntry> {
     lexed
@@ -176,6 +197,7 @@ fn collect_allows(lexed: &Lexed) -> Vec<AllowEntry> {
         .filter_map(|d| match &d.kind {
             DirectiveKind::Allow { rules, .. } => Some(AllowEntry {
                 line: d.line,
+                col: d.col,
                 rules: rules.clone(),
                 used: false,
             }),
@@ -210,6 +232,7 @@ fn directive_hygiene(
                 rule: "l1",
                 message: format!("unrecognized bct-lint directive `{body}`"),
                 help: "expected `allow(<rules>) -- <justification>` or `no_alloc`",
+                chain: Vec::new(),
             }),
             DirectiveKind::Allow { rules, justification } => {
                 if justification.is_empty() {
@@ -220,6 +243,7 @@ fn directive_hygiene(
                         rule: "l1",
                         message: "allow without a justification".to_string(),
                         help: "append ` -- <why this is sound>` after the rule list",
+                        chain: Vec::new(),
                     });
                 }
                 for r in rules {
@@ -230,7 +254,8 @@ fn directive_hygiene(
                             col: d.col,
                             rule: "l1",
                             message: format!("unknown rule id `{r}` in allow"),
-                            help: "valid rule ids: d1, d2, d3, a1, p1",
+                            help: "valid rule ids: d1, d2, d3, d4, a1, a2, p1, p2 (l1/l2 are not suppressible)",
+                            chain: Vec::new(),
                         });
                     }
                 }
@@ -244,6 +269,7 @@ fn directive_hygiene(
                         rule: "l1",
                         message: "no_alloc directive is not followed by a function body".to_string(),
                         help: "place it on the line(s) directly above the `fn` it constrains",
+                        chain: Vec::new(),
                     });
                 }
             }
@@ -252,84 +278,8 @@ fn directive_hygiene(
 }
 
 // --- region computation ---------------------------------------------------
-
-/// Per-token flag: is this token inside a `#[test]`/`#[cfg(test)]`
-/// item (including the attribute itself)?
-fn test_regions(src: &str, toks: &[Token]) -> Vec<bool> {
-    let mut flags = vec![false; toks.len()];
-    let mut i = 0;
-    while i < toks.len() {
-        if !is_punct(src, toks, i, "#") || !is_punct(src, toks, i + 1, "[") {
-            i += 1;
-            continue;
-        }
-        // Scan the attribute's bracket group.
-        let mut j = i + 2;
-        let mut depth = 1usize;
-        let mut has_test = false;
-        let mut has_not = false;
-        while j < toks.len() && depth > 0 {
-            if is_punct(src, toks, j, "[") {
-                depth += 1;
-            } else if is_punct(src, toks, j, "]") {
-                depth -= 1;
-            } else if toks[j].kind == TokKind::Ident {
-                match lexer::text(src, &toks[j]) {
-                    "test" => has_test = true,
-                    "not" => has_not = true,
-                    _ => {}
-                }
-            }
-            j += 1;
-        }
-        if !(has_test && !has_not) {
-            i = j;
-            continue;
-        }
-        // A test attribute: skip any stacked attributes, then the item.
-        let mut k = j;
-        while is_punct(src, toks, k, "#") && is_punct(src, toks, k + 1, "[") {
-            let mut d = 1usize;
-            k += 2;
-            while k < toks.len() && d > 0 {
-                if is_punct(src, toks, k, "[") {
-                    d += 1;
-                } else if is_punct(src, toks, k, "]") {
-                    d -= 1;
-                }
-                k += 1;
-            }
-        }
-        let end = item_end(src, toks, k);
-        for f in flags.iter_mut().take(end.min(toks.len())).skip(i) {
-            *f = true;
-        }
-        i = end;
-    }
-    flags
-}
-
-/// Token index one past the end of the item starting at `k`: either the
-/// matching `}` of its first brace group, or a `;` before any brace.
-fn item_end(src: &str, toks: &[Token], mut k: usize) -> usize {
-    let mut depth = 0usize;
-    let mut entered = false;
-    while k < toks.len() {
-        if is_punct(src, toks, k, "{") {
-            depth += 1;
-            entered = true;
-        } else if is_punct(src, toks, k, "}") {
-            depth = depth.saturating_sub(1);
-            if entered && depth == 0 {
-                return k + 1;
-            }
-        } else if is_punct(src, toks, k, ";") && !entered {
-            return k + 1;
-        }
-        k += 1;
-    }
-    k
-}
+// (`test_regions` / `item_end` / `is_punct` live in `parser.rs`, shared
+// with the call-graph item parser.)
 
 /// Per-token flag for A1 regions, plus the lines of `no_alloc`
 /// directives that could not be attached to a function body.
@@ -368,11 +318,6 @@ fn no_alloc_regions(src: &str, toks: &[Token], lexed: &Lexed) -> (Vec<bool>, Vec
         }
     }
     (flags, orphans)
-}
-
-fn is_punct(src: &str, toks: &[Token], i: usize, p: &str) -> bool {
-    toks.get(i)
-        .is_some_and(|t| t.kind == TokKind::Punct && lexer::text(src, t) == p)
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Workspace walking: find every `.rs` under `crates/*/src` and
-//! `src/`, check each against its crate policy, and merge the results
+//! `src/`, check each against its crate policy, build the workspace
+//! call graph, run the transitive rules over it, and merge everything
 //! into one deterministic report.
 
 use std::fs;
@@ -7,8 +8,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::diag::{sort_violations, Violation};
+use crate::graph::{Graph, GraphBuilder};
+use crate::lexer;
 use crate::policy;
-use crate::rules;
+use crate::reach;
+use crate::rules::{self, AllowRecord};
 
 /// Aggregate result of checking the whole workspace.
 #[derive(Debug, Default)]
@@ -19,6 +23,8 @@ pub struct WorkspaceReport {
     pub files_scanned: usize,
     /// Allow directives that suppressed at least one finding.
     pub allows_used: usize,
+    /// The resolved call graph (for `--graph` emission).
+    pub graph: Graph,
 }
 
 /// Check the workspace rooted at `root`.
@@ -42,18 +48,68 @@ pub fn check_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     }
     files.sort();
 
+    let sources: io::Result<Vec<(String, String)>> = files
+        .iter()
+        .map(|p| Ok((rel_path(root, p), fs::read_to_string(p)?)))
+        .collect();
+    Ok(check_sources(&sources?))
+}
+
+/// Check a set of already-read files (`(rel_path, source)` pairs).
+/// Pure function of its input — the workspace walk, the CLI subcommand
+/// and the tests all funnel through here.
+pub fn check_sources(sources: &[(String, String)]) -> WorkspaceReport {
     let mut report = WorkspaceReport::default();
-    for path in files {
-        let src = fs::read_to_string(&path)?;
-        let rel = rel_path(root, &path);
-        let pol = policy::policy_for(&rel);
-        let file_rep = rules::check_src(&rel, &src, pol);
+    let mut builder = GraphBuilder::new();
+    // Per-file allow ledgers, updated by the transitive pass before
+    // the stale-allow sweep.
+    let mut ledgers: Vec<(String, Vec<AllowRecord>)> = Vec::new();
+
+    for (rel, src) in sources {
+        let lexed = lexer::lex(src);
+        let pol = policy::policy_for(rel);
+        let file_rep = rules::check_lexed(rel, src, &lexed, pol);
+        builder.add_file(rel, src, &lexed, &file_rep.allows);
         report.violations.extend(file_rep.violations);
-        report.allows_used += file_rep.allows_used;
+        ledgers.push((rel.clone(), file_rep.allows));
         report.files_scanned += 1;
     }
+
+    report.graph = builder.build();
+    let transitive = reach::check_graph(&report.graph);
+    report.violations.extend(transitive.violations);
+
+    // Credit allows that justified a reached sink, then flag the rest
+    // that never suppressed anything (l2 — not suppressible: a stale
+    // allow is exactly the thing an allow must not hide).
+    for (file, line) in &transitive.used_allows {
+        if let Some((_, allows)) = ledgers.iter_mut().find(|(rel, _)| rel == file) {
+            for a in allows.iter_mut().filter(|a| a.line == *line) {
+                a.used = true;
+            }
+        }
+    }
+    for (rel, allows) in &ledgers {
+        for a in allows {
+            report.allows_used += a.used as usize;
+            if !a.used {
+                report.violations.push(Violation {
+                    file: rel.clone(),
+                    line: a.line,
+                    col: a.col,
+                    rule: "l2",
+                    message: format!(
+                        "stale `allow({})` — it no longer suppresses any finding",
+                        a.rules.join(", ")
+                    ),
+                    help: "delete the directive (or re-anchor it on the line above the finding it should cover); allows are re-audited workspace-wide on every run",
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
     sort_violations(&mut report.violations);
-    Ok(report)
+    report
 }
 
 /// Recursively gather `.rs` files under `dir` (sorted for determinism
@@ -133,7 +189,56 @@ mod tests {
             rule,
             message: String::new(),
             help: "",
+            chain: Vec::new(),
         }
+    }
+
+    #[test]
+    fn l2_flags_only_allows_that_suppress_nothing() {
+        let sources = [
+            (
+                "crates/sim/src/engine.rs".to_string(),
+                "
+                fn f(x: Option<u32>) -> u32 {
+                    // bct-lint: allow(p1) -- invariant: caller checked
+                    x.unwrap()
+                }
+                fn g() {
+                    // bct-lint: allow(p1) -- stale: nothing panics here
+                    let y = 1;
+                }
+                "
+                .to_string(),
+            ),
+        ];
+        let rep = check_sources(&sources);
+        let l2: Vec<_> = rep.violations.iter().filter(|v| v.rule == "l2").collect();
+        assert_eq!(l2.len(), 1);
+        assert_eq!((l2[0].line, l2[0].file.as_str()), (7, "crates/sim/src/engine.rs"));
+        assert!(l2[0].message.contains("allow(p1)"));
+        assert_eq!(rep.allows_used, 1);
+    }
+
+    #[test]
+    fn transitive_justifications_count_as_used() {
+        let sources = [
+            (
+                "crates/serve/src/protocol.rs".to_string(),
+                "pub fn decode(b: &[u8]) { bct_core::parse::header(b); }".to_string(),
+            ),
+            (
+                "crates/core/src/parse.rs".to_string(),
+                "pub fn header(b: &[u8]) {
+                     // bct-lint: allow(p2) -- frame length is validated by decode
+                     b.first().unwrap();
+                 }"
+                .to_string(),
+            ),
+        ];
+        let rep = check_sources(&sources);
+        assert!(rep.violations.is_empty(), "violations: {:?}", rep.violations);
+        assert_eq!(rep.allows_used, 1);
+        assert!(!rep.graph.nodes.is_empty() && !rep.graph.edges.is_empty());
     }
 
     #[test]

@@ -80,3 +80,48 @@ fn real_workspace_is_clean_via_binary() {
     let out = bin().arg("--root").arg(&root).output().unwrap();
     assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
+
+#[test]
+fn machine_json_is_byte_stable_across_runs() {
+    let root = scratch_root(
+        "stable",
+        "use std::collections::HashMap;\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let mut outs = Vec::new();
+    for run in 0..2 {
+        let json_path = root.join(format!("LINT_{run}.json"));
+        let out = bin()
+            .arg("--root")
+            .arg(&root)
+            .arg("--machine")
+            .arg(&json_path)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "{out:?}");
+        outs.push(std::fs::read(&json_path).unwrap());
+    }
+    assert_eq!(outs[0], outs[1], "machine JSON must be byte-identical run to run");
+    let json = String::from_utf8(outs.pop().unwrap()).unwrap();
+    assert!(json.contains("\"version\":2"), "{json}");
+}
+
+#[test]
+fn graph_flag_writes_the_call_graph_json() {
+    let root = scratch_root(
+        "graph",
+        "pub fn caller() { callee(); }\npub fn callee() -> u32 { 1 }\n",
+    );
+    let graph_path = root.join("LINT_GRAPH.json");
+    let out = bin()
+        .arg("--root")
+        .arg(&root)
+        .arg("--graph")
+        .arg(&graph_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let json = std::fs::read_to_string(&graph_path).unwrap();
+    assert!(json.contains("\"graph_version\":1"), "{json}");
+    assert!(json.contains("sim::caller"), "{json}");
+    assert!(json.contains("\"edges\":[[0,1]]") || json.contains("\"edges\":[[1,0]]"), "{json}");
+}

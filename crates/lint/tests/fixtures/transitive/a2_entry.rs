@@ -1,0 +1,4 @@
+// bct-lint: no_alloc
+pub fn dispatch() {
+    bct_core::scratch::grow();
+}

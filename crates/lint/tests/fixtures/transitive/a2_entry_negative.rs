@@ -1,0 +1,3 @@
+pub fn dispatch() {
+    bct_core::scratch::grow();
+}

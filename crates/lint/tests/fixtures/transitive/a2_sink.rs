@@ -1,0 +1,3 @@
+pub fn grow() -> Vec<u32> {
+    Vec::new()
+}

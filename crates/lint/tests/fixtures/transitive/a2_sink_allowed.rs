@@ -1,0 +1,4 @@
+pub fn grow() -> Vec<u32> {
+    // bct-lint: allow(a2) -- cold-start fill only; the warm path reuses capacity
+    Vec::new()
+}

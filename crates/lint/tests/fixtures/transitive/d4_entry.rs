@@ -1,0 +1,3 @@
+pub fn run() -> u64 {
+    bct_bench::timer::stamp()
+}

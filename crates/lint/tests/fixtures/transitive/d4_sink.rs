@@ -1,0 +1,4 @@
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

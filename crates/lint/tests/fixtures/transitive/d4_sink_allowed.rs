@@ -1,0 +1,5 @@
+pub fn stamp() -> u64 {
+    // bct-lint: allow(d4) -- diagnostic stamp; never feeds scheduling decisions
+    let _t = std::time::Instant::now();
+    0
+}

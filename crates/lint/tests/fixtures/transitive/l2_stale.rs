@@ -1,0 +1,4 @@
+pub fn quiet() -> u32 {
+    // bct-lint: allow(p1) -- stale: nothing on the next line can panic
+    1
+}

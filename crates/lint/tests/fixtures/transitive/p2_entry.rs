@@ -1,0 +1,3 @@
+pub fn decode(b: &[u8]) -> u32 {
+    bct_core::hdr::first(b)
+}

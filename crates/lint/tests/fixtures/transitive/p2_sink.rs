@@ -1,0 +1,3 @@
+pub fn first(b: &[u8]) -> u32 {
+    u32::from(*b.first().unwrap())
+}

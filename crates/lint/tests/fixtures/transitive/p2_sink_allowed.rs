@@ -1,0 +1,4 @@
+pub fn first(b: &[u8]) -> u32 {
+    // bct-lint: allow(p2) -- callers validate the frame length before indexing
+    u32::from(*b.first().unwrap())
+}

@@ -1,0 +1,144 @@
+//! Fixture-driven tests for the transitive rules (a2, p2, d4) and the
+//! stale-allow audit (l2). Each case assembles a tiny multi-file
+//! "workspace" from fixtures under `tests/fixtures/transitive/`,
+//! mapping every fixture onto a synthetic workspace-relative path so
+//! the crate policies and the cross-crate name resolution are exactly
+//! the ones the real walk uses.
+//!
+//! Spans are asserted exactly: transitive findings anchor at the sink
+//! token, l2 findings at the allow directive itself.
+
+use std::path::Path;
+
+use bct_lint::check_sources;
+
+/// Read fixtures and pair each with its synthetic workspace path.
+fn sources(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/transitive");
+    pairs
+        .iter()
+        .map(|(rel, fixture)| {
+            let src = std::fs::read_to_string(dir.join(fixture))
+                .unwrap_or_else(|e| panic!("fixture {fixture} unreadable: {e}"));
+            (rel.to_string(), src)
+        })
+        .collect()
+}
+
+/// (rule, file, line, col) tuples for exact-span asserts.
+fn spans(rep: &bct_lint::WorkspaceReport) -> Vec<(&'static str, &str, u32, u32)> {
+    rep.violations
+        .iter()
+        .map(|v| (v.rule, v.file.as_str(), v.line, v.col))
+        .collect()
+}
+
+// --- a2: no_alloc reachability -------------------------------------------
+
+#[test]
+fn a2_positive_fires_at_the_sink_with_full_chain() {
+    let rep = check_sources(&sources(&[
+        ("crates/sched/src/lib.rs", "a2_entry.rs"),
+        ("crates/core/src/scratch.rs", "a2_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), [("a2", "crates/core/src/scratch.rs", 2, 5)]);
+    let v = &rep.violations[0];
+    assert_eq!(v.chain, ["sched::dispatch", "core::scratch::grow"]);
+    assert!(v.message.contains("`no_alloc` fn `sched::dispatch`"), "{}", v.message);
+    assert!(v.message.contains("Vec::new"), "{}", v.message);
+}
+
+#[test]
+fn a2_negative_without_no_alloc_entry_is_clean() {
+    let rep = check_sources(&sources(&[
+        ("crates/sched/src/lib.rs", "a2_entry_negative.rs"),
+        ("crates/core/src/scratch.rs", "a2_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+}
+
+#[test]
+fn a2_allow_at_the_sink_suppresses_and_counts_as_used() {
+    let rep = check_sources(&sources(&[
+        ("crates/sched/src/lib.rs", "a2_entry.rs"),
+        ("crates/core/src/scratch.rs", "a2_sink_allowed.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+    assert_eq!(rep.allows_used, 1);
+}
+
+// --- p2: panic reachability from wire-facing / panic-audited code ---------
+
+#[test]
+fn p2_positive_fires_from_a_wire_facing_entry() {
+    let rep = check_sources(&sources(&[
+        ("crates/serve/src/protocol.rs", "p2_entry.rs"),
+        ("crates/core/src/hdr.rs", "p2_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), [("p2", "crates/core/src/hdr.rs", 2, 26)]);
+    let v = &rep.violations[0];
+    assert_eq!(v.chain, ["serve::protocol::decode", "core::hdr::first"]);
+    assert!(v.message.contains("wire-facing"), "{}", v.message);
+}
+
+#[test]
+fn p2_negative_from_an_unaudited_entry_is_clean() {
+    let rep = check_sources(&sources(&[
+        ("crates/analysis/src/lib.rs", "p2_entry.rs"),
+        ("crates/core/src/hdr.rs", "p2_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+}
+
+#[test]
+fn p2_allow_at_the_sink_suppresses_and_counts_as_used() {
+    let rep = check_sources(&sources(&[
+        ("crates/serve/src/protocol.rs", "p2_entry.rs"),
+        ("crates/core/src/hdr.rs", "p2_sink_allowed.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+    assert_eq!(rep.allows_used, 1);
+}
+
+// --- d4: determinism taint ------------------------------------------------
+
+#[test]
+fn d4_positive_fires_when_a_deterministic_crate_reaches_a_clock() {
+    let rep = check_sources(&sources(&[
+        ("crates/sim/src/lib.rs", "d4_entry.rs"),
+        ("crates/bench/src/timer.rs", "d4_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), [("d4", "crates/bench/src/timer.rs", 2, 25)]);
+    let v = &rep.violations[0];
+    assert_eq!(v.chain, ["sim::run", "bench::timer::stamp"]);
+    assert!(v.message.contains("deterministic entry point `sim::run`"), "{}", v.message);
+}
+
+#[test]
+fn d4_negative_clock_crate_entry_is_clean() {
+    let rep = check_sources(&sources(&[
+        ("crates/cli/src/lib.rs", "d4_entry.rs"),
+        ("crates/bench/src/timer.rs", "d4_sink.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+}
+
+#[test]
+fn d4_allow_at_the_sink_suppresses_and_counts_as_used() {
+    let rep = check_sources(&sources(&[
+        ("crates/sim/src/lib.rs", "d4_entry.rs"),
+        ("crates/bench/src/timer.rs", "d4_sink_allowed.rs"),
+    ]));
+    assert_eq!(spans(&rep), []);
+    assert_eq!(rep.allows_used, 1);
+}
+
+// --- l2: stale allows -----------------------------------------------------
+
+#[test]
+fn l2_fires_at_the_stale_directive_with_exact_span() {
+    let rep = check_sources(&sources(&[("crates/sim/src/stale.rs", "l2_stale.rs")]));
+    assert_eq!(spans(&rep), [("l2", "crates/sim/src/stale.rs", 2, 5)]);
+    assert!(rep.violations[0].message.contains("stale `allow(p1)`"));
+    assert_eq!(rep.allows_used, 0);
+}

@@ -18,6 +18,7 @@ fn workspace_has_zero_violations() {
     // Sanity: the walker actually visited the workspace (all eleven
     // crates' src trees), not an empty directory.
     assert!(rep.files_scanned >= 70, "only {} files scanned", rep.files_scanned);
-    // The audited panic/clock/float sites carry justified allows.
-    assert!(rep.allows_used >= 20, "only {} allows used", rep.allows_used);
+    // The audited panic/clock/float sites carry justified allows, and
+    // the PR-9 transitive burn-down added chain-anchored a2/p2 allows.
+    assert!(rep.allows_used >= 40, "only {} allows used", rep.allows_used);
 }

@@ -52,7 +52,7 @@ pub fn srpt_single_machine(releases: &[Time], sizes: &[Time], speed: f64) -> Tim
         // Shortest remaining among released, unfinished.
         let cur = (0..n)
             .filter(|&j| released[j] && !done[j])
-            .min_by(|&a, &b| rem[a].partial_cmp(&rem[b]).unwrap());
+            .min_by(|&a, &b| rem[a].total_cmp(&rem[b]));
         match cur {
             Some(j) => {
                 let finish = now + rem[j] / speed;

@@ -156,7 +156,6 @@ pub fn run_bench(cfg: &BenchConfig, log_path: &Path) -> Result<BenchReport, Stri
 
 /// Serialize a report to pretty JSON.
 pub fn report_json(report: &BenchReport) -> String {
-    // bct-lint: allow(p1) -- BenchReport has no map keys; serialization is infallible
     serde_json::to_string_pretty(report).expect("report serializes")
 }
 

@@ -115,7 +115,7 @@ pub fn parse_log(bytes: &[u8]) -> Result<ParsedLog, String> {
     if rest.len() < 4 {
         return Err("log truncated inside the header length".into());
     }
-    // bct-lint: allow(p1) -- length checked on the line above
+    // bct-lint: allow(p1, p2) -- length checked on the line above
     let hlen = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
     if hlen > MAX_PAYLOAD as usize {
         return Err(format!("header length {hlen} exceeds MAX_PAYLOAD"));
@@ -123,9 +123,10 @@ pub fn parse_log(bytes: &[u8]) -> Result<ParsedLog, String> {
     if rest.len() < 4 + hlen + 8 {
         return Err("log truncated inside the config header".into());
     }
+    // bct-lint: allow(p2) -- `rest.len() >= 4 + hlen + 8` checked above
     let json = &rest[4..4 + hlen];
     let want = u64::from_le_bytes(
-        // bct-lint: allow(p1) -- bounds checked above
+        // bct-lint: allow(p1, p2) -- bounds checked above
         rest[4 + hlen..4 + hlen + 8].try_into().expect("8 bytes"),
     );
     if want != fnv1a(json) {
@@ -135,6 +136,7 @@ pub fn parse_log(bytes: &[u8]) -> Result<ParsedLog, String> {
         .map_err(|_| "config header is not UTF-8".to_string())?;
     let config: ServeConfig = serde_json::from_str(json_str)
         .map_err(|e| format!("config header does not parse: {e}"))?;
+    // bct-lint: allow(p2) -- start offset is within `rest` per the length check above
     let mut r = std::io::Cursor::new(&rest[4 + hlen + 8..]);
     let mut commands = Vec::new();
     let mut payload = Vec::new();

@@ -127,6 +127,7 @@ impl std::error::Error for WireError {}
 // bct-lint: no_alloc
 pub fn frame_into(payload_start: usize, out: &mut Vec<u8>) {
     let len = (out.len() - payload_start) as u32;
+    // bct-lint: allow(p2) -- `payload_start` is a prior `out.len()`, always in range
     let check = fnv1a(&out[payload_start..]);
     // Splice the 4-byte length prefix in front of the payload...
     out.splice(payload_start..payload_start, len.to_le_bytes());
@@ -363,7 +364,7 @@ pub fn next_record(buf: &[u8]) -> Result<Option<(std::ops::Range<usize>, usize)>
     if buf.len() < 4 {
         return Ok(None);
     }
-    // bct-lint: allow(p1) -- length checked on the line above
+    // bct-lint: allow(p1, p2) -- length checked on the line above
     let len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
     if len > MAX_PAYLOAD as usize {
         return Err(WireError::Corrupt(format!(
@@ -376,6 +377,7 @@ pub fn next_record(buf: &[u8]) -> Result<Option<(std::ops::Range<usize>, usize)>
     }
     let payload = 4..4 + len;
     let want = take_u64(buf, 4 + len)?;
+    // bct-lint: allow(p2) -- `buf.len() >= total = 4 + len + 8` checked above
     let got = fnv1a(&buf[payload.clone()]);
     if want != got {
         return Err(WireError::Corrupt(format!(
@@ -432,6 +434,7 @@ enum ReadOutcome {
 fn read_exact_or_eof<R: std::io::Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
+        // bct-lint: allow(p2) -- `filled < buf.len()` is the loop guard
         match r.read(&mut buf[filled..]) {
             Ok(0) => return if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Short },
             Ok(n) => filled += n,

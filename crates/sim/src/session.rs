@@ -271,6 +271,7 @@ impl SimSession {
         assignment: &mut dyn StatefulPolicy,
     ) -> Result<u64, SessionError> {
         {
+            // bct-lint: allow(a2) -- mutation staging validates on a throwaway copy; mutations are rare control events, not `Service::apply`'s steady state
             let mut staged = self.tree().clone();
             staged.queue_mutation(change);
             staged

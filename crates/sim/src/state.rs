@@ -316,6 +316,7 @@ impl<'a> SimState<'a> {
             q.clear();
         }
         while q_members.len() < m {
+            // bct-lint: allow(a2) -- cold lane start only; warm runs reuse scratch capacity
             q_members.push(Vec::new());
         }
         let mut aggs = mem::take(&mut scratch.aggs);
@@ -328,6 +329,7 @@ impl<'a> SimState<'a> {
                     t.clone_from(instance.tree());
                     t
                 }
+                // bct-lint: allow(a2) -- first dynamic run on a cold lane; warm runs clone_from above
                 None => instance.tree().clone(),
             })
         } else {
@@ -952,6 +954,7 @@ impl<'a> SimState<'a> {
             self.nodes.push(NodeState::new());
         }
         while self.q_members.len() < m {
+            // bct-lint: allow(a2) -- allocates at the mutation event only; see doc above
             self.q_members.push(Vec::new());
         }
         self.aggs.grow_nodes(m);

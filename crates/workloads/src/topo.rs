@@ -18,7 +18,7 @@ pub fn line(routers: usize) -> Tree {
     let chain = b.add_chain(r, routers - 1);
     let last = chain.last().copied().unwrap_or(r);
     b.add_child(last);
-    b.build().expect("line is valid")
+    b.build().expect("line is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 /// A **star of chains**: `branches` root-adjacent routers, each a chain
@@ -33,7 +33,7 @@ pub fn star(branches: usize, depth: usize) -> Tree {
         let last = chain.last().copied().unwrap_or(r);
         b.add_child(last);
     }
-    b.build().expect("star is valid")
+    b.build().expect("star is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 /// A complete **k-ary router tree** of the given router depth with one
@@ -55,7 +55,7 @@ pub fn kary(k: usize, depth: usize) -> Tree {
     for &v in &frontier {
         b.add_child(v);
     }
-    b.build().expect("kary is valid")
+    b.build().expect("kary is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 /// A **caterpillar**: one spine of `spine` routers under a single
@@ -72,7 +72,7 @@ pub fn caterpillar(spine: usize, leaves_per_node: usize) -> Tree {
             b.add_child(v);
         }
     }
-    b.build().expect("caterpillar is valid")
+    b.build().expect("caterpillar is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 /// A **broomstick** in the §3.3 sense: `handles` root-adjacent handles,
@@ -90,7 +90,7 @@ pub fn broomstick(handles: usize, handle_len: usize, leaves_per_node: usize) -> 
             }
         }
     }
-    let t = b.build().expect("broomstick is valid");
+    let t = b.build().expect("broomstick is valid"); // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
     debug_assert!(t.is_broomstick());
     t
 }
@@ -111,7 +111,7 @@ pub fn fat_tree(pods: usize, edges_per_pod: usize, hosts_per_edge: usize) -> Tre
             }
         }
     }
-    b.build().expect("fat tree is valid")
+    b.build().expect("fat tree is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 /// A seeded **random tree**: `routers` routers attached one by one to a
@@ -152,7 +152,7 @@ pub fn random_tree<R: Rng>(rng: &mut R, routers: usize, leaves: usize) -> Tree {
             b.add_child(router_ids[i]);
         }
     }
-    b.build().expect("random tree is valid")
+    b.build().expect("random tree is valid") // bct-lint: allow(p2) -- shape is valid by construction; `build` failing is a builder bug
 }
 
 #[cfg(test)]
