@@ -51,7 +51,8 @@ cargo clippy --all-targets -- -D warnings \
 # CLI). The heavy-tail grid exercises the aggregate fast path (greedy
 # dispatch with raw sizes) under Pareto sizes at rho up to 2.
 golden_out=$(mktemp)
-trap 'rm -f "$golden_out"' EXIT
+run_dir=$(mktemp -d)
+trap 'rm -f "$golden_out"; rm -rf "$run_dir"' EXIT
 cargo run -q --release -p bct-cli -- sweep \
     --spec specs/golden_sweep.json --workers 2 --out "$golden_out" --quiet >/dev/null
 diff specs/golden_sweep.expected.jsonl "$golden_out"
@@ -95,6 +96,40 @@ cat "$shard_a" "$shard_b" | sort -t: -k2 -n > "$golden_out"
 diff specs/golden_sweep.expected.jsonl "$golden_out"
 rm -f "$shard_a" "$shard_b"
 
+# Kill/resume differential gate: arm the crash hook so the worker
+# aborts after k completed cells — leaving a torn partial record at the
+# tail of a row file — then resume on the same run dir. The merged
+# output must be byte-identical to the golden at every kill point. The
+# armed runs MUST die, hence the `if` wrapping under `set -e`.
+for k in 3 7 19; do
+    rm -rf "$run_dir"
+    if BCT_SWEEP_CRASH_AFTER_CELLS=$k BCT_SWEEP_CRASH_TORN=1 \
+        cargo run -q --release -p bct-cli -- sweep \
+        --spec specs/golden_sweep.json --run-dir "$run_dir" \
+        --out "$golden_out" --quiet >/dev/null 2>&1; then
+        echo "kill/resume gate: worker armed with crash at k=$k did not die" >&2
+        exit 1
+    fi
+    cargo run -q --release -p bct-cli -- sweep \
+        --spec specs/golden_sweep.json --run-dir "$run_dir" \
+        --out "$golden_out" --quiet >/dev/null
+    diff specs/golden_sweep.expected.jsonl "$golden_out"
+    echo "kill/resume gate: killed at k=$k, resumed byte-identical"
+done
+
+# Multi-process shared run dir: --procs 2 forks two coordinator-less
+# workers racing the claim protocol on one run dir; the parent merge
+# and both per-child merges must all equal the golden bytes.
+rm -rf "$run_dir"
+cargo run -q --release -p bct-cli -- sweep \
+    --spec specs/golden_sweep.json --run-dir "$run_dir" --procs 2 \
+    --out "$golden_out" --quiet >/dev/null
+diff specs/golden_sweep.expected.jsonl "$golden_out"
+diff specs/golden_sweep.expected.jsonl "$run_dir/worker-0.merged.jsonl"
+diff specs/golden_sweep.expected.jsonl "$run_dir/worker-1.merged.jsonl"
+rm -rf "$run_dir"
+echo "multi-process gate: --procs 2 merged byte-identical (parent + both children)"
+
 # Serve smoke: the online dispatch service under 10k open-loop Poisson
 # arrivals; the journal it writes must replay bit-for-bit (every
 # embedded state hash checked), and the bench report must parse with
@@ -113,18 +148,29 @@ print(f"serve bench: p50 {d['p50_us']:.1f}us p99 {d['p99_us']:.1f}us p999 {d['p9
       f"({d['throughput_per_s']:.0f} decisions/s, {d['log_records']} journal records)")
 EOF
 
-# Sweep-engine scaling: emits target/BENCH_sweep.json; asserts >=2x
-# scaling at 4 workers only on machines with >=4 cores. On smaller
-# boxes say so explicitly, so a core-starved CI container reads as
-# "gate skipped", never as "gate passed".
+# Sweep-engine scaling: emits target/BENCH_sweep.json with a 4-thread
+# AND a 4-process (shared run dir, claim protocol) series; the bench
+# itself asserts the multi-process merge is byte-identical to the
+# in-process sweep, and that assertion runs on ANY core count — this
+# gate always verifies the distributed path, never skips outright. The
+# speedup ratio takes the better of the two series and is only
+# enforced on machines with >=4 cores; on smaller boxes the measured
+# numbers are reported and the ratio alone is waived (4 lanes on 1
+# core can at best tie).
 cargo bench -q -p bct-bench --bench sweep_throughput
 python3 - <<'EOF'
 import json
 d = json.load(open("target/BENCH_sweep.json"))
+assert d["multiproc_merge_identical"], "multi-process merge diverged from the in-process sweep"
+best = max(d["speedup_4_over_1"], d["speedup_4_procs_over_1"])
+line = (f"{d['speedup_4_over_1']:.2f}x threads / "
+        f"{d['speedup_4_procs_over_1']:.2f}x procs, {d['cores']} cores")
 if d["cores"] >= 4:
-    print(f"sweep scaling gate: PASSED ({d['speedup']:.2f}x at 4 workers, {d['cores']} cores)")
+    if best < 1.8:
+        raise SystemExit(f"sweep scaling gate: FAILED ({line})")
+    print(f"sweep scaling gate: PASSED ({line})")
 else:
-    print(f"sweep scaling gate: SKIPPED ({d['cores']} cores)")
+    print(f"sweep scaling gate: merge verified; ratio waived on a {d['cores']}-core host ({line})")
 EOF
 
 # Simulator-core throughput: emits target/BENCH_sim.json (jobs/s fresh

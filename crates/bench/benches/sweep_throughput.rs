@@ -1,16 +1,29 @@
 //! Sweep-engine scaling benchmark: cells/second at 1 worker vs 4
-//! workers on a fixed 96-cell grid.
+//! in-process workers vs 4 cooperating OS processes on a fixed grid.
 //!
-//! Emits `target/BENCH_sweep.json` with both rates and the speedup.
-//! The ≥2× scaling assertion only fires when the machine actually has
-//! ≥4 cores (`std::thread::available_parallelism`); on smaller boxes
-//! the bench still runs and reports, since 4 workers on 1 core can at
-//! best tie.
+//! The multi-process series re-executes this bench binary with
+//! `BCT_SWEEP_BENCH_WORKER=<run dir>` set; each re-exec runs the
+//! coordinator-less claim protocol against the shared run dir and
+//! exits, and the parent merges and checks the result byte-identical
+//! to the in-process run.
+//!
+//! Emits `target/BENCH_sweep.json` with all three rates and both
+//! speedups. The ≥2× scaling assertion only fires when the machine
+//! actually has ≥4 cores (`std::thread::available_parallelism`) and
+//! takes the better of the thread and process speedups; on smaller
+//! boxes the bench still runs and reports, since 4 lanes on 1 core
+//! can at best tie.
 
+use bct_harness::rundir::RunDirOptions;
 use bct_harness::sweep::{ProgressMode, SweepOptions};
-use bct_harness::{run_sweep, NullSink, SweepSpec};
-use criterion::{criterion_group, criterion_main, Criterion};
+use bct_harness::{run_sweep, run_sweep_dir, NullSink, SweepSpec};
+use criterion::Criterion;
+use std::path::Path;
+use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
+
+const WORKER_ENV: &str = "BCT_SWEEP_BENCH_WORKER";
+const PROCS: usize = 4;
 
 fn bench_spec() -> SweepSpec {
     SweepSpec::from_json(
@@ -19,7 +32,7 @@ fn bench_spec() -> SweepSpec {
             "root_seed": 99,
             "replications": 4,
             "topologies": ["star:4,2", "fat-tree:2,2,2"],
-            "workloads": [{"jobs": 120}],
+            "workloads": [{"jobs": 2000}],
             "policies": ["sjf+greedy:0.5", "sjf+least-volume", "fifo+closest"],
             "speeds": ["uniform:1", "uniform:1.5"]
         }"#,
@@ -27,56 +40,120 @@ fn bench_spec() -> SweepSpec {
     .expect("bench spec is valid")
 }
 
-/// Run the whole sweep once and return (elapsed, cells).
-fn run_once(spec: &SweepSpec, workers: usize) -> (Duration, usize) {
-    let opts = SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() };
+fn silent_opts(workers: usize) -> SweepOptions {
+    SweepOptions { workers, progress: ProgressMode::Silent, ..Default::default() }
+}
+
+fn rd_opts() -> RunDirOptions {
+    // Tight poll: idle workers waiting out the last busy chunks should
+    // not pad the measured wall-clock.
+    RunDirOptions { poll: Duration::from_millis(5), ..Default::default() }
+}
+
+/// Re-exec entry point: claim and run chunks until the shared run dir
+/// is complete, then exit. The parent does the merging and timing.
+fn worker_main(dir: &str) {
+    run_sweep_dir(&bench_spec(), &silent_opts(1), &rd_opts(), Path::new(dir))
+        .expect("bench worker sweep");
+}
+
+/// Run the whole sweep once in-process and return (elapsed, report rows).
+fn run_once(spec: &SweepSpec, workers: usize) -> (Duration, String) {
     let start = Instant::now();
-    let report = run_sweep(spec, &opts, &mut NullSink).expect("sweep runs");
+    let report = run_sweep(spec, &silent_opts(workers), &mut NullSink).expect("sweep runs");
     let elapsed = start.elapsed();
     assert!(report.all_ok(), "bench cells must not fail");
-    (elapsed, report.rows.len())
+    assert_eq!(report.rows.len(), spec.num_cells());
+    (elapsed, report.sorted_jsonl())
+}
+
+/// Fork `PROCS` copies of this binary onto one shared run dir, wait for
+/// all of them, and return (elapsed, merged JSONL).
+fn run_procs(spec: &SweepSpec) -> (Duration, String) {
+    let dir = std::env::temp_dir().join(format!("bct_bench_procs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exe = std::env::current_exe().expect("current exe");
+    let start = Instant::now();
+    let children: Vec<_> = (0..PROCS)
+        .map(|_| {
+            Command::new(&exe)
+                .env(WORKER_ENV, dir.to_str().expect("utf-8 run dir"))
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn bench worker process")
+        })
+        .collect();
+    for mut child in children {
+        assert!(child.wait().expect("wait bench worker").success(), "bench worker died");
+    }
+    let elapsed = start.elapsed();
+    // Every chunk is done, so this re-invocation only recovers + merges.
+    let (report, jsonl) =
+        run_sweep_dir(spec, &silent_opts(1), &rd_opts(), &dir).expect("merge run dir");
+    assert!(report.all_ok(), "bench cells must not fail");
+    let _ = std::fs::remove_dir_all(&dir);
+    (elapsed, jsonl)
 }
 
 fn sweep_throughput(c: &mut Criterion) {
     let spec = bench_spec();
     let cells = spec.num_cells();
 
-    // Warm-up (page in, heat caches), then measure each worker count.
-    let _ = run_once(&spec, 1);
-    let (t1, n1) = run_once(&spec, 1);
-    let (t4, n4) = run_once(&spec, 4);
-    assert_eq!(n1, cells);
-    assert_eq!(n4, cells);
+    // Warm-up (page in, heat caches); its output doubles as the oracle
+    // the multi-process merge must reproduce byte-for-byte.
+    let (_, oracle) = run_once(&spec, 1);
+    let (t1, jsonl1) = run_once(&spec, 1);
+    let (t4, _) = run_once(&spec, 4);
+    let (tp, jsonl_procs) = run_procs(&spec);
+    assert_eq!(jsonl1, oracle, "in-process sweep must be deterministic");
+    let merge_identical = jsonl_procs == oracle;
+    assert!(merge_identical, "multi-process merge diverged from the in-process sweep");
 
     let rate1 = cells as f64 / t1.as_secs_f64();
     let rate4 = cells as f64 / t4.as_secs_f64();
+    let rate_procs = cells as f64 / tp.as_secs_f64();
     let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    let speedup_procs = t1.as_secs_f64() / tp.as_secs_f64();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
     let mut g = c.benchmark_group("sweep_throughput");
     g.sample_size(10);
     g.bench_function(format!("{cells}-cells/1-worker"), |b| b.iter_custom(|_| t1));
     g.bench_function(format!("{cells}-cells/4-workers"), |b| b.iter_custom(|_| t4));
+    g.bench_function(format!("{cells}-cells/4-procs"), |b| b.iter_custom(|_| tp));
     g.finish();
 
     let json = format!(
         "{{\"bench\": \"sweep_throughput\", \"cells\": {cells}, \"cores\": {cores}, \
          \"rate_1_worker_cells_per_s\": {rate1:.1}, \"rate_4_workers_cells_per_s\": {rate4:.1}, \
-         \"speedup_4_over_1\": {speedup:.2}}}\n"
+         \"speedup_4_over_1\": {speedup:.2}, \"rate_4_procs_cells_per_s\": {rate_procs:.1}, \
+         \"speedup_4_procs_over_1\": {speedup_procs:.2}, \
+         \"multiproc_merge_identical\": {merge_identical}}}\n"
     );
     // Cargo runs benches with cwd = the package dir; anchor the output
     // in the workspace target/ regardless.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_sweep.json");
     std::fs::write(out, &json).expect("write BENCH_sweep.json");
-    println!("sweep_throughput: {rate1:.1} cells/s @1 worker, {rate4:.1} @4 workers ({speedup:.2}x, {cores} cores)");
+    println!(
+        "sweep_throughput: {rate1:.1} cells/s @1 worker, {rate4:.1} @4 workers ({speedup:.2}x), \
+         {rate_procs:.1} @4 procs ({speedup_procs:.2}x, {cores} cores)"
+    );
 
     if cores >= 4 {
+        let best = speedup.max(speedup_procs);
         assert!(
-            speedup >= 2.0,
-            "4 workers must be >=2x faster than 1 on a >=4-core machine, got {speedup:.2}x"
+            best >= 2.0,
+            "4 lanes must be >=2x faster than 1 on a >=4-core machine, \
+             got {speedup:.2}x threads / {speedup_procs:.2}x procs"
         );
     }
 }
 
-criterion_group!(benches, sweep_throughput);
-criterion_main!(benches);
+fn main() {
+    if let Ok(dir) = std::env::var(WORKER_ENV) {
+        worker_main(&dir);
+        return;
+    }
+    let mut c = Criterion::default();
+    sweep_throughput(&mut c);
+}

@@ -87,6 +87,12 @@ fn usage() -> String {
      [--workers N] [--out rows.jsonl] [--summary-out FILE] [--quiet]\n               \
      [--shard i/N] [--no-batch: disable the batched multi-cell runner;\n               \
      rows are byte-identical either way]; exits 3 if cells failed.\n               \
+     [--run-dir DIR]: durable resumable run — checksummed rows land in\n               \
+     DIR as they finish; re-invoking the same spec resumes (skips\n               \
+     checksum-valid cells, hard error on spec mismatch), and N\n               \
+     concurrent invocations cooperate via atomic chunk claims\n               \
+     [--chunk-size N] [--claim-timeout-ms MS]. [--procs N] forks N\n               \
+     such workers against --run-dir and merges their output.\n               \
      without --spec: inline policies × speeds table on one workload\n  \
      bound        OPT lower bounds (LP-certified + combinatorial)\n  \
      verify-dual  replay the §3.5/3.6 dual fitting and check Lemmas 5-7\n  \
@@ -291,11 +297,32 @@ fn parse_shard(s: &str) -> Result<(usize, usize), String> {
 
 fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
     let sweep_spec = bct_harness::SweepSpec::load(std::path::Path::new(path))?;
-    let workers = opts.get_usize("workers", bct_harness::exec::available_workers())?;
     let shard = match opts.try_get("shard") {
         None => None,
         Some(s) => Some(parse_shard(&s)?),
     };
+    let procs = opts.get_usize("procs", 0)?;
+    if procs > 0 || opts.try_get("run-dir").is_some() {
+        let Some(dir) = opts.try_get("run-dir") else {
+            return Err(
+                "--procs needs --run-dir DIR (the shared directory workers cooperate on)"
+                    .into(),
+            );
+        };
+        if shard.is_some() {
+            return Err(
+                "--shard cannot be combined with --run-dir: the claim protocol already \
+                 partitions cells dynamically"
+                    .into(),
+            );
+        }
+        if procs > 0 {
+            return cmd_sweep_procs(opts, path, &sweep_spec, &dir, procs);
+        }
+        let workers = opts.get_usize("workers", bct_harness::exec::available_workers())?;
+        return cmd_sweep_rundir(opts, &sweep_spec, &dir, workers);
+    }
+    let workers = opts.get_usize("workers", bct_harness::exec::available_workers())?;
     let run_opts = bct_harness::SweepOptions {
         workers,
         progress: if opts.get_bool("quiet") {
@@ -326,14 +353,148 @@ fn cmd_sweep_spec(opts: &Opts, path: &str) -> Result<(), String> {
     // serialization (the determinism contract of the harness).
     std::fs::write(&out_path, report.sorted_jsonl())
         .map_err(|e| format!("writing {out_path}: {e}"))?;
+    finish_sweep(opts, &report, &out_path, &format!("{workers} workers"))
+}
+
+/// The run-dir tunables shared by the resumable and multi-process
+/// sweep modes.
+fn rundir_options(opts: &Opts) -> Result<bct_harness::RunDirOptions, String> {
+    let chunk_size = match opts.try_get("chunk-size") {
+        None => None,
+        Some(v) => {
+            let c: usize =
+                v.parse().map_err(|_| format!("bad --chunk-size '{v}': need an integer ≥ 1"))?;
+            Some(c)
+        }
+    };
+    Ok(bct_harness::RunDirOptions {
+        chunk_size,
+        claim_timeout: std::time::Duration::from_millis(
+            opts.get_usize("claim-timeout-ms", 30_000)? as u64,
+        ),
+        poll: std::time::Duration::from_millis(opts.get_usize("claim-poll-ms", 50)?.max(1) as u64),
+    })
+}
+
+/// `bct sweep --spec S --run-dir DIR`: the durable, resumable path.
+/// Rows land in the run dir as checksummed per-chunk files the moment
+/// they finish; a re-invocation (same spec, any process, any number of
+/// them concurrently) claims unfinished chunks, recovers checksum-valid
+/// rows instead of recomputing them, and the merged `--out` is
+/// byte-identical to a fresh one-shot run.
+fn cmd_sweep_rundir(
+    opts: &Opts,
+    spec: &bct_harness::SweepSpec,
+    dir: &str,
+    workers: usize,
+) -> Result<(), String> {
+    let run_opts = bct_harness::SweepOptions {
+        workers,
+        progress: if opts.get_bool("quiet") {
+            bct_harness::sweep::ProgressMode::Silent
+        } else {
+            bct_harness::sweep::ProgressMode::Stderr
+        },
+        shard: None,
+        batch: !opts.get_bool("no-batch"),
+    };
+    let rd_opts = rundir_options(opts)?;
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result =
+        bct_harness::run_sweep_dir(spec, &run_opts, &rd_opts, std::path::Path::new(dir));
+    std::panic::set_hook(prev_hook);
+    let (report, jsonl) = result?;
+    let out_path = opts.get("out", "sweep.jsonl");
+    std::fs::write(&out_path, jsonl).map_err(|e| format!("writing {out_path}: {e}"))?;
+    finish_sweep(opts, &report, &out_path, &format!("{workers} workers, run dir {dir}"))
+}
+
+/// `bct sweep --spec S --run-dir DIR --procs N`: fork N child `bct
+/// sweep` workers against the shared run dir, wait, and merge. Each
+/// child is a full claim-protocol worker, so a killed child's chunks
+/// are taken over by its siblings (after the heartbeat timeout) or by
+/// the next invocation.
+fn cmd_sweep_procs(
+    opts: &Opts,
+    spec_path: &str,
+    spec: &bct_harness::SweepSpec,
+    dir: &str,
+    procs: usize,
+) -> Result<(), String> {
+    let rd_opts = rundir_options(opts)?;
+    // Create and validate the manifest up front: a spec mismatch or
+    // layout conflict fails before any fork, and children can never
+    // race differing layouts into existence.
+    bct_harness::RunDir::open_or_create(std::path::Path::new(dir), spec, rd_opts.chunk_size)?;
+    let exe = std::env::current_exe().map_err(|e| format!("resolving own binary: {e}"))?;
+    // Per-child worker threads: default 1 — process-level parallelism
+    // is the point of --procs.
+    let workers = opts.get_usize("workers", 1)?;
+    let timeout_ms = opts.get_usize("claim-timeout-ms", 30_000)?;
+    let mut children = Vec::with_capacity(procs);
+    for i in 0..procs {
+        let child_out = std::path::Path::new(dir).join(format!("worker-{i}.merged.jsonl"));
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("sweep")
+            .arg("--spec")
+            .arg(spec_path)
+            .arg("--run-dir")
+            .arg(dir)
+            .arg("--workers")
+            .arg(workers.to_string())
+            .arg("--claim-timeout-ms")
+            .arg(timeout_ms.to_string())
+            .arg("--out")
+            .arg(&child_out)
+            .arg("--quiet")
+            .stdout(std::process::Stdio::null());
+        if opts.get_bool("no-batch") {
+            cmd.arg("--no-batch");
+        }
+        let child = cmd.spawn().map_err(|e| format!("spawning worker {i}: {e}"))?;
+        children.push((i, child));
+    }
+    let mut died = 0usize;
+    for (i, mut child) in children {
+        let status = child.wait().map_err(|e| format!("waiting for worker {i}: {e}"))?;
+        match status.code() {
+            // 3 = cells failed deterministically; the rows exist, the
+            // parent's merged report carries the Failed rows and the
+            // parent exits 3 itself.
+            Some(0) | Some(EXIT_PARTIAL_FAILURE) => {}
+            _ => {
+                eprintln!("sweep worker {i} died: {status}");
+                died += 1;
+            }
+        }
+    }
+    if died > 0 {
+        return Err(format!(
+            "{died} of {procs} sweep workers died; the run dir keeps every finished \
+             row — re-invoke with the same --run-dir to resume"
+        ));
+    }
+    // Every chunk carries a done marker now; this pass recomputes
+    // nothing and merges.
+    cmd_sweep_rundir(opts, spec, dir, workers)
+}
+
+/// Shared tail of every spec-driven sweep mode: summary line, optional
+/// summary JSON, aggregate table, and the failed-cell exit protocol.
+fn finish_sweep(
+    opts: &Opts,
+    report: &bct_harness::SweepReport,
+    out_path: &str,
+    detail: &str,
+) -> Result<(), String> {
     println!(
-        "sweep '{}': {} cells ({} ok, {} failed) in {:.2}s, {} workers",
+        "sweep '{}': {} cells ({} ok, {} failed) in {:.2}s, {detail}",
         report.name,
         report.rows.len(),
         report.ok,
         report.failed,
         report.elapsed.as_secs_f64(),
-        workers,
     );
     println!("rows written to {out_path}");
     if let Some(summary_path) = opts.try_get("summary-out") {

@@ -1,0 +1,201 @@
+//! Kill/resume differential tests against the checked-in golden.
+//!
+//! Workers are killed mid-sweep (via the `BCT_SWEEP_CRASH_AFTER_CELLS`
+//! abort hook) at several distinct cell counts, with and without torn
+//! trailing records, then the sweep is resumed on the same run dir.
+//! Every path must converge to output byte-identical to
+//! `specs/golden_sweep.expected.jsonl`. Also covered: two cooperating
+//! coordinator-less processes on one shared run dir, the `--procs`
+//! front-end, and the spec-hash mismatch hard error.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const SPECS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+
+fn golden_spec() -> String {
+    format!("{SPECS_DIR}/golden_sweep.json")
+}
+
+fn golden_expected() -> String {
+    std::fs::read_to_string(format!("{SPECS_DIR}/golden_sweep.expected.jsonl"))
+        .expect("read golden expected")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("bct_killres_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&path);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn sweep_cmd(run_dir: &PathBuf, out: &PathBuf) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_bct"));
+    cmd.args([
+        "sweep",
+        "--spec",
+        &golden_spec(),
+        "--run-dir",
+        run_dir.to_str().unwrap(),
+        "--out",
+        out.to_str().unwrap(),
+        "--quiet",
+    ]);
+    cmd
+}
+
+fn assert_out_is_golden(out_path: &PathBuf, context: &str) {
+    let got = std::fs::read_to_string(out_path).expect("read merged output");
+    assert_eq!(got, golden_expected(), "{context}: merged output diverged from the golden");
+}
+
+#[test]
+fn killed_workers_resume_byte_identically_at_several_cell_counts() {
+    // Three distinct kill points: early, mid-chunk, and deep into the
+    // 64-cell grid. Each gets a fresh run dir; the killed run must
+    // fail, and a single clean re-invocation must finish the sweep
+    // with output byte-identical to the golden.
+    for k in [3usize, 7, 19] {
+        let run_dir = tmp(&format!("kill{k}_dir"));
+        let out = tmp(&format!("kill{k}.jsonl"));
+        let crashed = sweep_cmd(&run_dir, &out)
+            .env("BCT_SWEEP_CRASH_AFTER_CELLS", k.to_string())
+            .output()
+            .expect("spawn crashing worker");
+        assert!(
+            !crashed.status.success(),
+            "k={k}: worker with crash hook armed was supposed to die, stdout: {}",
+            String::from_utf8_lossy(&crashed.stdout)
+        );
+        let resumed = sweep_cmd(&run_dir, &out).output().expect("spawn resuming worker");
+        assert!(
+            resumed.status.success(),
+            "k={k}: resume failed, stderr: {}",
+            String::from_utf8_lossy(&resumed.stderr)
+        );
+        assert_out_is_golden(&out, &format!("kill at k={k}"));
+        let _ = std::fs::remove_dir_all(&run_dir);
+        let _ = std::fs::remove_file(&out);
+    }
+}
+
+#[test]
+fn chained_torn_crashes_on_one_run_dir_still_converge() {
+    // Two successive crashes on the SAME run dir, each leaving a torn
+    // partial record at the tail of a row file, before a clean resume.
+    let run_dir = tmp("torn_dir");
+    let out = tmp("torn.jsonl");
+    for k in ["5", "9"] {
+        let crashed = sweep_cmd(&run_dir, &out)
+            .env("BCT_SWEEP_CRASH_AFTER_CELLS", k)
+            .env("BCT_SWEEP_CRASH_TORN", "1")
+            .output()
+            .expect("spawn torn-crashing worker");
+        assert!(!crashed.status.success(), "k={k}: torn crash run was supposed to die");
+    }
+    let resumed = sweep_cmd(&run_dir, &out).output().expect("spawn resuming worker");
+    assert!(
+        resumed.status.success(),
+        "resume after torn crashes failed, stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_out_is_golden(&out, "chained torn crashes");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn two_concurrent_processes_cooperate_on_a_shared_run_dir() {
+    // Coordinator-less: both processes race claims on the same run dir
+    // and both merge once every chunk is done. Both outputs must be
+    // byte-identical to the golden.
+    let run_dir = tmp("pair_dir");
+    let out_a = tmp("pair_a.jsonl");
+    let out_b = tmp("pair_b.jsonl");
+    let child_a = sweep_cmd(&run_dir, &out_a)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn worker a");
+    let child_b = sweep_cmd(&run_dir, &out_b)
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn worker b");
+    for (name, child) in [("a", child_a), ("b", child_b)] {
+        let done: Output = child.wait_with_output().expect("wait worker");
+        assert!(
+            done.status.success(),
+            "worker {name} failed, stderr: {}",
+            String::from_utf8_lossy(&done.stderr)
+        );
+    }
+    assert_out_is_golden(&out_a, "concurrent worker a");
+    assert_out_is_golden(&out_b, "concurrent worker b");
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_file(&out_a);
+    let _ = std::fs::remove_file(&out_b);
+}
+
+#[test]
+fn procs_flag_forks_workers_and_merges_the_golden() {
+    // The one-command front-end: `--procs 2` forks two child workers
+    // on the shared run dir. Parent merge AND both per-child merges
+    // must all be byte-identical to the golden.
+    let run_dir = tmp("procs_dir");
+    let out = tmp("procs.jsonl");
+    let done = sweep_cmd(&run_dir, &out)
+        .args(["--procs", "2"])
+        .output()
+        .expect("spawn --procs parent");
+    assert!(
+        done.status.success(),
+        "--procs 2 failed, stderr: {}",
+        String::from_utf8_lossy(&done.stderr)
+    );
+    assert_out_is_golden(&out, "--procs 2 parent merge");
+    for i in 0..2 {
+        let child_out = run_dir.join(format!("worker-{i}.merged.jsonl"));
+        assert_out_is_golden(&child_out, &format!("--procs 2 child {i} merge"));
+    }
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_file(&out);
+}
+
+#[test]
+fn spec_hash_mismatch_is_a_hard_error() {
+    // A run dir belongs to exactly one spec. Re-invoking with any
+    // other spec must refuse loudly rather than mixing rows.
+    let run_dir = tmp("mismatch_dir");
+    let out = tmp("mismatch.jsonl");
+    // Seed the dir with the golden spec (crash early to keep it cheap).
+    let crashed = sweep_cmd(&run_dir, &out)
+        .env("BCT_SWEEP_CRASH_AFTER_CELLS", "1")
+        .output()
+        .expect("spawn seeding worker");
+    assert!(!crashed.status.success());
+    let other_spec = tmp("other_spec.json");
+    let body = std::fs::read_to_string(golden_spec())
+        .expect("read golden spec")
+        .replace("\"root_seed\": 2026", "\"root_seed\": 2027");
+    assert!(body.contains("2027"), "doctoring the spec seed must bite");
+    std::fs::write(&other_spec, body).expect("write doctored spec");
+    let rejected = Command::new(env!("CARGO_BIN_EXE_bct"))
+        .args([
+            "sweep",
+            "--spec",
+            other_spec.to_str().unwrap(),
+            "--run-dir",
+            run_dir.to_str().unwrap(),
+            "--quiet",
+        ])
+        .output()
+        .expect("spawn mismatching worker");
+    assert_eq!(rejected.status.code(), Some(1), "spec mismatch must exit 1");
+    let stderr = String::from_utf8_lossy(&rejected.stderr);
+    assert!(
+        stderr.contains("refusing to mix sweeps"),
+        "missing the mismatch diagnostic: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&run_dir);
+    let _ = std::fs::remove_file(&other_spec);
+    let _ = std::fs::remove_file(&out);
+}

@@ -17,6 +17,13 @@
 //! * [`sink`] — where rows stream while workers race.
 //! * [`agg`] — streaming mean/max/ratio accumulators and fixed-bucket
 //!   histogram quantiles (p50/p95/p99).
+//! * [`rundir`] — durable, resumable run directories: checksummed row
+//!   files, torn-tail truncation, spec-hash-pinned manifests, and
+//!   [`rundir::run_sweep_dir`], the kill-anywhere/resume-anywhere
+//!   entry point.
+//! * [`claim`] — the coordinator-free shard-claim protocol (atomic
+//!   claim files, heartbeats, stale takeover) that lets N processes
+//!   cooperate on one run dir.
 //!
 //! Guarantees (see `DESIGN.md` §9):
 //!
@@ -30,12 +37,15 @@
 //!    they finish; progress lines report done/total, rate, and ETA.
 
 pub mod agg;
+pub mod claim;
 pub mod exec;
 pub mod registry;
+pub mod rundir;
 pub mod sink;
 pub mod spec;
 pub mod sweep;
 
 pub use exec::{execute, ExecOptions, TaskResult, TaskStatus};
+pub use rundir::{run_sweep_dir, RunDir, RunDirOptions};
 pub use sink::{JsonlSink, NullSink, RowSink};
 pub use sweep::{run_sweep, CellTask, SweepOptions, SweepReport, SweepRow, SweepSpec};

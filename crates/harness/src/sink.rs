@@ -7,6 +7,15 @@ use std::io::{self, Write};
 pub trait RowSink {
     /// Persist or forward one row.
     fn write_row(&mut self, row: &SweepRow) -> io::Result<()>;
+
+    /// Push buffered rows to durable storage. The default is a no-op:
+    /// in-memory sinks have nothing to flush. Durability-sensitive
+    /// sinks — [`crate::rundir::ChunkWriter`] flushes after *every*
+    /// row, so a killed worker loses at most the torn tail its resumer
+    /// truncates — override it.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Discards rows (aggregation-only sweeps, benches).
@@ -47,6 +56,10 @@ impl<W: Write> RowSink for JsonlSink<W> {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         self.w.write_all(line.as_bytes())?;
         self.w.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
     }
 }
 

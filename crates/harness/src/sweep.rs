@@ -781,6 +781,43 @@ fn progress_line(name: &str, done: usize, total: usize, failed: usize, started: 
     );
 }
 
+/// Execute an already-expanded task list on the pool: partition into
+/// batch groups, run, stream every finished row to `on_row` (in racy
+/// completion order), return the cell-sorted rows. The shared
+/// execution core of [`run_sweep`] and [`crate::rundir::run_sweep_dir`]
+/// — both paths produce rows through exactly this function, which is
+/// what makes their outputs byte-interchangeable.
+pub(crate) fn execute_tasks(
+    tasks: &[CellTask],
+    max_retries: u32,
+    workers: usize,
+    batch: bool,
+    mut on_row: impl FnMut(&SweepRow),
+) -> Vec<SweepRow> {
+    // The pool's task unit is a *group* (a replication run, or a
+    // singleton); per-cell retry lives inside `run_group`, so the pool
+    // itself never retries.
+    let exec_opts = ExecOptions { workers, max_retries: 0 };
+    let groups = batch_groups(tasks, batch);
+    let results = exec::execute(
+        &groups,
+        &exec_opts,
+        |_, range| Ok(run_group(tasks, range, max_retries)),
+        |result| {
+            for row in group_rows(tasks, &groups, result) {
+                on_row(&row);
+            }
+        },
+    );
+    // Rebuild rows index-sorted from the pool's sorted results (groups
+    // are index-ordered runs, so flattening is already cell-sorted; the
+    // sort is a cheap belt-and-braces).
+    let mut rows: Vec<SweepRow> =
+        results.iter().flat_map(|result| group_rows(tasks, &groups, result)).collect();
+    rows.sort_by_key(|r| r.cell);
+    rows
+}
+
 /// Execute a sweep: expand, run on the pool, stream rows to `sink` and
 /// the aggregator, return the sorted report.
 ///
@@ -811,44 +848,22 @@ pub fn run_sweep(
     let mut sink_error: Option<String> = None;
     let mut done = 0usize;
     let mut failed = 0usize;
-
-    // The pool's task unit is a *group* (a replication run, or a
-    // singleton); per-cell retry lives inside `run_group`, so the pool
-    // itself never retries.
-    let exec_opts = ExecOptions { workers: opts.workers, max_retries: 0 };
-    let groups = batch_groups(&tasks, opts.batch);
-    let results = exec::execute(
-        &groups,
-        &exec_opts,
-        |_, range| Ok(run_group(&tasks, range, spec.max_retries)),
-        |result| {
-            for row in group_rows(&tasks, &groups, result) {
-                if matches!(row.outcome, RowOutcome::Failed { .. }) {
-                    failed += 1;
-                }
-                agg.observe(&row);
-                if let Err(e) = sink.write_row(&row) {
-                    sink_error.get_or_insert_with(|| format!("sink: {e}"));
-                }
-                done += 1;
-                if opts.progress == ProgressMode::Stderr
-                    && (done.is_multiple_of(every) || done == total)
-                {
-                    progress_line(&spec.name, done, total, failed, started);
-                }
-            }
-        },
-    );
+    let rows = execute_tasks(&tasks, spec.max_retries, opts.workers, opts.batch, |row| {
+        if matches!(row.outcome, RowOutcome::Failed { .. }) {
+            failed += 1;
+        }
+        agg.observe(row);
+        if let Err(e) = sink.write_row(row) {
+            sink_error.get_or_insert_with(|| format!("sink: {e}"));
+        }
+        done += 1;
+        if opts.progress == ProgressMode::Stderr && (done.is_multiple_of(every) || done == total) {
+            progress_line(&spec.name, done, total, failed, started);
+        }
+    });
     if let Some(e) = sink_error {
         return Err(e);
     }
-
-    // Rebuild rows index-sorted from the pool's sorted results (groups
-    // are index-ordered runs, so flattening is already cell-sorted; the
-    // sort is a cheap belt-and-braces).
-    let mut rows: Vec<SweepRow> =
-        results.iter().flat_map(|result| group_rows(&tasks, &groups, result)).collect();
-    rows.sort_by_key(|r| r.cell);
     let ok = rows.iter().filter(|r| matches!(r.outcome, RowOutcome::Ok(_))).count();
     let failed = rows.len() - ok;
     Ok(SweepReport {

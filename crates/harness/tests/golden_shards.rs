@@ -1,0 +1,63 @@
+//! Shard-merge equivalence across **all four** checked-in goldens
+//! (base, heavy-tail, dynamic, batch): splitting any golden grid into
+//! `--shard i/N` parts and concatenating the parts in cell order must
+//! reproduce both the in-process one-shot run and the checked-in
+//! expected JSONL, byte for byte. This is the partition-anywhere
+//! contract the run-dir/claim layer builds on, proven on every grid
+//! shape the repo pins (static, Pareto heavy-tail, churn + capacity,
+//! deep replication groups).
+
+use bct_harness::sweep::sorted_jsonl;
+use bct_harness::{run_sweep, NullSink, SweepOptions, SweepRow, SweepSpec};
+use std::path::Path;
+
+const SPECS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+const SHARDS: usize = 3;
+
+fn check_golden(spec_file: &str, expected_file: &str) {
+    let spec = SweepSpec::load(&Path::new(SPECS_DIR).join(spec_file)).expect("load spec");
+    let full = run_sweep(&spec, &SweepOptions { workers: 2, ..Default::default() }, &mut NullSink)
+        .expect("one-shot run")
+        .sorted_jsonl();
+    let expected = std::fs::read_to_string(Path::new(SPECS_DIR).join(expected_file))
+        .expect("read expected");
+    assert_eq!(
+        full, expected,
+        "{spec_file}: in-process one-shot run diverged from the checked-in golden"
+    );
+    let mut merged: Vec<SweepRow> = Vec::new();
+    for i in 0..SHARDS {
+        let opts = SweepOptions { shard: Some((i, SHARDS)), workers: 2, ..Default::default() };
+        let part = run_sweep(&spec, &opts, &mut NullSink).expect("shard run");
+        for row in &part.rows {
+            assert_eq!(row.cell % SHARDS, i, "{spec_file}: shard {i}/{SHARDS} kept a foreign cell");
+        }
+        merged.extend(part.rows);
+    }
+    merged.sort_by_key(|r| r.cell);
+    assert_eq!(
+        sorted_jsonl(&merged),
+        expected,
+        "{spec_file}: merged {SHARDS}-way shards diverged from the golden"
+    );
+}
+
+#[test]
+fn base_golden_shards_merge_byte_identically() {
+    check_golden("golden_sweep.json", "golden_sweep.expected.jsonl");
+}
+
+#[test]
+fn heavytail_golden_shards_merge_byte_identically() {
+    check_golden("golden_sweep_heavytail.json", "golden_sweep_heavytail.expected.jsonl");
+}
+
+#[test]
+fn dynamic_golden_shards_merge_byte_identically() {
+    check_golden("golden_sweep_dynamic.json", "golden_sweep_dynamic.expected.jsonl");
+}
+
+#[test]
+fn batch_golden_shards_merge_byte_identically() {
+    check_golden("golden_sweep_batch.json", "golden_sweep_batch.expected.jsonl");
+}

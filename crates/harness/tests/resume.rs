@@ -1,0 +1,185 @@
+//! Resume-equivalence property tests: for *arbitrary* completed-cell
+//! subsets pre-seeded into a run dir — including torn trailing rows
+//! and empty row files — resuming always yields output byte-identical
+//! to a fresh one-shot run, at 1, 4, and 8 workers.
+
+use bct_harness::rundir::{encode_row_line, RunDir, RunDirOptions};
+use bct_harness::sweep::WorkloadCfg;
+use bct_harness::{run_sweep, run_sweep_dir, NullSink, SweepOptions, SweepSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+const CHUNK: usize = 3;
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        name: "resume-prop".into(),
+        root_seed: 23,
+        replications: 2,
+        max_retries: 0,
+        topologies: vec!["star:3,2".into(), "fat-tree:2,2,2".into()],
+        workloads: vec![WorkloadCfg {
+            jobs: 10,
+            load: 0.7,
+            sizes: "pow:2,3".into(),
+            capacity: None,
+            churn: None,
+        }],
+        // One deliberately failing policy, so resume equivalence is
+        // proven for Failed rows (panic messages and attempt counts
+        // included), not just clean metrics.
+        policies: vec!["sjf+greedy:0.5".into(), "sjf+closest".into(), "sjf+chaos".into()],
+        speeds: vec!["uniform:1.5".into()],
+    }
+}
+
+/// The fresh one-shot oracle: canonical sorted JSONL, computed once.
+fn fresh_jsonl() -> &'static str {
+    static FRESH: OnceLock<String> = OnceLock::new();
+    FRESH.get_or_init(|| {
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_sweep(&spec(), &SweepOptions::default(), &mut NullSink)
+            .expect("oracle sweep")
+            .sorted_jsonl();
+        std::panic::set_hook(prev_hook);
+        out
+    })
+}
+
+fn fresh_rows() -> Vec<String> {
+    fresh_jsonl().lines().map(str::to_string).collect()
+}
+
+fn unique_root(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "bct_resume_{}_{tag}_{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Pre-seed a run dir with an arbitrary subset of completed cells.
+/// Chunks flagged `empty` get an empty generation-1 file (their rows,
+/// if any, land in generation 2 — multi-generation recovery); chunks
+/// flagged `torn` get a torn partial record appended to their newest
+/// row file.
+fn seed(root: &PathBuf, done_cells: &[bool], empty: &[bool], torn: &[bool]) {
+    let sp = spec();
+    let dir = RunDir::open_or_create(root, &sp, Some(CHUNK)).expect("create run dir");
+    let rows = fresh_rows();
+    let chunks = dir.manifest().chunks;
+    for chunk in 0..chunks {
+        let is_empty = empty.get(chunk).copied().unwrap_or(false);
+        let is_torn = torn.get(chunk).copied().unwrap_or(false);
+        let gen = if is_empty { 2 } else { 1 };
+        if is_empty {
+            std::fs::write(dir.rows_path(chunk, 1), b"").expect("empty gen file");
+        }
+        let mut body = String::new();
+        for cell in dir.chunk_range(chunk) {
+            if done_cells.get(cell).copied().unwrap_or(false) {
+                let json = rows.get(cell).expect("oracle row");
+                body.push_str(&encode_row_line(cell, json));
+            }
+        }
+        if is_torn {
+            // A crash mid-append: plausible prefix, no newline. Must be
+            // truncated away on open, never surfaced as a row.
+            body.push_str("999999 deadbeefdeadbeef {\"cell\":999999,\"to");
+        }
+        if !body.is_empty() {
+            std::fs::write(dir.rows_path(chunk, gen), body).expect("seed rows");
+        }
+    }
+}
+
+fn resume(root: &PathBuf, workers: usize) -> (usize, String) {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = run_sweep_dir(
+        &spec(),
+        &SweepOptions { workers, ..Default::default() },
+        &RunDirOptions { chunk_size: Some(CHUNK), ..Default::default() },
+        root,
+    );
+    std::panic::set_hook(prev_hook);
+    let (report, jsonl) = result.expect("resume");
+    (report.rows.len(), jsonl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    #[test]
+    fn resuming_any_seeded_state_matches_the_fresh_run(
+        done_cells in prop::collection::vec(any::<bool>(), 12),
+        empty in prop::collection::vec(any::<bool>(), 4),
+        torn in prop::collection::vec(any::<bool>(), 4),
+    ) {
+        for workers in [1usize, 4, 8] {
+            let root = unique_root("prop");
+            seed(&root, &done_cells, &empty, &torn);
+            let (cells, jsonl) = resume(&root, workers);
+            prop_assert_eq!(cells, 12);
+            prop_assert_eq!(
+                jsonl.as_str(), fresh_jsonl(),
+                "workers={} done={:?} empty={:?} torn={:?}",
+                workers, done_cells, empty, torn
+            );
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+}
+
+#[test]
+fn fully_seeded_dirs_resume_without_recomputing() {
+    // Doctor one pre-seeded row (valid checksum, absurd attempt count):
+    // resume must trust and keep it verbatim — proof that checksum-valid
+    // cells are recovered, not re-run — while every other row matches
+    // the fresh bytes.
+    let root = unique_root("trust");
+    let done = vec![true; 12];
+    seed(&root, &done, &[], &[]);
+    let sp = spec();
+    let dir = RunDir::open_or_create(&root, &sp, Some(CHUNK)).unwrap();
+    let doctored = fresh_rows()
+        .first()
+        .unwrap()
+        .replace("\"attempts\":1", "\"attempts\":77");
+    assert_ne!(&doctored, fresh_rows().first().unwrap(), "the doctoring must bite");
+    std::fs::write(dir.rows_path(0, 1), {
+        let mut body = encode_row_line(0, &doctored);
+        for cell in 1..CHUNK {
+            body.push_str(&encode_row_line(cell, fresh_rows().get(cell).unwrap()));
+        }
+        body
+    })
+    .unwrap();
+    let (cells, jsonl) = resume(&root, 2);
+    assert_eq!(cells, 12);
+    let first = jsonl.lines().next().unwrap();
+    assert!(first.contains("\"attempts\":77"), "stored row was recomputed: {first}");
+    for (got, want) in jsonl.lines().zip(fresh_jsonl().lines()).skip(1) {
+        assert_eq!(got, want);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn empty_and_torn_only_dirs_resume_to_the_fresh_bytes() {
+    // The degenerate corners pinned deterministically (the proptest
+    // may or may not generate them): nothing but empty files and torn
+    // tails means everything is recomputed.
+    let root = unique_root("degenerate");
+    seed(&root, &[false; 12], &[true; 4], &[true; 4]);
+    let (cells, jsonl) = resume(&root, 4);
+    assert_eq!(cells, 12);
+    assert_eq!(jsonl.as_str(), fresh_jsonl());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -53,16 +53,21 @@ const PANIC_AUDITED_FILES: &[&str] = &[
     "crates/serve/src/replay.rs",
 ];
 
-/// The serve crate's untrusted-input surface: files that decode or
-/// apply bytes from the wire or the journal. These are the p2
-/// reachability sources (and the only files where indexing counts as a
-/// panic sink — a bad length prefix must surface as a decode error,
-/// not an out-of-bounds crash).
+/// The untrusted-input surface: files that decode or apply bytes that
+/// cross a process boundary — the serve wire protocol and journal, and
+/// the sweep run-dir layer (row files, claim records, and manifests
+/// written by *other* processes, possibly half-dead ones mid-crash).
+/// These are the p2 reachability sources (and the only files where
+/// indexing counts as a panic sink — a bad length prefix or a torn
+/// row must surface as a decode error or a truncation, not an
+/// out-of-bounds crash).
 const WIRE_FILES: &[&str] = &[
     "crates/serve/src/protocol.rs",
     "crates/serve/src/service.rs",
     "crates/serve/src/log.rs",
     "crates/serve/src/replay.rs",
+    "crates/harness/src/rundir.rs",
+    "crates/harness/src/claim.rs",
 ];
 
 /// Crates whose functions are d4 reachability sources: everything the
@@ -174,6 +179,15 @@ mod tests {
         // typed error, not a panic.
         assert!(policy_for("crates/serve/src/log.rs").p1);
         assert!(policy_for("crates/serve/src/replay.rs").p1);
+
+        // The run-dir/claim coordination layer lives in the harness
+        // crate, so it inherits d1–d3 and the panic audit wholesale;
+        // its clock reads (claim heartbeats and staleness) exist only
+        // behind justified d2 allows.
+        let rundir = policy_for("crates/harness/src/rundir.rs");
+        assert!(rundir.d1 && rundir.d2 && rundir.p1);
+        let claim = policy_for("crates/harness/src/claim.rs");
+        assert!(claim.d1 && claim.d2 && claim.p1);
     }
 
     #[test]
@@ -181,6 +195,11 @@ mod tests {
         assert!(is_wire_file("crates/serve/src/protocol.rs"));
         assert!(is_wire_file("./crates/serve/src/log.rs"));
         assert!(!is_wire_file("crates/serve/src/bench.rs"));
+        // Recovery parsers read bytes other processes wrote — the
+        // run-dir/claim files are wire surface too.
+        assert!(is_wire_file("crates/harness/src/rundir.rs"));
+        assert!(is_wire_file("./crates/harness/src/claim.rs"));
+        assert!(!is_wire_file("crates/harness/src/sweep.rs"));
         assert!(panic_audited("crates/sim/src/engine.rs"));
         assert!(!panic_audited("crates/core/src/tree.rs"));
         assert!(d4_entry("crates/core/src/tree.rs"));
